@@ -1,0 +1,69 @@
+// Command wmmbench regenerates the tables and figures of "Benchmarking
+// Weak Memory Models" (Ritson & Owens, PPoPP 2016) on the library's
+// simulated ARMv8 and POWER7 machines.
+//
+// Usage:
+//
+//	wmmbench [-short] [-samples N] [-seed N] list
+//	wmmbench [-short] [-samples N] [-seed N] <experiment>...
+//	wmmbench [-short] all
+//
+// Experiments: fig1 fig4 fig5 fig6 fig7 fig8 fig9 fig10
+// txt1 txt2 txt3 txt4 txt5 txt6 txt7 litmus.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/wmm"
+)
+
+func main() {
+	short := flag.Bool("short", false, "reduced sweep (fewer sizes and samples)")
+	samples := flag.Int("samples", 0, "samples per measurement (0 = default: 6, or 3 with -short)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wmmbench [flags] list | all | <experiment>...\n\nexperiments:\n")
+		for _, e := range wmm.Experiments() {
+			fmt.Fprintf(os.Stderr, "  %-8s %-10s %s\n", e.Name, "("+e.Paper+")", e.Desc)
+		}
+		fmt.Fprintf(os.Stderr, "\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opt := wmm.ExperimentOptions{Short: *short, Samples: *samples, Seed: *seed}
+
+	switch args[0] {
+	case "list":
+		for _, e := range wmm.Experiments() {
+			fmt.Printf("%-8s %-10s %s\n", e.Name, "("+e.Paper+")", e.Desc)
+		}
+		return
+	case "all":
+		start := time.Now()
+		if err := wmm.RunAllExperiments(opt); err != nil {
+			fmt.Fprintln(os.Stderr, "wmmbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("all experiments completed in %v\n", time.Since(start).Round(time.Second))
+		return
+	}
+
+	for _, name := range args {
+		start := time.Now()
+		if err := wmm.RunExperiment(name, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "wmmbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

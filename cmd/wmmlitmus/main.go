@@ -1,0 +1,87 @@
+// Command wmmlitmus runs weak-memory litmus tests on the simulated
+// machines, in the style of the litmus7 tool: pick shapes, a machine, a
+// trial count, and optionally memory-system stress, and get observed
+// outcome counts with conformance verdicts.
+//
+// Usage:
+//
+//	wmmlitmus [-arch armv8|power7|both] [-trials N] [-stress] [-seed N] [shape ...]
+//	wmmlitmus -list
+//
+// With no shapes, the whole catalogue for the selected machine(s) runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/wmm"
+)
+
+func main() {
+	archFlag := flag.String("arch", "both", "machine: armv8, power7 or both")
+	trials := flag.Int("trials", 400, "randomized trials per shape")
+	stress := flag.Bool("stress", false, "elevated propagation-tail probability (provokes rare outcomes)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	list := flag.Bool("list", false, "list the catalogue and exit")
+	flag.Parse()
+
+	var profiles []*wmm.Profile
+	switch *archFlag {
+	case "armv8":
+		profiles = []*wmm.Profile{wmm.ARMv8()}
+	case "power7":
+		profiles = []*wmm.Profile{wmm.POWER7()}
+	case "both":
+		profiles = []*wmm.Profile{wmm.ARMv8(), wmm.POWER7()}
+	default:
+		fmt.Fprintf(os.Stderr, "wmmlitmus: unknown arch %q\n", *archFlag)
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, prof := range profiles {
+			fmt.Printf("== %s\n", prof.Name)
+			for _, t := range wmm.LitmusSuite(prof.Name) {
+				fmt.Printf("  %-22s %s\n", t.Name, t.Expect[prof.Name])
+			}
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	for _, name := range flag.Args() {
+		want[strings.ToLower(name)] = true
+	}
+
+	violations := 0
+	for _, prof := range profiles {
+		fmt.Printf("== %s (%s stores, %d+ trials/shape)\n", prof.Name, prof.Flavor, *trials)
+		r := &wmm.LitmusRunner{Prof: prof, Trials: *trials, Seed: *seed}
+		for _, t := range wmm.LitmusSuite(prof.Name) {
+			if len(want) > 0 && !want[strings.ToLower(t.Name)] {
+				continue
+			}
+			if *stress {
+				t.StressProp = true
+			}
+			out, err := r.Check(t)
+			verdict := "ok"
+			if err != nil {
+				verdict = "VIOLATION"
+				violations++
+			}
+			fmt.Printf("  %-22s %-15s relaxed %5d / hits %5d / trials %5d   %s\n",
+				t.Name, t.Expect[prof.Name].String(), out.Relaxed, out.Hits, out.Trials, verdict)
+			if err != nil {
+				fmt.Printf("    %v\n", err)
+			}
+		}
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "wmmlitmus: %d conformance violations\n", violations)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,9 @@
+; Message-passing reader (single-shot): r2 = flag, r3 = data.
+; With the writer fenced and this side using dmb ishld, (r2,r3) = (1,0)
+; is forbidden; remove the barrier and race a few seeds to see it appear.
+	ldr    r2, [r1, #64]
+	dmb    ishld
+	ldr    r3, [r1, #0]
+	str    r2, [r1, #128]
+	str    r3, [r1, #136]
+	halt

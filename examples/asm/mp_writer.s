@@ -1,0 +1,8 @@
+; Message-passing writer: data then flag, ordered by a store barrier.
+; Run:  wmmasm -arch armv8 examples/asm/mp_writer.s examples/asm/mp_reader.s
+; Drop the dmb to watch the reader observe the flag without the data.
+	movimm r0, #1
+	str    r0, [r1, #0]    ; data
+	dmb    ishst
+	str    r0, [r1, #64]   ; flag
+	halt

@@ -1,0 +1,10 @@
+; Store buffering, symmetric: run two copies (-cores 2 with one file).
+; Each core stores to its own slot then reads the other's; both reading 0
+; is the classic SB relaxation - add "dmb ish" after the store to forbid.
+; Core roles are symmetric because both run the same code against the
+; same addresses; use with -cores 2 and different seeds.
+	movimm r0, #1
+	str    r0, [r1, #0]
+	ldr    r2, [r1, #64]
+	str    r2, [r1, #128]
+	halt

@@ -1,0 +1,103 @@
+// Quickstart: build a weak-memory machine, watch a relaxed outcome appear,
+// then measure a benchmark's sensitivity to its platform's fencing
+// strategy — the library's core loop in ~80 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/wmm"
+)
+
+func main() {
+	// 1. A two-core message-passing race on the ARMv8-like machine.
+	//    Without fences, the reader can observe the flag before the data:
+	//    the machine is genuinely weak.
+	relaxed := 0
+	const trials = 400
+	for seed := int64(0); seed < trials; seed++ {
+		m, err := wmm.NewMachine(wmm.ARMv8(), wmm.MachineConfig{
+			Cores: 2, MemWords: 1024, Seed: seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Threads race at varying alignments: each spins for a
+		// seed-dependent delay before its body, as a litmus harness
+		// would.
+		delay := func(b *wmm.Builder, iters int64) {
+			if iters <= 0 {
+				return
+			}
+			b.MovImm(9, iters)
+			b.Label("delay")
+			b.SubsImm(9, 9, 1)
+			b.Bne("delay")
+		}
+		// Writer: data = 1, then flag = 1 (no ordering).
+		w := wmm.NewBuilder()
+		delay(w, (seed*7)%120)
+		w.MovImm(0, 1)
+		w.Store(0, 1, 0)  // data at address 0
+		w.Store(0, 1, 64) // flag at address 64
+		w.Halt()
+		// Reader: r2 = flag; r3 = data; record both.
+		r := wmm.NewBuilder()
+		r.Load(5, 1, 0) // warm the data line
+		delay(r, (seed*13)%120)
+		r.Load(2, 1, 64)
+		r.Load(3, 1, 0)
+		r.Store(2, 1, 128)
+		r.Store(3, 1, 136)
+		r.Halt()
+		if err := m.LoadProgram(0, w.MustBuild()); err != nil {
+			log.Fatal(err)
+		}
+		if err := m.LoadProgram(1, r.MustBuild()); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := m.Run(1_000_000); err != nil {
+			log.Fatal(err)
+		}
+		if m.ReadMem(128) == 1 && m.ReadMem(136) == 0 {
+			relaxed++
+		}
+	}
+	fmt.Printf("message passing without fences: relaxed outcome %d/%d runs\n", relaxed, trials)
+
+	// 2. How sensitive is the spark stand-in to the JVM's fencing
+	//    strategy?  Sweep an injected cost function and fit the paper's
+	//    model p = 1/((1-k) + k*a).
+	prof := wmm.ARMv8()
+	sizes := []int64{1, 8, 64, 512}
+	cal, err := wmm.Calibrate(prof, sizes, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench, err := wmm.JVMBenchmark("spark")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := wmm.SensitivityScan(wmm.ScanConfig{
+		Bench:     bench,
+		Env:       wmm.DefaultEnv(prof),
+		CostPaths: []wmm.PathID{wmm.JVMAllBarriersPath()},
+		AllPaths:  []wmm.PathID{wmm.JVMAllBarriersPath()},
+		Sizes:     sizes,
+		Samples:   3,
+		Seed:      1,
+		Cal:       cal,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spark sensitivity to all JVM barriers on %s: %v\n", prof.Name, res.Sens)
+	for _, p := range res.Points {
+		fmt.Printf("  cost %6.1f ns -> relative performance %.4f\n", p.Ns, p.P)
+	}
+
+	// 3. Convert a hypothetical 2%% slowdown into a per-barrier cost.
+	a := wmm.CostIncrease(res.Sens.K, 0.98)
+	fmt.Printf("a 2%% slowdown on spark implies ~%.1f ns extra per barrier (equation 2)\n", a)
+}

@@ -1,0 +1,135 @@
+// rcu demonstrates the kernel substrate's read-copy-update machinery on
+// the simulated machines: readers traverse a published structure with
+// rcu_dereference while an updater republishes and reclaims behind
+// synchronize_rcu grace periods — and a deliberately broken updater (no
+// grace period) shows readers catching reclaimed memory, on both the
+// multi-copy-atomic and the POWER-style machine.
+//
+// It is also a worked example of building custom concurrent programs
+// against the platform layer rather than using the packaged benchmarks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/platform/kernel"
+	"repro/internal/sim"
+)
+
+const (
+	slot    = int64(0)   // published pointer
+	verA    = int64(64)  // version buffer A
+	verB    = int64(128) // version buffer B
+	stop    = int64(256) // stop flag
+	domain  = int64(512) // RCU per-CPU counters
+	obsBase = int64(1024)
+	live    = int64(7777)
+	rounds  = 30
+	readers = 3
+)
+
+func updater(k *kernel.Kernel, grace bool) arch.Program {
+	b := arch.NewBuilder()
+	b.MovImm(10, verA)
+	b.MovImm(11, verB)
+	b.MovImm(2, rounds)
+	b.Label("round")
+	b.MovImm(3, live)
+	b.Store(3, 11, 0)           // prepare the spare buffer
+	k.RCUAssign(b, 11, 1, slot) // publish it
+	if grace {
+		k.SynchronizeRCU(b, 5, readers)
+	}
+	b.MovImm(4, -1)
+	b.Store(4, 10, 0) // reclaim the retired buffer
+	b.Mov(6, 10)
+	b.Mov(10, 11)
+	b.Mov(11, 6)
+	b.SubsImm(2, 2, 1)
+	b.Bne("round")
+	b.MovImm(7, 1)
+	k.WriteOnce(b, 7, 1, stop)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func reader(k *kernel.Kernel, cpu int) arch.Program {
+	b := arch.NewBuilder()
+	b.MovImm(7, 0) // violations observed
+	b.MovImm(8, 0) // reads performed
+	b.Label("loop")
+	k.RCUReadLock(b, 5, cpu)
+	k.RCUDereference(b, 3, 1, slot) // p = rcu_dereference(slot)
+	b.Load(4, 3, 0)                 // v = *p (address dependency)
+	k.RCUReadUnlock(b, 5, cpu)
+	b.AddImm(8, 8, 1)
+	b.CmpImm(4, live)
+	b.Beq("ok")
+	b.AddImm(7, 7, 1)
+	b.Label("ok")
+	k.ReadOnce(b, 6, 1, stop)
+	b.CmpImm(6, 0)
+	b.Beq("loop")
+	b.Store(7, 1, obsBase+16*int64(cpu))
+	b.Store(8, 1, obsBase+16*int64(cpu)+8)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func run(prof *arch.Profile, grace bool, seed int64) (violations, reads int64) {
+	k := kernel.New(kernel.Config{Prof: prof, Strategy: kernel.Default()})
+	m, err := sim.New(prof, sim.Config{Cores: 1 + readers, MemWords: 4096, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.WriteMem(slot, verA)
+	m.WriteMem(verA, live)
+	m.WriteMem(verB, live)
+	m.SetReg(0, 1, 0)
+	m.SetReg(0, 5, domain)
+	if err := m.LoadProgram(0, updater(k, grace)); err != nil {
+		log.Fatal(err)
+	}
+	for cpu := 0; cpu < readers; cpu++ {
+		core := 1 + cpu
+		m.SetReg(core, 1, 0)
+		m.SetReg(core, 5, domain)
+		if err := m.LoadProgram(core, reader(k, cpu)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := m.Run(100_000_000)
+	if err != nil || !res.AllHalted {
+		log.Fatalf("run failed: %v halted=%v", err, res.AllHalted)
+	}
+	for cpu := 0; cpu < readers; cpu++ {
+		violations += m.ReadMem(obsBase + 16*int64(cpu))
+		reads += m.ReadMem(obsBase + 16*int64(cpu) + 8)
+	}
+	return violations, reads
+}
+
+func main() {
+	for _, prof := range []*arch.Profile{arch.ARMv8(), arch.POWER7()} {
+		fmt.Printf("== %s\n", prof.Name)
+		var v, r int64
+		for seed := int64(1); seed <= 5; seed++ {
+			dv, dr := run(prof, true, seed)
+			v += dv
+			r += dr
+		}
+		fmt.Printf("  with synchronize_rcu: %d reclaimed-value sightings in %d reads\n", v, r)
+		v, r = 0, 0
+		for seed := int64(1); seed <= 5; seed++ {
+			dv, dr := run(prof, false, seed)
+			v += dv
+			r += dr
+		}
+		fmt.Printf("  without grace period: %d reclaimed-value sightings in %d reads\n", v, r)
+	}
+	fmt.Println("\nthe grace period is what separates republication from reclamation;")
+	fmt.Println("its cost profile (smp_mb pairs + per-CPU polling) is exactly what the")
+	fmt.Println("paper's macro instrumentation measures on RCU-heavy code paths.")
+}

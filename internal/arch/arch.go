@@ -1,0 +1,308 @@
+// Package arch defines the instruction set, register conventions and
+// architecture profiles for the weak-memory machine simulator.
+//
+// The instruction set is a small RISC-style subset sufficient to express the
+// code the paper studies: plain and ordered loads/stores, load-exclusive /
+// store-exclusive pairs, ALU operations, conditional branches, and the
+// memory barriers of the ARMv8 and POWER ISAs (dmb ish / dmb ishld /
+// dmb ishst / isb and lwsync / hwsync).  Two architecture profiles are
+// provided: an ARMv8-like profile modelled on the X-Gene 1 used by the
+// paper, and a POWER7-like profile.  The profiles differ both in timing
+// parameters and in memory-model structure (multi-copy atomicity).
+package arch
+
+import "fmt"
+
+// Reg names a general-purpose register.  The machine has 32 integer
+// registers; by convention R31 is the stack pointer and R30 the link
+// register, although the simulator does not enforce any ABI.
+type Reg uint8
+
+// NumRegs is the size of the architectural register file.
+const NumRegs = 32
+
+// Register aliases used throughout the code generators.
+const (
+	SP Reg = 31 // stack pointer
+	LR Reg = 30 // link register
+	ZR Reg = 29 // reads as zero by convention in generated code
+)
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+const (
+	// Nop does nothing but occupies an issue slot.  Cost-function base
+	// cases are padded with Nops so that code size is invariant between
+	// the base case and the test case (paper §4.1).
+	Nop Op = iota
+
+	// MovImm writes Imm to Rd.
+	MovImm
+	// Mov copies Rn to Rd.
+	Mov
+	// Add/Sub/And/Orr/Eor/Mul compute Rd = Rn op Rm.
+	Add
+	Sub
+	And
+	Orr
+	Eor
+	Mul
+	// AddImm/SubImm compute Rd = Rn op Imm.
+	AddImm
+	SubImm
+	// Lsl/Lsr shift Rn by Imm bits into Rd.
+	Lsl
+	Lsr
+	// SubsImm computes Rd = Rn - Imm and sets the condition flags; it is
+	// the loop-counter decrement of the paper's cost function (Fig. 2).
+	SubsImm
+	// CmpImm sets the condition flags from Rn - Imm.
+	CmpImm
+	// Cmp sets the condition flags from Rn - Rm.
+	Cmp
+
+	// Load reads the 64-bit word at [Rn + Imm] into Rd.
+	Load
+	// Store writes Rd to the word at [Rn + Imm].
+	Store
+	// LoadAcq is a load-acquire (ARMv8 ldar): no later memory access may
+	// be satisfied before it, and it may not be satisfied while an
+	// earlier store-release from the same core is still in flight.
+	LoadAcq
+	// StoreRel is a store-release (ARMv8 stlr): it becomes visible only
+	// after every earlier access from the same core.
+	StoreRel
+	// LoadEx is a load-exclusive (ldxr / lwarx); it reads the coherent
+	// value and arms the exclusive monitor.
+	LoadEx
+	// StoreEx is a store-exclusive (stxr / stwcx.); Rd receives 0 on
+	// success and 1 on failure, and the stored value is Rm with address
+	// [Rn + Imm].
+	StoreEx
+
+	// B branches unconditionally to Target.
+	B
+	// Beq/Bne/Blt/Bge branch on the condition flags.
+	Beq
+	Bne
+	Blt
+	Bge
+
+	// Barrier issues the memory barrier identified by Kind.
+	Barrier
+
+	// Work retires Imm abstract units of application work.  Benchmarks
+	// report throughput as work units per simulated nanosecond.
+	Work
+
+	// Halt stops the executing core once the store buffer has drained.
+	Halt
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	Nop: "nop", MovImm: "movimm", Mov: "mov",
+	Add: "add", Sub: "sub", And: "and", Orr: "orr", Eor: "eor", Mul: "mul",
+	AddImm: "addimm", SubImm: "subimm", Lsl: "lsl", Lsr: "lsr",
+	SubsImm: "subsimm", CmpImm: "cmpimm", Cmp: "cmp",
+	Load: "ldr", Store: "str", LoadAcq: "ldar", StoreRel: "stlr",
+	LoadEx: "ldxr", StoreEx: "stxr",
+	B: "b", Beq: "beq", Bne: "bne", Blt: "blt", Bge: "bge",
+	Barrier: "barrier", Work: "work", Halt: "halt",
+}
+
+// String returns the assembly mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsLoad reports whether the opcode reads from memory.
+func (o Op) IsLoad() bool {
+	return o == Load || o == LoadAcq || o == LoadEx
+}
+
+// IsStore reports whether the opcode writes to memory.
+func (o Op) IsStore() bool {
+	return o == Store || o == StoreRel || o == StoreEx
+}
+
+// IsMem reports whether the opcode accesses memory.
+func (o Op) IsMem() bool { return o.IsLoad() || o.IsStore() }
+
+// IsBranch reports whether the opcode transfers control.
+func (o Op) IsBranch() bool { return o == B || (o >= Beq && o <= Bge) }
+
+// IsCondBranch reports whether the opcode is a conditional branch.
+func (o Op) IsCondBranch() bool { return o >= Beq && o <= Bge }
+
+// BarrierKind enumerates the memory barriers the simulator implements.
+type BarrierKind uint8
+
+const (
+	// BarrierNone is the zero kind; instructions other than Barrier use it.
+	BarrierNone BarrierKind = iota
+
+	// DMBIsh is the ARMv8 full data memory barrier (dmb ish): orders all
+	// accesses before against all accesses after, drains the store buffer
+	// and applies pending invalidations.
+	DMBIsh
+	// DMBIshLd is the ARMv8 load barrier (dmb ishld): orders earlier
+	// loads against later loads and stores.
+	DMBIshLd
+	// DMBIshSt is the ARMv8 store barrier (dmb ishst): orders earlier
+	// stores against later stores.
+	DMBIshSt
+	// ISB is the ARMv8 instruction synchronization barrier: it discards
+	// all speculative work and restarts fetch, and (as a context
+	// synchronization event) applies pending invalidations.
+	ISB
+
+	// LwSync is the POWER lightweight sync: orders everything except
+	// store→load, with A-cumulativity for the store side.
+	LwSync
+	// HwSync is the POWER heavyweight sync: a full barrier that restores
+	// multi-copy atomicity for the stores it covers.
+	HwSync
+
+	numBarrierKinds
+)
+
+var barrierNames = [numBarrierKinds]string{
+	BarrierNone: "none",
+	DMBIsh:      "dmb ish", DMBIshLd: "dmb ishld", DMBIshSt: "dmb ishst",
+	ISB: "isb", LwSync: "lwsync", HwSync: "hwsync",
+}
+
+// String returns the mnemonic for the barrier kind.
+func (k BarrierKind) String() string {
+	if int(k) < len(barrierNames) && barrierNames[k] != "" {
+		return barrierNames[k]
+	}
+	return fmt.Sprintf("barrier(%d)", uint8(k))
+}
+
+// OrdersLoadLoad reports whether the barrier orders earlier loads against
+// later loads.
+func (k BarrierKind) OrdersLoadLoad() bool {
+	switch k {
+	case DMBIsh, DMBIshLd, LwSync, HwSync, ISB:
+		return true
+	}
+	return false
+}
+
+// OrdersStoreStore reports whether the barrier orders earlier stores against
+// later stores.
+func (k BarrierKind) OrdersStoreStore() bool {
+	switch k {
+	case DMBIsh, DMBIshSt, LwSync, HwSync:
+		return true
+	}
+	return false
+}
+
+// OrdersStoreLoad reports whether the barrier orders earlier stores against
+// later loads (the most expensive direction: it requires a store-buffer
+// drain).
+func (k BarrierKind) OrdersStoreLoad() bool {
+	return k == DMBIsh || k == HwSync
+}
+
+// PathID identifies a platform code path (in the paper's sense: a location
+// in the platform's code where part of the fencing strategy is implemented).
+// Every generated instruction carries the PathID of the code path that
+// emitted it, which the simulator uses for invocation counting and which the
+// injection machinery uses to attribute cost functions.
+type PathID uint16
+
+// PathNone marks instructions that belong to no instrumented code path.
+const PathNone PathID = 0
+
+// Instr is a single machine instruction.
+type Instr struct {
+	Op     Op
+	Rd     Reg   // destination (value source for stores)
+	Rn     Reg   // first operand / base address
+	Rm     Reg   // second operand / store-exclusive value
+	Imm    int64 // immediate / address offset
+	Target int32 // branch target (instruction index, resolved by Builder)
+	Kind   BarrierKind
+	Site   PathID // code path attribution
+}
+
+// String renders the instruction in a debugger-friendly form.
+func (in Instr) String() string {
+	switch {
+	case in.Op == Barrier:
+		return in.Kind.String()
+	case in.Op.IsBranch():
+		return fmt.Sprintf("%s -> %d", in.Op, in.Target)
+	case in.Op == MovImm:
+		return fmt.Sprintf("movimm r%d, #%d", in.Rd, in.Imm)
+	case in.Op.IsMem():
+		return fmt.Sprintf("%s r%d, [r%d, #%d]", in.Op, in.Rd, in.Rn, in.Imm)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d, #%d", in.Op, in.Rd, in.Rn, in.Rm, in.Imm)
+	}
+}
+
+// Reads returns the registers the instruction reads.  The result is written
+// into buf, which must have capacity for at least three entries, and the
+// filled prefix is returned.
+func (in Instr) Reads(buf []Reg) []Reg {
+	buf = buf[:0]
+	switch in.Op {
+	case Nop, MovImm, B, Barrier, Work, Halt:
+	case Mov:
+		buf = append(buf, in.Rn)
+	case Add, Sub, And, Orr, Eor, Mul, Cmp:
+		buf = append(buf, in.Rn, in.Rm)
+	case AddImm, SubImm, Lsl, Lsr, SubsImm, CmpImm:
+		buf = append(buf, in.Rn)
+	case Load, LoadAcq, LoadEx:
+		buf = append(buf, in.Rn)
+	case Store, StoreRel:
+		buf = append(buf, in.Rn, in.Rd)
+	case StoreEx:
+		buf = append(buf, in.Rn, in.Rm)
+	case Beq, Bne, Blt, Bge:
+		// Condition flags are tracked separately by the simulator.
+	}
+	return buf
+}
+
+// Writes returns the register the instruction writes, or false if it writes
+// none.
+func (in Instr) Writes() (Reg, bool) {
+	switch in.Op {
+	case MovImm, Mov, Add, Sub, And, Orr, Eor, Mul, AddImm, SubImm, Lsl, Lsr,
+		SubsImm, Load, LoadAcq, LoadEx, StoreEx:
+		return in.Rd, true
+	}
+	return 0, false
+}
+
+// SetsFlags reports whether the instruction updates the condition flags.
+func (in Instr) SetsFlags() bool {
+	switch in.Op {
+	case SubsImm, CmpImm, Cmp:
+		return true
+	}
+	return false
+}
+
+// ReadsFlags reports whether the instruction reads the condition flags.
+func (in Instr) ReadsFlags() bool { return in.Op.IsCondBranch() }
+
+// Program is an executable sequence of instructions for one hardware thread.
+type Program struct {
+	Code []Instr
+}
+
+// Len returns the number of instructions in the program.
+func (p Program) Len() int { return len(p.Code) }

@@ -1,0 +1,307 @@
+package arch
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse assembles a textual program into a Program.  The syntax is one
+// instruction per line using the mnemonics of this package:
+//
+//	; comment (also //)
+//	label:
+//	movimm r2, #100
+//	add    r0, r1, r2
+//	addimm r0, r1, #8
+//	ldr    r3, [r1, #16]
+//	str    r3, [r1, #24]
+//	ldar   r3, [r1]
+//	stxr   r4, r5, [r1, #0]     ; status, value, address
+//	cmpimm r3, #0
+//	bne    loop
+//	dmb    ish | ishld | ishst
+//	lwsync / hwsync / isb
+//	work   #1
+//	halt
+//
+// Registers are r0..r31 (sp and lr are aliases for r31 and r30).  It is
+// the inverse of the Builder API, intended for the wmmasm tool and tests.
+func Parse(src string) (Program, error) {
+	b := NewBuilder()
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(b, line); err != nil {
+			return Program{}, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+	}
+	return b.Build()
+}
+
+func parseLine(b *Builder, line string) error {
+	if strings.HasSuffix(line, ":") {
+		name := strings.TrimSuffix(line, ":")
+		if name == "" {
+			return fmt.Errorf("empty label")
+		}
+		b.Label(name)
+		return nil
+	}
+	fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
+	op := strings.ToLower(fields[0])
+	args := fields[1:]
+
+	reg := func(i int) (Reg, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("%s: missing operand %d", op, i+1)
+		}
+		return parseReg(args[i])
+	}
+	imm := func(i int) (int64, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("%s: missing immediate", op)
+		}
+		return parseImm(args[i])
+	}
+	// mem parses the two tokens of a "[rN, #imm]" or "[rN]" operand,
+	// which the field splitter has broken apart.
+	mem := func(i int) (Reg, int64, error) {
+		if i >= len(args) {
+			return 0, 0, fmt.Errorf("%s: missing address", op)
+		}
+		tok := strings.TrimPrefix(args[i], "[")
+		if strings.HasSuffix(tok, "]") { // [rN]
+			r, err := parseReg(strings.TrimSuffix(tok, "]"))
+			return r, 0, err
+		}
+		r, err := parseReg(tok)
+		if err != nil {
+			return 0, 0, err
+		}
+		if i+1 >= len(args) || !strings.HasSuffix(args[i+1], "]") {
+			return 0, 0, fmt.Errorf("%s: unterminated address", op)
+		}
+		off, err := parseImm(strings.TrimSuffix(args[i+1], "]"))
+		return r, off, err
+	}
+
+	switch op {
+	case "nop":
+		b.Nop()
+	case "halt":
+		b.Halt()
+	case "isb":
+		b.Fence(ISB)
+	case "lwsync":
+		b.Fence(LwSync)
+	case "hwsync", "sync":
+		b.Fence(HwSync)
+	case "dmb":
+		if len(args) != 1 {
+			return fmt.Errorf("dmb needs a domain (ish/ishld/ishst)")
+		}
+		switch strings.ToLower(args[0]) {
+		case "ish":
+			b.Fence(DMBIsh)
+		case "ishld":
+			b.Fence(DMBIshLd)
+		case "ishst":
+			b.Fence(DMBIshSt)
+		default:
+			return fmt.Errorf("unknown dmb domain %q", args[0])
+		}
+	case "work":
+		n, err := imm(0)
+		if err != nil {
+			return err
+		}
+		b.Work(n)
+	case "movimm", "mov":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if len(args) > 1 && strings.HasPrefix(args[1], "#") {
+			v, err := imm(1)
+			if err != nil {
+				return err
+			}
+			b.MovImm(rd, v)
+		} else {
+			rn, err := reg(1)
+			if err != nil {
+				return err
+			}
+			b.Mov(rd, rn)
+		}
+	case "add", "sub", "and", "orr", "eor", "mul", "cmp":
+		r0, err := reg(0)
+		if err != nil {
+			return err
+		}
+		r1, err := reg(1)
+		if err != nil {
+			return err
+		}
+		if op == "cmp" {
+			b.Cmp(r0, r1)
+			return nil
+		}
+		r2, err := reg(2)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case "add":
+			b.Add(r0, r1, r2)
+		case "sub":
+			b.Sub(r0, r1, r2)
+		case "and":
+			b.And(r0, r1, r2)
+		case "orr":
+			b.Orr(r0, r1, r2)
+		case "eor":
+			b.Eor(r0, r1, r2)
+		case "mul":
+			b.Mul(r0, r1, r2)
+		}
+	case "addimm", "subimm", "lsl", "lsr", "subsimm":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rn, err := reg(1)
+		if err != nil {
+			return err
+		}
+		v, err := imm(2)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case "addimm":
+			b.AddImm(rd, rn, v)
+		case "subimm":
+			b.SubImm(rd, rn, v)
+		case "lsl":
+			b.Lsl(rd, rn, v)
+		case "lsr":
+			b.Lsr(rd, rn, v)
+		case "subsimm":
+			b.SubsImm(rd, rn, v)
+		}
+	case "cmpimm":
+		rn, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return err
+		}
+		b.CmpImm(rn, v)
+	case "ldr", "ldar", "ldxr":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rn, off, err := mem(1)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case "ldr":
+			b.Load(rd, rn, off)
+		case "ldar":
+			b.LoadAcq(rd, rn, off)
+		case "ldxr":
+			b.LoadEx(rd, rn, off)
+		}
+	case "str", "stlr":
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rn, off, err := mem(1)
+		if err != nil {
+			return err
+		}
+		if op == "str" {
+			b.Store(rs, rn, off)
+		} else {
+			b.StoreRel(rs, rn, off)
+		}
+	case "stxr":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rm, err := reg(1)
+		if err != nil {
+			return err
+		}
+		rn, off, err := mem(2)
+		if err != nil {
+			return err
+		}
+		b.StoreEx(rd, rm, rn, off)
+	case "b", "beq", "bne", "blt", "bge":
+		if len(args) != 1 {
+			return fmt.Errorf("%s needs a label", op)
+		}
+		switch op {
+		case "b":
+			b.B(args[0])
+		case "beq":
+			b.Beq(args[0])
+		case "bne":
+			b.Bne(args[0])
+		case "blt":
+			b.Blt(args[0])
+		case "bge":
+			b.Bge(args[0])
+		}
+	default:
+		return fmt.Errorf("unknown mnemonic %q", op)
+	}
+	return nil
+}
+
+func parseReg(s string) (Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch s {
+	case "sp":
+		return SP, nil
+	case "lr":
+		return LR, nil
+	case "zr", "xzr":
+		return ZR, nil
+	}
+	if !strings.HasPrefix(s, "r") && !strings.HasPrefix(s, "x") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	s = strings.TrimPrefix(strings.TrimSpace(s), "#")
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}

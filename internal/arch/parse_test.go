@@ -1,0 +1,133 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `
+; message-passing writer with a store barrier
+	movimm r0, #1
+	str    r0, [r1, #0]
+	dmb    ishst
+	str    r0, [r1, #64]
+loop:
+	subsimm r0, r0, #1
+	bne    loop
+	work   #1
+	halt
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{MovImm, Store, Barrier, Store, SubsImm, Bne, Work, Halt}
+	if len(p.Code) != len(want) {
+		t.Fatalf("parsed %d instructions, want %d", len(p.Code), len(want))
+	}
+	for i, op := range want {
+		if p.Code[i].Op != op {
+			t.Errorf("instr %d = %v, want %v", i, p.Code[i].Op, op)
+		}
+	}
+	if p.Code[2].Kind != DMBIshSt {
+		t.Errorf("barrier kind %v", p.Code[2].Kind)
+	}
+	if p.Code[5].Target != 4 {
+		t.Errorf("branch target %d", p.Code[5].Target)
+	}
+	if p.Code[1].Imm != 0 || p.Code[3].Imm != 64 {
+		t.Error("store offsets wrong")
+	}
+}
+
+func TestParseAllForms(t *testing.T) {
+	src := `
+	mov    r2, r3
+	add    r0, r1, r2
+	sub    r0, r1, r2
+	and    r0, r1, r2
+	orr    r0, r1, r2
+	eor    r0, r1, r2
+	mul    r0, r1, r2
+	addimm r0, r1, #8
+	subimm r0, r1, #8
+	lsl    r0, r1, #3
+	lsr    r0, r1, #3
+	cmp    r1, r2
+	cmpimm r1, #42
+	ldr    r3, [r1]
+	ldar   r3, [r1, #8]
+	ldxr   r3, [r1, #16]
+	stlr   r3, [r1, #24]
+	stxr   r4, r5, [r1, #32]
+	lwsync
+	hwsync
+	isb
+	dmb    ish
+	dmb    ishld
+	nop
+end:
+	b      end
+	beq    end
+	blt    end
+	bge    end
+	halt
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 29 {
+		t.Errorf("parsed %d instructions", p.Len())
+	}
+	// stxr operand order: status, value, address.
+	var stxr *Instr
+	for i := range p.Code {
+		if p.Code[i].Op == StoreEx {
+			stxr = &p.Code[i]
+		}
+	}
+	if stxr == nil || stxr.Rd != 4 || stxr.Rm != 5 || stxr.Rn != 1 || stxr.Imm != 32 {
+		t.Errorf("stxr parsed as %+v", stxr)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	p, err := Parse("movimm sp, #100\nmovimm lr, #200\nmov r0, xzr\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Rd != SP || p.Code[1].Rd != LR || p.Code[2].Rn != ZR {
+		t.Error("register aliases wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, wantErr string }{
+		{"frobnicate r1", "unknown mnemonic"},
+		{"bne nowhere\nhalt", "undefined label"},
+		{"movimm r99, #1", "bad register"},
+		{"movimm r1, #xyz", "bad immediate"},
+		{"dmb osh", "unknown dmb domain"},
+		{"add r0, r1", "missing operand"},
+		{"ldr r0, [r1, #8", "unterminated address"},
+		{":", "empty label"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("Parse(%q) error = %v, want containing %q", c.src, err, c.wantErr)
+		}
+	}
+}
+
+func TestParseCommentsAndBlank(t *testing.T) {
+	p, err := Parse("; nothing\n\n// also nothing\nnop ; trailing\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Errorf("parsed %d instructions, want 2", p.Len())
+	}
+}

@@ -1,0 +1,142 @@
+package costfn
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+// TimeSequence measures the marginal execution time, in simulated
+// nanoseconds, of an instruction sequence emitted by emit, by comparing a
+// timing loop containing the sequence against the same loop containing an
+// equal number of nops.  This is the paper's in-vitro microbenchmark: it
+// measures the sequence in a sterile context (hot loop, empty store buffer,
+// warm cache), which is exactly why its results can diverge from in-vivo
+// cost estimates (§4.4).
+//
+// The same facility times barrier instructions for EXPERIMENTS.md TXT3.
+func TimeSequence(prof *arch.Profile, emit func(*arch.Builder), seed int64) (float64, error) {
+	const iters = 600
+
+	build := func(body func(*arch.Builder)) (arch.Program, int) {
+		b := arch.NewBuilder()
+		b.MovImm(20, iters)
+		b.Label("timing")
+		start := b.Len()
+		body(b)
+		n := b.Len() - start
+		b.SubsImm(20, 20, 1)
+		b.Bne("timing")
+		b.Halt()
+		return b.MustBuild(), n
+	}
+
+	run := func(p arch.Program) (int64, error) {
+		m, err := sim.New(prof, sim.Config{Cores: 1, MemWords: 4096, Seed: seed})
+		if err != nil {
+			return 0, err
+		}
+		m.SetReg(0, arch.SP, 2048) // private stack for spilling sequences
+		if err := m.LoadProgram(0, p); err != nil {
+			return 0, err
+		}
+		res, err := m.Run(100_000_000)
+		if err != nil {
+			return 0, err
+		}
+		if !res.AllHalted {
+			return 0, fmt.Errorf("costfn: timing loop did not finish")
+		}
+		return res.Cycles, nil
+	}
+
+	withSeq, n := build(emit)
+	withNops, _ := build(func(b *arch.Builder) { b.Nops(n) })
+
+	seqCycles, err := run(withSeq)
+	if err != nil {
+		return 0, err
+	}
+	nopCycles, err := run(withNops)
+	if err != nil {
+		return 0, err
+	}
+	perIter := float64(seqCycles-nopCycles) / iters
+	if perIter < 0 {
+		perIter = 0
+	}
+	return perIter / prof.FreqGHz, nil
+}
+
+// CalPoint is one point of the Figure 4 calibration curve.
+type CalPoint struct {
+	Iterations int64
+	Ns         float64
+}
+
+// Calibrate reproduces Figure 4: the time taken to execute the cost
+// function for each loop count in sizes, averaged over a handful of seeds
+// to smooth pipeline jitter.
+func Calibrate(prof *arch.Profile, v Variant, sizes []int64, seed int64) ([]CalPoint, error) {
+	const seeds = 3
+	pts := make([]CalPoint, 0, len(sizes))
+	for _, n := range sizes {
+		n := n
+		var sum float64
+		for s := int64(0); s < seeds; s++ {
+			ns, err := TimeSequence(prof, func(b *arch.Builder) { Emit(b, v, n) }, seed+s*101)
+			if err != nil {
+				return nil, fmt.Errorf("calibrate %s n=%d: %w", v, n, err)
+			}
+			sum += ns
+		}
+		pts = append(pts, CalPoint{Iterations: n, Ns: sum / seeds})
+	}
+	return pts, nil
+}
+
+// NsForIterations interpolates a calibration curve to map a loop count to
+// nanoseconds.  Counts outside the calibrated range are extrapolated
+// linearly from the nearest segment.
+func NsForIterations(curve []CalPoint, n int64) float64 {
+	if len(curve) == 0 {
+		return 0
+	}
+	if n <= curve[0].Iterations {
+		return curve[0].Ns
+	}
+	for i := 1; i < len(curve); i++ {
+		if n <= curve[i].Iterations {
+			lo, hi := curve[i-1], curve[i]
+			f := float64(n-lo.Iterations) / float64(hi.Iterations-lo.Iterations)
+			return lo.Ns + f*(hi.Ns-lo.Ns)
+		}
+	}
+	// Extrapolate from the final segment.
+	lo, hi := curve[len(curve)-2], curve[len(curve)-1]
+	slope := (hi.Ns - lo.Ns) / float64(hi.Iterations-lo.Iterations)
+	return hi.Ns + slope*float64(n-hi.Iterations)
+}
+
+// IterationsForNs inverts a calibration curve: the loop count whose
+// execution time is closest to ns.
+func IterationsForNs(curve []CalPoint, ns float64) int64 {
+	if len(curve) == 0 {
+		return 1
+	}
+	best, bestDiff := curve[0].Iterations, absf(curve[0].Ns-ns)
+	for _, p := range curve[1:] {
+		if d := absf(p.Ns - ns); d < bestDiff {
+			best, bestDiff = p.Iterations, d
+		}
+	}
+	return best
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,142 @@
+// Package costfn implements the paper's cost functions (§3, Figures 2–3):
+// small injected instruction sequences whose execution time is stable and
+// controllable, used to probe how sensitive a benchmark is to a platform
+// code path.  A cost function is a spin loop of N iterations; the base case
+// is padded with an equal number of nop instructions so that code size is
+// invariant between the base case and the test case (§4.1).
+package costfn
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Variant selects the concrete instruction sequence.
+type Variant uint8
+
+const (
+	// ARM is the ARMv8 sequence of Figure 2: the loop counter register is
+	// spilled to the stack around the loop because register availability
+	// at an arbitrary code path is unknown.
+	ARM Variant = iota
+	// ARMNoStack is the ARMv8 sequence with the stack operations elided:
+	// inside OpenJDK a scratch register (x9) is known to be available.
+	ARMNoStack
+	// POWER is the POWER sequence of Figure 3 (std/ld spill via r1).
+	POWER
+)
+
+// String returns the variant name as used in Figure 4's legend.
+func (v Variant) String() string {
+	switch v {
+	case ARM:
+		return "arm"
+	case ARMNoStack:
+		return "arm-nostack"
+	case POWER:
+		return "power"
+	default:
+		return fmt.Sprintf("variant(%d)", uint8(v))
+	}
+}
+
+// ForProfile returns the variant a platform would use by default on the
+// given profile: the spilling sequence, since register availability is
+// unknown at an arbitrary code path.
+func ForProfile(p *arch.Profile) Variant {
+	if p.Flavor == arch.NonMCA {
+		return POWER
+	}
+	return ARM
+}
+
+// scratch is the register used as the loop counter (x9 on ARM, r11 on
+// POWER; the distinction is immaterial to the simulator).
+const scratch arch.Reg = 9
+
+// Emit appends a cost function of n loop iterations to b.  n must be
+// positive.  The emitted code uses only the scratch register and (for
+// spilling variants) one stack slot below SP; SP must hold a valid private
+// stack address.
+func Emit(b *arch.Builder, v Variant, n int64) {
+	if n < 1 {
+		n = 1
+	}
+	// The current builder position makes the loop label unique.
+	loop := fmt.Sprintf("costfn_%d", b.Len())
+	spill := v == ARM || v == POWER
+	if spill {
+		// stp x9, xzr, [sp, #-16]!  /  std r11, -8(r1)
+		b.SubImm(arch.SP, arch.SP, 2)
+		b.Store(scratch, arch.SP, 0)
+	}
+	b.MovImm(scratch, n)
+	b.Label(loop)
+	b.SubsImm(scratch, scratch, 1)
+	b.Bne(loop)
+	if spill {
+		// ldp x9, xzr, [sp], #16  /  ld r11, -8(r1)
+		b.Load(scratch, arch.SP, 0)
+		b.AddImm(arch.SP, arch.SP, 2)
+	}
+}
+
+// StaticLen returns the number of instructions Emit produces for v, which
+// is independent of n (n only changes the loop count).
+func StaticLen(v Variant) int {
+	if v == ARMNoStack {
+		return 3
+	}
+	return 7
+}
+
+// EmitNops appends the placeholder sequence for the base case: the same
+// number of instructions as Emit would produce, all nops, keeping binary
+// layout identical between base and test case.
+func EmitNops(b *arch.Builder, v Variant) {
+	b.Nops(StaticLen(v))
+}
+
+// Injection describes what to place at an instrumented code path: nothing,
+// nop padding, or a cost function of a given size.
+type Injection struct {
+	Mode Mode
+	// Iterations is the loop count when Mode is InjectCost.
+	Iterations int64
+	Variant    Variant
+}
+
+// Mode enumerates injection modes.
+type Mode uint8
+
+const (
+	// InjectNothing leaves the code path untouched (the pristine build).
+	InjectNothing Mode = iota
+	// InjectNops emits the size-preserving placeholder (the base case).
+	InjectNops
+	// InjectCost emits the cost function (the test case).
+	InjectCost
+)
+
+// Apply emits the injection into b.
+func (inj Injection) Apply(b *arch.Builder) {
+	switch inj.Mode {
+	case InjectNothing:
+	case InjectNops:
+		EmitNops(b, inj.Variant)
+	case InjectCost:
+		Emit(b, inj.Variant, inj.Iterations)
+	}
+}
+
+// Nothing returns the no-op injection.
+func Nothing() Injection { return Injection{Mode: InjectNothing} }
+
+// Nops returns the nop-padding injection for v.
+func Nops(v Variant) Injection { return Injection{Mode: InjectNops, Variant: v} }
+
+// Cost returns a cost-function injection of n iterations for v.
+func Cost(v Variant, n int64) Injection {
+	return Injection{Mode: InjectCost, Iterations: n, Variant: v}
+}

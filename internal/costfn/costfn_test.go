@@ -1,0 +1,148 @@
+package costfn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+// TestStaticLenMatchesEmit checks that the nop placeholder has exactly the
+// same instruction count as the cost function (binary-size invariance).
+func TestStaticLenMatchesEmit(t *testing.T) {
+	for _, v := range []Variant{ARM, ARMNoStack, POWER} {
+		for _, n := range []int64{1, 7, 1024} {
+			b := arch.NewBuilder()
+			Emit(b, v, n)
+			if got := b.Len(); got != StaticLen(v) {
+				t.Errorf("%s n=%d: emitted %d instructions, StaticLen says %d", v, n, got, StaticLen(v))
+			}
+			nb := arch.NewBuilder()
+			EmitNops(nb, v)
+			if nb.Len() != b.Len() {
+				t.Errorf("%s: nop placeholder %d != cost function %d", v, nb.Len(), b.Len())
+			}
+		}
+	}
+}
+
+// TestEmitExecutes checks the emitted loop actually runs n iterations and
+// preserves the stack pointer.
+func TestEmitExecutes(t *testing.T) {
+	for _, v := range []Variant{ARM, ARMNoStack, POWER} {
+		prof := arch.ARMv8()
+		if v == POWER {
+			prof = arch.POWER7()
+		}
+		b := arch.NewBuilder()
+		Emit(b, v, 64)
+		b.Mov(5, arch.SP) // observe SP after
+		b.Store(5, 6, 16) // record it
+		b.Halt()
+		m, err := sim.New(prof, sim.Config{Cores: 1, MemWords: 1024, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetReg(0, arch.SP, 512)
+		if err := m.LoadProgram(0, b.MustBuild()); err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(1_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if !res.AllHalted {
+			t.Fatalf("%s: did not halt", v)
+		}
+		if got := m.ReadMem(16); got != 512 {
+			t.Errorf("%s: SP after cost function = %d, want 512", v, got)
+		}
+	}
+}
+
+// TestCalibrationMonotonicAndLinear reproduces the Figure 4 shape: time is
+// nondecreasing in the loop count and asymptotically linear (doubling the
+// count roughly doubles the time for large counts).
+func TestCalibrationMonotonicAndLinear(t *testing.T) {
+	sizes := []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	for name, prof := range arch.Profiles() {
+		v := ForProfile(prof)
+		pts, err := Calibrate(prof, v, sizes, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// The paper notes the relationship is nonlinear (and noisy) for
+		// small loop counts and becomes linear only for large ones; we
+		// tolerate small-count jitter up to a few nanoseconds.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Ns+4.0 < pts[i-1].Ns {
+				t.Errorf("%s: time decreased from n=%d (%.2f) to n=%d (%.2f)",
+					name, pts[i-1].Iterations, pts[i-1].Ns, pts[i].Iterations, pts[i].Ns)
+			}
+		}
+		// Large-count linearity: t(1024)/t(512) within [1.7, 2.3].
+		last, prev := pts[len(pts)-1], pts[len(pts)-2]
+		ratio := last.Ns / prev.Ns
+		if math.IsNaN(ratio) || ratio < 1.7 || ratio > 2.3 {
+			t.Errorf("%s: t(1024)/t(512) = %.2f, want roughly 2 (linear regime)", name, ratio)
+		}
+		t.Logf("%s %s: t(1)=%.2fns t(16)=%.2fns t(1024)=%.2fns", name, v, pts[0].Ns, pts[4].Ns, pts[len(pts)-1].Ns)
+	}
+}
+
+// TestStackVariantCostsMore reproduces the arm vs arm-nostack separation of
+// Figure 4 at small sizes: the spilling variant includes two extra memory
+// operations.
+func TestStackVariantCostsMore(t *testing.T) {
+	prof := arch.ARMv8()
+	withStack, err := Calibrate(prof, ARM, []int64{1, 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noStack, err := Calibrate(prof, ARMNoStack, []int64{1, 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range withStack {
+		if withStack[i].Ns < noStack[i].Ns {
+			t.Errorf("n=%d: stack variant (%.2fns) cheaper than no-stack (%.2fns)",
+				withStack[i].Iterations, withStack[i].Ns, noStack[i].Ns)
+		}
+	}
+}
+
+// TestInterpolation checks NsForIterations and IterationsForNs round-trip.
+func TestInterpolation(t *testing.T) {
+	curve := []CalPoint{{1, 2}, {4, 5}, {16, 17}, {64, 65}}
+	if got := NsForIterations(curve, 4); got != 5 {
+		t.Errorf("NsForIterations(4) = %v, want 5", got)
+	}
+	if got := NsForIterations(curve, 8); got <= 5 || got >= 17 {
+		t.Errorf("NsForIterations(8) = %v, want between 5 and 17", got)
+	}
+	if got := NsForIterations(curve, 256); got <= 65 {
+		t.Errorf("NsForIterations(256) = %v, want extrapolated above 65", got)
+	}
+	if got := IterationsForNs(curve, 16.5); got != 16 {
+		t.Errorf("IterationsForNs(16.5) = %v, want 16", got)
+	}
+}
+
+// TestInjectionModes checks Apply emits the expected instruction counts.
+func TestInjectionModes(t *testing.T) {
+	b := arch.NewBuilder()
+	Nothing().Apply(b)
+	if b.Len() != 0 {
+		t.Errorf("Nothing emitted %d instructions", b.Len())
+	}
+	Nops(ARM).Apply(b)
+	if b.Len() != StaticLen(ARM) {
+		t.Errorf("Nops emitted %d, want %d", b.Len(), StaticLen(ARM))
+	}
+	b2 := arch.NewBuilder()
+	Cost(POWER, 10).Apply(b2)
+	if b2.Len() != StaticLen(POWER) {
+		t.Errorf("Cost emitted %d, want %d", b2.Len(), StaticLen(POWER))
+	}
+}

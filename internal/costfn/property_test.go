@@ -1,0 +1,79 @@
+package costfn
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+// Property: NsForIterations is monotone nondecreasing over any monotone
+// calibration curve, and inverts consistently with IterationsForNs.
+func TestInterpolationMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Build a random monotone curve.
+		n := 3 + rng.Intn(8)
+		curve := make([]CalPoint, n)
+		it, ns := int64(1), 0.5+rng.Float64()
+		for i := 0; i < n; i++ {
+			curve[i] = CalPoint{Iterations: it, Ns: ns}
+			it += 1 + int64(rng.Intn(100))
+			ns += rng.Float64() * 50
+		}
+		// Monotone queries.
+		var qs []int64
+		for i := 0; i < 16; i++ {
+			qs = append(qs, 1+int64(rng.Intn(int(it))))
+		}
+		sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+		prev := -1.0
+		for _, q := range qs {
+			v := NsForIterations(curve, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		// Round trip: the loop count closest to a curve point's ns is
+		// that point's count.
+		for _, p := range curve {
+			if IterationsForNs(curve, p.Ns) != p.Iterations {
+				// Ties can legitimately pick an equal-ns neighbour.
+				got := NsForIterations(curve, IterationsForNs(curve, p.Ns))
+				if got != p.Ns {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the injection modes preserve instruction-count invariance for
+// every variant and iteration count.
+func TestInjectionSizeProperty(t *testing.T) {
+	f := func(rawV uint8, rawN uint16) bool {
+		v := Variant(rawV % 3)
+		n := int64(rawN)
+		ia := Cost(v, n)
+		ib := Nops(v)
+		ba := lenOf(ia)
+		bb := lenOf(ib)
+		return ba == bb && lenOf(Nothing()) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func lenOf(inj Injection) int {
+	b := arch.NewBuilder()
+	inj.Apply(b)
+	return b.Len()
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/platform/kernel"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/workload/linuxbench"
+)
+
+// Counters demonstrates the instrumentation alternative §3 of the paper
+// considers and rejects: counting code-path invocations.  The simulator can
+// count retired instructions per code path without perturbation (real
+// counters cannot), so this experiment shows both what counters reveal —
+// invocation frequency is indicative of sensitivity — and what they miss:
+// the context-dependent cost of an invocation.  It reports, per kernel
+// benchmark, the invocation rate of each macro next to the measured
+// fixed-probe impact, so the divergence (e.g. macros invoked equally often
+// but with different impact) is visible.
+func Counters(o Options) error {
+	prof := arch.ARMv8()
+	benches := linuxbench.Suite()
+	if o.Short {
+		benches = benches[:4]
+	}
+
+	type row struct {
+		bench string
+		rates map[arch.PathID]float64 // invocations per 1000 work units
+	}
+	var rows []row
+	for _, b := range benches {
+		counts, work, err := countSites(b, prof, o.seed())
+		if err != nil {
+			return err
+		}
+		r := row{bench: b.Name, rates: map[arch.PathID]float64{}}
+		for _, p := range kernel.Paths {
+			if int(p) < len(counts) && work > 0 {
+				r.rates[p] = float64(counts[p]) * 1000 / float64(work)
+			}
+		}
+		rows = append(rows, r)
+	}
+
+	// Rank macros by total invocation rate, the counter analogue of
+	// Figure 7's impact ranking.
+	totals := map[arch.PathID]float64{}
+	for _, r := range rows {
+		for p, v := range r.rates {
+			totals[p] += v
+		}
+	}
+	order := append([]arch.PathID{}, kernel.Paths...)
+	sort.SliceStable(order, func(i, j int) bool { return totals[order[i]] > totals[order[j]] })
+
+	t := report.New("Counters (§3's rejected alternative): macro invocations per 1000 work units",
+		append([]string{"benchmark"}, pathNames(order[:6])...)...)
+	for _, r := range rows {
+		cells := []string{r.bench}
+		for _, p := range order[:6] {
+			cells = append(cells, fmt.Sprintf("%.1f", r.rates[p]))
+		}
+		t.Add(cells...)
+	}
+	t.Note("invocation counts are indicative of sensitivity but not conclusive (§3): they cannot")
+	t.Note("see the context-dependent cost of an invocation, which is why the cost-function")
+	t.Note("methodology exists — compare this ranking with Figure 7's measured impacts")
+	t.Render(o.out())
+	return nil
+}
+
+func pathNames(ps []arch.PathID) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = kernel.PathName(p)
+	}
+	return out
+}
+
+func countSites(b *workload.Benchmark, prof *arch.Profile, seed int64) ([]uint64, int64, error) {
+	m, err := sim.New(prof, sim.Config{
+		Cores:        pick(b.Cores, 4),
+		MemWords:     pick(b.MemWords, 1<<15),
+		Seed:         seed,
+		WarmupCycles: pick64(b.MaxCycles, 150_000) / 5,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx := &workload.BuildCtx{M: m, Prof: prof}
+	switch b.Platform {
+	case workload.KernelPlatform:
+		ctx.Kernel = kernel.New(kernel.Config{Prof: prof, Strategy: kernel.Default()})
+	default:
+		return nil, 0, fmt.Errorf("counters: only kernel benchmarks are surveyed")
+	}
+	s := uint64(seed)*2654435761 + 7
+	ctx.Rand = func() uint64 { s = s*2862933555777941757 + 3037000493; return s }
+	if err := b.Build(ctx); err != nil {
+		return nil, 0, err
+	}
+	res, err := m.Run(pick64(b.MaxCycles, 150_000))
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.SiteCounts, res.TotalWork, nil
+}
+
+func pick(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+func pick64(v, def int64) int64 {
+	if v > 0 {
+		return v
+	}
+	return def
+}

@@ -1,0 +1,134 @@
+// Package experiments contains one driver per table and figure in the
+// paper's evaluation (§4), each regenerating the same rows/series the
+// paper reports, on the simulated machines.  DESIGN.md carries the
+// experiment index; EXPERIMENTS.md records paper-vs-measured outcomes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+)
+
+// Options tunes the experiment drivers.
+type Options struct {
+	// Samples per measurement; the paper uses six or more (§4.1).
+	Samples int
+	// Seed is the base random seed.
+	Seed int64
+	// Short runs a reduced sweep (fewer sizes and samples) for quick
+	// iteration and -short tests.
+	Short bool
+	// Out receives the rendered tables; os.Stdout if nil.
+	Out io.Writer
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return os.Stdout
+	}
+	return o.Out
+}
+
+func (o Options) samples() int {
+	if o.Samples > 0 {
+		return o.Samples
+	}
+	if o.Short {
+		return 3
+	}
+	return 6
+}
+
+func (o Options) seed() int64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return 1
+}
+
+// sizes returns the cost-function sweep in loop iterations.
+func (o Options) sizes() []int64 {
+	if o.Short {
+		return []int64{1, 8, 64, 512}
+	}
+	return []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+}
+
+// profiles returns the evaluation profiles in presentation order.
+func profiles() []*arch.Profile {
+	return []*arch.Profile{arch.ARMv8(), arch.POWER7()}
+}
+
+// calibrations builds (and caches per call) the Figure 4 curves needed to
+// convert loop counts to nanoseconds on each profile.
+func calibrations(o Options) (map[string]core.Calibration, error) {
+	out := map[string]core.Calibration{}
+	for _, p := range profiles() {
+		cal, err := core.Calibrate(p, o.sizes(), o.seed())
+		if err != nil {
+			return nil, fmt.Errorf("calibrating %s: %w", p.Name, err)
+		}
+		out[p.Name] = cal
+	}
+	return out, nil
+}
+
+// Experiment names a runnable experiment for the CLI and the bench
+// harness.
+type Experiment struct {
+	Name  string
+	Desc  string
+	Run   func(Options) error
+	Paper string // the paper artifact it regenerates
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1", "example sensitivity fit (k ± error)", Fig1, "Figure 1"},
+		{"fig4", "cost-function execution time vs loop count", Fig4, "Figure 4"},
+		{"fig5", "JVM benchmark sensitivity to all barriers (arm, power)", Fig5, "Figure 5"},
+		{"fig6", "spark sensitivity per elemental barrier", Fig6, "Figure 6"},
+		{"fig7", "kernel: summed relative performance per macro", Fig7, "Figure 7"},
+		{"fig8", "kernel: summed relative performance per benchmark", Fig8, "Figure 8"},
+		{"fig9", "sensitivity to read_barrier_depends (six benchmarks)", Fig9, "Figure 9"},
+		{"fig10", "read_barrier_depends strategy comparison", Fig10, "Figure 10"},
+		{"txt1", "JVM nop-padding cost", Txt1, "§4.2"},
+		{"txt2", "StoreStore barrier swap (dmb ishst→ish, lwsync→sync)", Txt2, "§4.2.1"},
+		{"txt3", "barrier instruction microbenchmarks", Txt3, "§4.2.1/§4.4"},
+		{"txt4", "JDK9 acq/rel vs JDK8 barriers per benchmark", Txt4, "§4.2.1"},
+		{"txt5", "DMB-elimination lock patch", Txt5, "§4.2.1"},
+		{"txt6", "kernel nop-padding cost", Txt6, "§4.3"},
+		{"txt7", "cost increases of rbd strategies (equation 2)", Txt7, "§4.3.1"},
+		{"litmus", "weak-memory litmus conformance", Litmus, "substrate validation"},
+		{"ablations", "design-choice ablations (SB depth, MCA, speculation, fit model)", Ablations, "DESIGN.md §6"},
+		{"counters", "invocation-counter alternative (the §3 comparison)", Counters, "§3"},
+		{"ext-jit", "compiler-optimisation code-path sensitivity (§6 future work)", JITExtension, "§6"},
+		{"ext-c11", "memory_order pricing on lock-free structures (§6 future work)", C11Extension, "§6"},
+	}
+}
+
+// ByName returns the named experiment.
+func ByName(name string) (Experiment, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", name)
+}
+
+// RunAll executes every experiment in order.
+func RunAll(o Options) error {
+	for _, e := range All() {
+		fmt.Fprintf(o.out(), "=== %s (%s): %s ===\n", e.Name, e.Paper, e.Desc)
+		if err := e.Run(o); err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(all))
+	}
+	// Every figure and in-text table of the paper's evaluation must be
+	// covered.
+	want := []string{
+		"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"txt1", "txt2", "txt3", "txt4", "txt5", "txt6", "txt7", "litmus",
+		"ablations", "counters", "ext-jit", "ext-c11",
+	}
+	for i, name := range want {
+		if all[i].Name != name {
+			t.Errorf("experiment %d = %q, want %q", i, all[i].Name, name)
+		}
+	}
+	if _, err := ByName("fig5"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.samples() != 6 {
+		t.Errorf("default samples = %d", o.samples())
+	}
+	o.Short = true
+	if o.samples() != 3 {
+		t.Errorf("short samples = %d", o.samples())
+	}
+	o.Samples = 9
+	if o.samples() != 9 {
+		t.Errorf("explicit samples = %d", o.samples())
+	}
+	if o.seed() != 1 {
+		t.Errorf("default seed = %d", o.seed())
+	}
+	if len(o.sizes()) != 4 {
+		t.Errorf("short sizes = %v", o.sizes())
+	}
+	o.Short = false
+	if len(o.sizes()) != 10 {
+		t.Errorf("full sizes = %v", o.sizes())
+	}
+}
+
+// TestCheapDriversRun exercises the fast experiment drivers end to end.
+func TestCheapDriversRun(t *testing.T) {
+	var sb strings.Builder
+	o := Options{Short: true, Out: &sb, Seed: 2}
+	if err := Txt3(o); err != nil {
+		t.Fatalf("txt3: %v", err)
+	}
+	if err := Fig4(o); err != nil {
+		t.Fatalf("fig4: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"hwsync", "Figure 4", "power"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// TestScanDriversRun exercises one sensitivity-scan driver and one
+// strategy driver (minutes-scale under -short they are skipped).
+func TestScanDriversRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scan drivers are expensive")
+	}
+	var sb strings.Builder
+	o := Options{Short: true, Samples: 2, Out: &sb, Seed: 2}
+	if err := Fig1(o); err != nil {
+		t.Fatalf("fig1: %v", err)
+	}
+	if err := Txt5(o); err != nil {
+		t.Fatalf("txt5: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "fitted k=") {
+		t.Errorf("fig1 output missing fit: %s", out)
+	}
+	if !strings.Contains(out, "acq/rel") {
+		t.Errorf("txt5 output missing strategies")
+	}
+}

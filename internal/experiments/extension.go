@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/platform/c11"
+	"repro/internal/platform/jvm"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/workload/c11bench"
+	"repro/internal/workload/javabench"
+)
+
+// JITExtension implements the paper's §6 future work: "explore the
+// annotation of code paths related to compiler optimisations ... with the
+// JVM JIT compiler this could be accomplished by adding a dedicated cost
+// function IR node which is added to code paths where a given optimisation
+// occurs or would occur."
+//
+// The JVM platform emits such a node (jvm.PathJITOpt) at every
+// redundant-load-elimination site; this driver runs the standard
+// sensitivity scan against that code path, yielding per-benchmark k values
+// for a *compiler optimisation* exactly as Figures 5/9 do for fencing
+// decisions — the turnkey evaluation system the paper envisages.
+func JITExtension(o Options) error {
+	prof := arch.ARMv8()
+	cal, err := core.Calibrate(prof, o.sizes(), o.seed())
+	if err != nil {
+		return err
+	}
+	t := report.New("§6 extension: sensitivity to the redundant-load-elimination code path (armv8)",
+		"benchmark", "k (fitted)", "stability", "interpretation")
+	for _, b := range javabench.Suite() {
+		res, err := core.SensitivityScan(core.ScanConfig{
+			Bench:     b,
+			Env:       workload.DefaultEnv(prof),
+			CostPaths: []arch.PathID{jvm.PathJITOpt},
+			AllPaths:  []arch.PathID{jvm.PathJITOpt},
+			Sizes:     o.sizes(),
+			Samples:   o.samples(),
+			Seed:      o.seed(),
+			Cal:       cal,
+		})
+		if err != nil {
+			return err
+		}
+		interp := "optimisation matters: regressions here are visible"
+		if core.Classify(res.Sens) != core.Stable {
+			interp = "weak instrument for this optimisation"
+		}
+		t.Addf("%s\t%v\t%s\t%s", b.Name, res.Sens, core.Classify(res.Sens), interp)
+	}
+	t.Note("the k of an optimisation site bounds the end-to-end effect of enabling/disabling it:")
+	t.Note("p = 1/((1-k)+ka) with a = the per-site cost delta of the optimisation")
+	t.Render(o.out())
+	return nil
+}
+
+// C11Extension implements the other §6 direction: "similar modifications
+// could be made to a C11 compiler such as GCC ... binary rewriting
+// techniques may also be applicable for exploring fencing strategies in
+// already compiled code, e.g. C11 atomics."  It prices memory_order
+// decisions on the lock-free structures the paper's introduction
+// motivates: the relative throughput of a Treiber stack and a shared
+// counter under seq_cst-everywhere vs release/acquire vs (ARM) the
+// acq/rel-instruction lowering — the Marino-et-al question (§5: how
+// expensive is SC?) asked with this paper's instruments.
+func C11Extension(o Options) error {
+	for _, prof := range profiles() {
+		t := report.New(fmt.Sprintf("§6 extension (%s): the price of memory_order strength", prof.Name),
+			"benchmark", "configuration", "relative perf", "change", "significant")
+		type cfg struct {
+			name  string
+			bench *workload.Benchmark
+			env   func(workload.Env) workload.Env
+		}
+		base := workload.DefaultEnv(prof)
+
+		// Stack: baseline is the canonical release/acquire version.
+		stackBase := c11bench.Stack("stack", c11.ReleaseAcquire())
+		cfgs := []cfg{
+			{"stack: all seq_cst", c11bench.Stack("stack", c11.AllSeqCst()), nil},
+		}
+		if prof.Flavor == arch.MCA {
+			cfgs = append(cfgs, cfg{
+				"stack: rel/acq via ldar-stlr",
+				c11bench.Stack("stack", c11.ReleaseAcquire()),
+				func(e workload.Env) workload.Env {
+					e.C11Strategy = c11.AcqRelInstrs()
+					return e
+				},
+			})
+		}
+		baseSum, err := workload.Measure(stackBase, base, o.samples(), o.seed())
+		if err != nil {
+			return err
+		}
+		for _, c := range cfgs {
+			env := base
+			if c.env != nil {
+				env = c.env(env)
+			}
+			sum, err := workload.Measure(c.bench, env, o.samples(), o.seed())
+			if err != nil {
+				return err
+			}
+			rel := stats.Compare(sum, baseSum)
+			t.Addf("Treiber stack\t%s\t%.4f\t%s\t%s", c.name, rel.Ratio,
+				report.Pct(rel.Ratio), report.Sig(rel.Significant()))
+		}
+
+		// Counter: relaxed is the baseline.
+		ctrBase, err := workload.Measure(c11bench.Counter("counter", c11.Relaxed), base, o.samples(), o.seed())
+		if err != nil {
+			return err
+		}
+		for _, ord := range []c11.Order{c11.AcqRel, c11.SeqCst} {
+			sum, err := workload.Measure(c11bench.Counter("counter", ord), base, o.samples(), o.seed())
+			if err != nil {
+				return err
+			}
+			rel := stats.Compare(sum, ctrBase)
+			t.Addf("fetch_add counter\tmemory_order_%v\t%.4f\t%s\t%s", ord, rel.Ratio,
+				report.Pct(rel.Ratio), report.Sig(rel.Significant()))
+		}
+		t.Note("baseline: release/acquire stack and relaxed counter; the gap to seq_cst is what")
+		t.Note("defensive ordering costs on this structure (cf. Marino et al.'s SC-preservation bound, §5)")
+		t.Render(o.out())
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/costfn"
+	"repro/internal/litmus"
+	"repro/internal/report"
+)
+
+// Txt3 regenerates the barrier microbenchmarks behind §4.2.1 and §4.4: the
+// in-vitro execution time of each barrier instruction.  The paper measures
+// lwsync at 6.1 ns and sync at 18.9 ns on POWER7, and cannot distinguish
+// the dmb variants on the X-Gene 1 beyond ishld/ishst being slightly
+// faster than ish.
+func Txt3(o Options) error {
+	type probe struct {
+		name string
+		emit func(*arch.Builder)
+	}
+	seeds := int64(3)
+	if o.Short {
+		seeds = 1
+	}
+	for _, prof := range profiles() {
+		var probes []probe
+		if prof.Flavor == arch.MCA {
+			probes = []probe{
+				{"dmb ish", func(b *arch.Builder) { b.Fence(arch.DMBIsh) }},
+				{"dmb ishld", func(b *arch.Builder) { b.Fence(arch.DMBIshLd) }},
+				{"dmb ishst", func(b *arch.Builder) { b.Fence(arch.DMBIshSt) }},
+				{"isb", func(b *arch.Builder) { b.Fence(arch.ISB) }},
+				{"ldar", func(b *arch.Builder) { b.LoadAcq(5, 6, 128) }},
+				{"stlr", func(b *arch.Builder) { b.StoreRel(5, 6, 128) }},
+			}
+		} else {
+			probes = []probe{
+				{"lwsync", func(b *arch.Builder) { b.Fence(arch.LwSync) }},
+				{"hwsync (sync)", func(b *arch.Builder) { b.Fence(arch.HwSync) }},
+				{"isync", func(b *arch.Builder) { b.Fence(arch.ISB) }},
+			}
+		}
+		t := report.New(fmt.Sprintf("TXT3 (%s): barrier instruction microbenchmarks", prof.Name),
+			"sequence", "marginal time (ns)")
+		for _, p := range probes {
+			var sum float64
+			for s := int64(0); s < seeds; s++ {
+				ns, err := costfn.TimeSequence(prof, p.emit, o.seed()+s*31)
+				if err != nil {
+					return err
+				}
+				sum += ns
+			}
+			t.Addf("%s\t%.2f", p.name, sum/float64(seeds))
+		}
+		if prof.Flavor == arch.NonMCA {
+			t.Note("paper: lwsync 6.1 ns, sync 18.9 ns (threefold difference)")
+		} else {
+			t.Note("paper: dmb variants indistinguishable beyond ishld/ishst being faster than ish")
+		}
+		t.Render(o.out())
+	}
+	return nil
+}
+
+// Litmus runs the weak-memory conformance suite on both profiles,
+// validating that the simulated machines exhibit and forbid exactly the
+// behaviours the paper's target architectures do — the precondition for
+// every other experiment meaning anything.
+func Litmus(o Options) error {
+	for _, prof := range profiles() {
+		trials := 400
+		if o.Short {
+			trials = 120
+		}
+		r := &litmus.Runner{Prof: prof, Trials: trials, Seed: o.seed() + 1}
+		t := report.New(fmt.Sprintf("Litmus conformance (%s)", prof.Name),
+			"test", "expectation", "relaxed/hits", "verdict")
+		for _, test := range litmus.Suite(prof.Name) {
+			out, err := r.Check(test)
+			verdict := "ok"
+			if err != nil {
+				verdict = "VIOLATION"
+			}
+			t.Addf("%s\t%s\t%d/%d\t%s", test.Name, test.Expect[prof.Name], out.Relaxed, out.Hits, verdict)
+			if err != nil {
+				t.Note("%v", err)
+			}
+		}
+		t.Render(o.out())
+	}
+	return nil
+}

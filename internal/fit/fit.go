@@ -1,0 +1,209 @@
+// Package fit implements the nonlinear least-squares machinery of the
+// paper's methodology (§3): fitting the idealised sensitivity model
+//
+//	p(a) = 1 / ((1-k) + k·a)                                  (equation 1)
+//
+// to (cost-size, relative-performance) samples by Levenberg–Marquardt, and
+// inverting it,
+//
+//	a = -(((1-k)·p) - 1) / (k·p)                              (equation 2)
+//
+// to express a fencing-strategy change as a per-invocation cost increase.
+// The paper uses scipy's curve_fit (non-linear least squares) and reports
+// the estimated variance of k; FitSensitivity mirrors that.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model evaluates equation (1): the normalised performance of a benchmark
+// with sensitivity k when a cost of a nanoseconds is added to the code
+// path.  The paper uses 1/((1-k)+ka) rather than 1/(1+ka) because the
+// baseline already contains the nop placeholder, so a is never truly zero.
+func Model(k, a float64) float64 {
+	return 1 / ((1 - k) + k*a)
+}
+
+// CostIncrease evaluates equation (2): the per-invocation cost increase, in
+// nanoseconds, implied by observing relative performance p on a benchmark
+// with sensitivity k.
+func CostIncrease(k, p float64) float64 {
+	if k == 0 || p == 0 {
+		return math.NaN()
+	}
+	return -((1-k)*p - 1) / (k * p)
+}
+
+// Point is one observation: relative performance P measured with a cost
+// function of A nanoseconds injected.
+type Point struct {
+	A float64
+	P float64
+}
+
+// Sensitivity is the result of fitting the model to observations.
+type Sensitivity struct {
+	K      float64 // fitted sensitivity (dimensionless ratio)
+	StdErr float64 // standard error of K from the fit covariance
+	RSS    float64 // residual sum of squares
+	N      int     // number of points fitted
+}
+
+// RelErr returns the relative error of K (the paper reports e.g.
+// "k = 0.00277 ± 2.5%"), as a fraction.
+func (s Sensitivity) RelErr() float64 {
+	if s.K == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(s.StdErr / s.K)
+}
+
+// String renders the sensitivity the way the paper's figures caption it.
+// Unresolvably small k values (the fit collapsed to zero) are labelled
+// rather than shown with a meaningless relative error.
+func (s Sensitivity) String() string {
+	if s.K < 1e-6 {
+		return "k<0.00001 (unresolved)"
+	}
+	re := s.RelErr() * 100
+	if re > 999 {
+		return fmt.Sprintf("k=%.5f ±>999%%", s.K)
+	}
+	return fmt.Sprintf("k=%.5f ±%.0f%%", s.K, re)
+}
+
+// ErrNoFit is returned when the optimiser cannot produce a finite estimate.
+var ErrNoFit = errors.New("fit: no finite least-squares solution")
+
+// FitSensitivity fits equation (1) to the observations by single-parameter
+// Levenberg–Marquardt and returns the estimated k with its standard error.
+// At least two points are required.
+func FitSensitivity(pts []Point) (Sensitivity, error) {
+	if len(pts) < 2 {
+		return Sensitivity{}, fmt.Errorf("fit: need at least 2 points, have %d", len(pts))
+	}
+
+	rss := func(k float64) float64 {
+		var s float64
+		for _, pt := range pts {
+			r := pt.P - Model(k, pt.A)
+			s += r * r
+		}
+		return s
+	}
+
+	// Initial estimate from the steepest observation: solve equation (1)
+	// for k at the point with the largest a.
+	k := 1e-4
+	if last := pts[len(pts)-1]; last.A > 1 && last.P > 0 && last.P < 1 {
+		k0 := (1/last.P - 1) / (last.A - 1)
+		if k0 > 0 && k0 < 1 {
+			k = k0
+		}
+	}
+
+	lambda := 1e-3
+	cur := rss(k)
+	for iter := 0; iter < 200; iter++ {
+		// Jacobian of the residuals with respect to k:
+		// d model / dk = -(a-1) / ((1-k)+ka)^2.
+		var jtj, jtr float64
+		for _, pt := range pts {
+			den := (1 - k) + k*pt.A
+			if den == 0 {
+				den = 1e-12
+			}
+			j := -(pt.A - 1) / (den * den)
+			r := pt.P - Model(k, pt.A)
+			jtj += j * j
+			jtr += j * r
+		}
+		if jtj == 0 {
+			break
+		}
+		step := jtr / (jtj * (1 + lambda))
+		next := k + step
+		if next <= 0 {
+			next = k / 2
+		}
+		if next >= 1 {
+			next = (k + 1) / 2
+		}
+		nextRSS := rss(next)
+		if nextRSS < cur {
+			k, cur = next, nextRSS
+			lambda = math.Max(lambda/4, 1e-12)
+			if math.Abs(step) < 1e-14 {
+				break
+			}
+		} else {
+			lambda *= 8
+			if lambda > 1e12 {
+				break
+			}
+		}
+	}
+	if math.IsNaN(k) || math.IsInf(k, 0) {
+		return Sensitivity{}, ErrNoFit
+	}
+
+	// Standard error: sigma^2 * (J'J)^-1 with sigma^2 = RSS/(n-1).
+	var jtj float64
+	for _, pt := range pts {
+		den := (1 - k) + k*pt.A
+		j := -(pt.A - 1) / (den * den)
+		jtj += j * j
+	}
+	se := math.Inf(1)
+	if jtj > 0 && len(pts) > 1 {
+		sigma2 := cur / float64(len(pts)-1)
+		se = math.Sqrt(sigma2 / jtj)
+	}
+	return Sensitivity{K: k, StdErr: se, RSS: cur, N: len(pts)}, nil
+}
+
+// NaiveModel is the 1/(1+ka) variant the paper's footnote 4 discusses; it
+// exists for the ablation comparing the two forms.
+func NaiveModel(k, a float64) float64 { return 1 / (1 + k*a) }
+
+// FitNaive fits NaiveModel by the same optimiser, for the model ablation.
+func FitNaive(pts []Point) (Sensitivity, error) {
+	// Transform: 1/p = 1 + ka is linear in k; solve by least squares on
+	// the transformed points, which is exact for this model.
+	if len(pts) < 2 {
+		return Sensitivity{}, fmt.Errorf("fit: need at least 2 points, have %d", len(pts))
+	}
+	var sxx, sxy float64
+	for _, pt := range pts {
+		if pt.P <= 0 {
+			continue
+		}
+		x := pt.A
+		y := 1/pt.P - 1
+		sxx += x * x
+		sxy += x * y
+	}
+	if sxx == 0 {
+		return Sensitivity{}, ErrNoFit
+	}
+	k := sxy / sxx
+	var rss float64
+	for _, pt := range pts {
+		r := pt.P - NaiveModel(k, pt.A)
+		rss += r * r
+	}
+	var jtj float64
+	for _, pt := range pts {
+		den := 1 + k*pt.A
+		j := -pt.A / (den * den)
+		jtj += j * j
+	}
+	se := math.Inf(1)
+	if jtj > 0 && len(pts) > 1 {
+		se = math.Sqrt(rss / float64(len(pts)-1) / jtj)
+	}
+	return Sensitivity{K: k, StdErr: se, RSS: rss, N: len(pts)}, nil
+}

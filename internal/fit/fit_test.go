@@ -1,0 +1,149 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestModelInversion checks equations (1) and (2) are inverses.
+func TestModelInversion(t *testing.T) {
+	for _, k := range []float64{1e-4, 0.00277, 0.0133, 0.1} {
+		for _, a := range []float64{1, 2, 16, 300} {
+			p := Model(k, a)
+			back := CostIncrease(k, p)
+			if math.Abs(back-a) > 1e-6*a+1e-9 {
+				t.Errorf("k=%v a=%v: CostIncrease(Model) = %v", k, a, back)
+			}
+		}
+	}
+}
+
+// TestFitExact recovers k from noiseless synthetic data.
+func TestFitExact(t *testing.T) {
+	for _, k := range []float64{0.0002, 0.00277, 0.0089, 0.05} {
+		var pts []Point
+		for a := 1.0; a <= 16384; a *= 2 {
+			pts = append(pts, Point{A: a, P: Model(k, a)})
+		}
+		s, err := FitSensitivity(pts)
+		if err != nil {
+			t.Fatalf("k=%v: %v", k, err)
+		}
+		if math.Abs(s.K-k) > 1e-6*k {
+			t.Errorf("k=%v: fitted %v", k, s.K)
+		}
+		if s.RSS > 1e-15 {
+			t.Errorf("k=%v: residual %v on noiseless data", k, s.RSS)
+		}
+	}
+}
+
+// TestFitNoisy recovers k within a few percent from noisy data, like the
+// paper's Figure 1 (k = 0.00277 ± 2.5%).
+func TestFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const k = 0.00277
+	var pts []Point
+	for a := 1.0; a <= 16384; a *= 2 {
+		noise := 1 + 0.01*rng.NormFloat64()
+		pts = append(pts, Point{A: a, P: Model(k, a) * noise})
+	}
+	s, err := FitSensitivity(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.K-k)/k > 0.05 {
+		t.Errorf("fitted k=%v, want within 5%% of %v", s.K, k)
+	}
+	if s.RelErr() > 0.25 {
+		t.Errorf("relative error %v too large", s.RelErr())
+	}
+	t.Logf("fit: %v", s)
+}
+
+// TestFitErrors checks degenerate inputs are rejected.
+func TestFitErrors(t *testing.T) {
+	if _, err := FitSensitivity(nil); err == nil {
+		t.Error("nil points should error")
+	}
+	if _, err := FitSensitivity([]Point{{1, 1}}); err == nil {
+		t.Error("single point should error")
+	}
+}
+
+// TestCostIncreaseKnown reproduces the paper's §4.2.1 arithmetic: POWER
+// StoreStore lwsync→sync gave mean performance 0.87530 with sensitivity
+// 0.01332662, implying a cost increase of ~11.7 ns.
+func TestCostIncreaseKnown(t *testing.T) {
+	a := CostIncrease(0.01332662, 0.87530)
+	if math.Abs(a-11.7) > 0.2 {
+		t.Errorf("CostIncrease = %.2f ns, paper reports ~11.7 ns", a)
+	}
+	// And the ARM case: p = 0.99293, k = 0.00884788 → ~1.8 ns.
+	a = CostIncrease(0.00884788, 0.99293)
+	if math.Abs(a-1.8) > 0.1 {
+		t.Errorf("CostIncrease = %.2f ns, paper reports ~1.8 ns", a)
+	}
+}
+
+// TestNaiveVsFull is the footnote-4 ablation: for small k the two models
+// produce nearly identical fits.
+func TestNaiveVsFull(t *testing.T) {
+	const k = 0.003
+	var pts []Point
+	for a := 1.0; a <= 4096; a *= 2 {
+		pts = append(pts, Point{A: a, P: Model(k, a)})
+	}
+	full, err := FitSensitivity(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := FitNaive(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full.K-naive.K)/k > 0.02 {
+		t.Errorf("models diverge for small k: full=%v naive=%v", full.K, naive.K)
+	}
+}
+
+// Property: fitting noiseless data generated from any k in the plausible
+// range recovers it.
+func TestFitRecoveryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := math.Pow(10, -4+3*rng.Float64()) // 1e-4 .. 1e-1
+		var pts []Point
+		for a := 1.0; a <= 8192; a *= 2 {
+			pts = append(pts, Point{A: a, P: Model(k, a)})
+		}
+		s, err := FitSensitivity(pts)
+		if err != nil {
+			return false
+		}
+		return math.Abs(s.K-k)/k < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Model is decreasing in a for positive k, and CostIncrease is
+// its inverse wherever defined.
+func TestModelMonotoneProperty(t *testing.T) {
+	f := func(rawK, rawA uint16) bool {
+		k := 1e-5 + float64(rawK)/float64(1<<16)*0.2
+		a1 := 1 + float64(rawA%1000)
+		a2 := a1 * 2
+		p1, p2 := Model(k, a1), Model(k, a2)
+		if p2 >= p1 {
+			return false
+		}
+		return math.Abs(CostIncrease(k, p1)-a1) < 1e-6*a1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+package litmus
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// TestSuiteConformance runs every litmus test on its relevant profiles and
+// checks conformance with the architectural expectations.
+func TestSuiteConformance(t *testing.T) {
+	for name, prof := range arch.Profiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			t.Parallel()
+			trials := 400
+			if testing.Short() {
+				trials = 120
+			}
+			r := &Runner{Prof: prof, Trials: trials, Seed: 2}
+			for _, test := range Suite(prof.Name) {
+				test := test
+				t.Run(test.Name, func(t *testing.T) {
+					t.Parallel()
+					out, err := r.Check(test)
+					if err != nil {
+						t.Errorf("%v", err)
+					}
+					t.Logf("%s on %s (%s): relaxed %d / hits %d / trials %d",
+						test.Name, name, test.Expect[prof.Name], out.Relaxed, out.Hits, out.Trials)
+				})
+			}
+		})
+	}
+}
+
+// TestSuiteCoverage sanity-checks the catalogue shape counts per profile.
+func TestSuiteCoverage(t *testing.T) {
+	arm := Suite("armv8")
+	pow := Suite("power7")
+	if len(arm) < 15 {
+		t.Errorf("armv8 suite has only %d tests", len(arm))
+	}
+	if len(pow) < 14 {
+		t.Errorf("power7 suite has only %d tests", len(pow))
+	}
+	for _, ts := range [][]*Test{arm, pow} {
+		seen := map[string]bool{}
+		for _, test := range ts {
+			if seen[test.Name] {
+				t.Errorf("duplicate litmus test %q", test.Name)
+			}
+			seen[test.Name] = true
+			if test.Relaxed == nil {
+				t.Errorf("litmus test %q has no relaxed predicate", test.Name)
+			}
+			if len(test.Threads) == 0 {
+				t.Errorf("litmus test %q has no threads", test.Name)
+			}
+		}
+	}
+}
+
+// TestRunnerUnknownProfile checks the error path for missing expectations.
+func TestRunnerUnknownProfile(t *testing.T) {
+	prof := arch.ARMv8()
+	prof.Name = "weird"
+	r := &Runner{Prof: prof, Trials: 1}
+	_, err := r.Check(Suite("armv8")[0])
+	if err == nil {
+		t.Fatal("expected error for unknown profile expectation")
+	}
+}

@@ -1,0 +1,348 @@
+// Package c11 models a C11/C++11 atomics implementation over the weak
+// machines — the paper's §6 suggestion that "similar modifications could be
+// made to a C11 compiler such as GCC", and its §1 observation that
+// establishing correctness criteria for lock-free structures is a core
+// systems-programmer use of the WMM.
+//
+// Each memory_order lowering point is an instrumentable code path, exactly
+// like the JVM's elemental barriers and the kernel's macros, so the
+// sensitivity methodology applies unchanged: which memory_order a hot
+// atomic uses is a fencing-strategy decision whose cost can be measured
+// per benchmark.
+//
+// The lowerings follow the standard mappings (Sewell et al.'s C/C++11 to
+// hardware mapping tables):
+//
+//	order          ARMv8 load        ARMv8 store        POWER load            POWER store
+//	relaxed        ldr               str                ld                    st
+//	consume        ldr (+addr dep)   —                  ld (+addr dep)        —
+//	acquire        ldr; dmb ishld    —                  ld; lwsync*           —
+//	release        —                 dmb ishst*; str    —                     lwsync; st
+//	seq_cst        ldar              stlr               hwsync; ld; lwsync*   hwsync; st
+//
+// (*this implementation's choices where several valid mappings exist; the
+// Strategy type selects between barrier-based and acq/rel-instruction
+// lowerings on ARMv8, mirroring the paper's JDK8/JDK9 comparison.)
+package c11
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/costfn"
+)
+
+// Order is a C11 memory_order.
+type Order uint8
+
+const (
+	// Relaxed is memory_order_relaxed: atomicity only.
+	Relaxed Order = iota
+	// Consume is memory_order_consume: dependency ordering (compiles to a
+	// plain load on both targets; the dependency does the work).
+	Consume
+	// Acquire is memory_order_acquire.
+	Acquire
+	// Release is memory_order_release.
+	Release
+	// AcqRel is memory_order_acq_rel (read-modify-writes only).
+	AcqRel
+	// SeqCst is memory_order_seq_cst.
+	SeqCst
+
+	numOrders
+)
+
+var orderNames = [numOrders]string{
+	"relaxed", "consume", "acquire", "release", "acq_rel", "seq_cst",
+}
+
+// String returns the C11 spelling without the memory_order_ prefix.
+func (o Order) String() string {
+	if int(o) < len(orderNames) {
+		return orderNames[o]
+	}
+	return fmt.Sprintf("order(%d)", uint8(o))
+}
+
+// Code paths: one per memory_order lowering point, plus the CAS path.
+const (
+	PathRelaxed arch.PathID = iota + 1
+	PathConsume
+	PathAcquire
+	PathRelease
+	PathAcqRel
+	PathSeqCst
+	PathCAS
+	// NumPaths is one past the last path id.
+	NumPaths
+)
+
+// Paths lists all instrumentable code paths.
+var Paths = []arch.PathID{
+	PathRelaxed, PathConsume, PathAcquire, PathRelease, PathAcqRel, PathSeqCst, PathCAS,
+}
+
+// PathName returns the human-readable name of a c11 code path.
+func PathName(p arch.PathID) string {
+	switch p {
+	case PathRelaxed:
+		return "relaxed"
+	case PathConsume:
+		return "consume"
+	case PathAcquire:
+		return "acquire"
+	case PathRelease:
+		return "release"
+	case PathAcqRel:
+		return "acq_rel"
+	case PathSeqCst:
+		return "seq_cst"
+	case PathCAS:
+		return "cas"
+	}
+	return "?"
+}
+
+// PathFor returns the code path of an order.
+func PathFor(o Order) arch.PathID {
+	switch o {
+	case Relaxed:
+		return PathRelaxed
+	case Consume:
+		return PathConsume
+	case Acquire:
+		return PathAcquire
+	case Release:
+		return PathRelease
+	case AcqRel:
+		return PathAcqRel
+	default:
+		return PathSeqCst
+	}
+}
+
+// Strategy selects the lowering family on ARMv8 (the paper's barrier vs
+// acq/rel-instruction axis); POWER always uses the sync-based mapping.
+type Strategy struct {
+	Name string
+	// UseAcqRel lowers acquire/seq_cst loads to ldar and release/seq_cst
+	// stores to stlr on the MCA profile, instead of dmb sequences.
+	UseAcqRel bool
+}
+
+// Barriers returns the dmb-based lowering strategy.
+func Barriers() Strategy { return Strategy{Name: "barriers"} }
+
+// AcqRelInstrs returns the ldar/stlr lowering strategy.
+func AcqRelInstrs() Strategy { return Strategy{Name: "acq-rel", UseAcqRel: true} }
+
+// Config assembles a C11 code generator.
+type Config struct {
+	Prof     *arch.Profile
+	Strategy Strategy
+	Inject   map[arch.PathID]costfn.Injection
+}
+
+// C11 generates atomic accesses for one configuration.
+type C11 struct {
+	cfg Config
+}
+
+// New returns a C11 code generator.
+func New(cfg Config) *C11 { return &C11{cfg: cfg} }
+
+// Prof returns the generator's profile.
+func (c *C11) Prof() *arch.Profile { return c.cfg.Prof }
+
+func (c *C11) inject(b *arch.Builder, p arch.PathID) {
+	old := b.SetSite(p)
+	c.cfg.Inject[p].Apply(b)
+	b.SetSite(old)
+}
+
+func (c *C11) mca() bool { return c.cfg.Prof.Flavor == arch.MCA }
+
+// Load emits an atomic load of [rn+off] into rd with the given order.
+func (c *C11) Load(b *arch.Builder, o Order, rd, rn arch.Reg, off int64) {
+	c.inject(b, PathFor(o))
+	switch o {
+	case Relaxed, Consume:
+		// Consume relies on the dependency the caller carries through
+		// rd; no fence is emitted on either target.
+		b.Load(rd, rn, off)
+	case Acquire:
+		if c.mca() && c.cfg.Strategy.UseAcqRel {
+			b.LoadAcq(rd, rn, off)
+			return
+		}
+		b.Load(rd, rn, off)
+		if c.mca() {
+			b.Fence(arch.DMBIshLd)
+		} else {
+			b.Fence(arch.LwSync)
+		}
+	default: // SeqCst (and AcqRel used as a load order degrades to it)
+		if c.mca() {
+			if c.cfg.Strategy.UseAcqRel {
+				b.LoadAcq(rd, rn, off)
+				return
+			}
+			b.Load(rd, rn, off)
+			b.Fence(arch.DMBIsh)
+			return
+		}
+		b.Fence(arch.HwSync)
+		b.Load(rd, rn, off)
+		b.Fence(arch.LwSync)
+	}
+}
+
+// Store emits an atomic store of rs to [rn+off] with the given order.
+func (c *C11) Store(b *arch.Builder, o Order, rs, rn arch.Reg, off int64) {
+	c.inject(b, PathFor(o))
+	switch o {
+	case Relaxed, Consume:
+		b.Store(rs, rn, off)
+	case Release:
+		if c.mca() && c.cfg.Strategy.UseAcqRel {
+			b.StoreRel(rs, rn, off)
+			return
+		}
+		if c.mca() {
+			b.Fence(arch.DMBIshSt)
+		} else {
+			b.Fence(arch.LwSync)
+		}
+		b.Store(rs, rn, off)
+	default: // SeqCst
+		if c.mca() {
+			if c.cfg.Strategy.UseAcqRel {
+				b.StoreRel(rs, rn, off)
+				return
+			}
+			b.Fence(arch.DMBIsh)
+			b.Store(rs, rn, off)
+			b.Fence(arch.DMBIsh)
+			return
+		}
+		b.Fence(arch.HwSync)
+		b.Store(rs, rn, off)
+	}
+}
+
+// Fence emits atomic_thread_fence(o).
+func (c *C11) Fence(b *arch.Builder, o Order) {
+	c.inject(b, PathFor(o))
+	switch o {
+	case Relaxed, Consume:
+		// No instruction.
+	case Acquire:
+		if c.mca() {
+			b.Fence(arch.DMBIshLd)
+		} else {
+			b.Fence(arch.LwSync)
+		}
+	case Release, AcqRel:
+		if c.mca() {
+			b.Fence(arch.DMBIsh) // release fences need ld+st ordering
+		} else {
+			b.Fence(arch.LwSync)
+		}
+	default:
+		if c.mca() {
+			b.Fence(arch.DMBIsh)
+		} else {
+			b.Fence(arch.HwSync)
+		}
+	}
+}
+
+// Scratch registers used by the read-modify-write emitters.
+const (
+	scrOld    arch.Reg = 21
+	scrStatus arch.Reg = 22
+)
+
+// CompareExchange emits a strong compare-exchange on [rn+off]: if the
+// location holds expected, store desired; rd receives 1 on success, 0 on
+// failure (the C11 result convention).  The success order is o; failures
+// use relaxed, as compare_exchange_strong(..., o, relaxed) would.
+// expected and desired must not alias the scratch registers.
+func (c *C11) CompareExchange(b *arch.Builder, o Order, rd, expected, desired, rn arch.Reg, off int64) {
+	c.inject(b, PathCAS)
+	c.inject(b, PathFor(o))
+	retry := fmt.Sprintf("c11_cas_%d", b.Len())
+	done := fmt.Sprintf("c11_cas_done_%d", b.Len())
+	fail := fmt.Sprintf("c11_cas_fail_%d", b.Len())
+	// Leading fence for release/seq_cst success orders.  The acq/rel
+	// instruction strategy still uses the barrier form here: this ISA has
+	// no store-release exclusive (stlxr), and a bare store-exclusive
+	// commits ahead of buffered stores — the release ordering must come
+	// from a fence.  (Only plain loads/stores benefit from ldar/stlr.)
+	switch o {
+	case Release, AcqRel, SeqCst:
+		if c.mca() {
+			b.Fence(arch.DMBIsh)
+		} else {
+			if o == SeqCst {
+				b.Fence(arch.HwSync)
+			} else {
+				b.Fence(arch.LwSync)
+			}
+		}
+	}
+	b.Label(retry)
+	b.LoadEx(scrOld, rn, off)
+	b.Cmp(scrOld, expected)
+	b.Bne(fail)
+	b.StoreEx(scrStatus, desired, rn, off)
+	b.CmpImm(scrStatus, 0)
+	b.Bne(retry)
+	b.MovImm(rd, 1)
+	// Trailing fence for acquire/seq_cst success orders.
+	switch o {
+	case Acquire, AcqRel, SeqCst:
+		if c.mca() {
+			b.Fence(arch.DMBIshLd)
+		} else {
+			b.Fence(arch.LwSync)
+		}
+	}
+	b.B(done)
+	b.Label(fail)
+	b.MovImm(rd, 0)
+	b.Label(done)
+}
+
+// FetchAdd emits an atomic fetch_add of delta on [rn+off]; rd receives the
+// new value.
+func (c *C11) FetchAdd(b *arch.Builder, o Order, rd, rn arch.Reg, off, delta int64) {
+	c.inject(b, PathCAS)
+	c.inject(b, PathFor(o))
+	switch o {
+	case Release, AcqRel, SeqCst:
+		if c.mca() {
+			b.Fence(arch.DMBIsh)
+		} else if o == SeqCst {
+			b.Fence(arch.HwSync)
+		} else {
+			b.Fence(arch.LwSync)
+		}
+	}
+	retry := fmt.Sprintf("c11_faa_%d", b.Len())
+	b.Label(retry)
+	b.LoadEx(scrOld, rn, off)
+	b.AddImm(rd, scrOld, delta)
+	b.StoreEx(scrStatus, rd, rn, off)
+	b.CmpImm(scrStatus, 0)
+	b.Bne(retry)
+	switch o {
+	case Acquire, AcqRel, SeqCst:
+		if c.mca() {
+			b.Fence(arch.DMBIshLd)
+		} else {
+			b.Fence(arch.LwSync)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package c11
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// This file emits a Michael-Scott queue over the C11 atomics — the other
+// half of the introduction's "lock-free stack or queue".
+//
+// Memory layout: the queue header is two words (head, tail), both pointing
+// at a dummy node initially; nodes are two words (value, next) in
+// per-thread arenas (no reuse, so no ABA).
+//
+//	q+0:    head
+//	q+1:    tail
+//	node+0: value
+//	node+1: next (0 = none)
+
+// QueueInit initialises the header at addr with the dummy node at dummy in
+// the machine's memory (call before Run).
+func QueueInit(write func(addr, val int64), q, dummy int64) {
+	write(q, dummy)
+	write(q+1, dummy)
+	write(dummy, 0)
+	write(dummy+1, 0)
+}
+
+// QueueOrders selects the orderings of the queue's atomic accesses.
+type QueueOrders struct {
+	// LoadPtr is the order of head/tail/next pointer loads (Acquire in
+	// the canonical version; Consume suffices for the dependent reads).
+	LoadPtr Order
+	// LinkCAS is the success order of the next-pointer CAS that links a
+	// new node (Release: the node's payload must be visible first).
+	LinkCAS Order
+	// SwingCAS is the success order of the head/tail swings (Release in
+	// the canonical version).
+	SwingCAS Order
+}
+
+// QueueReleaseAcquire returns the canonical correct orderings.
+func QueueReleaseAcquire() QueueOrders {
+	return QueueOrders{LoadPtr: Acquire, LinkCAS: Release, SwingCAS: Release}
+}
+
+// QueueAllSeqCst returns the defensive orderings.
+func QueueAllSeqCst() QueueOrders {
+	return QueueOrders{LoadPtr: SeqCst, LinkCAS: SeqCst, SwingCAS: SeqCst}
+}
+
+// Enqueue emits a Michael-Scott enqueue of the node whose address is in
+// rNode (value at +0 already written by the caller; next at +1 is cleared
+// here) onto the queue whose header is at [rQ].  Clobbers rT, rN, rStatus
+// and the platform scratch registers.
+func (c *C11) Enqueue(b *arch.Builder, o QueueOrders, rNode, rQ, rT, rN, rStatus arch.Reg) {
+	id := b.Len()
+	retry := fmt.Sprintf("msq_enq_%d", id)
+	done := fmt.Sprintf("msq_enq_done_%d", id)
+	// node->next = 0 (plain: ordered by the release link CAS).
+	b.MovImm(rStatus, 0)
+	b.Store(rStatus, rNode, 1)
+	b.Label(retry)
+	c.Load(b, o.LoadPtr, rT, rQ, 1) // t = tail
+	b.Load(rN, rT, 1)               // n = t->next (dependent)
+	b.CmpImm(rN, 0)
+	b.Beq("msq_enq_try_" + itoa(id))
+	// Tail is lagging: help swing it, then retry.
+	c.CompareExchange(b, Relaxed, rStatus, rT, rN, rQ, 1)
+	b.B(retry)
+	b.Label("msq_enq_try_" + itoa(id))
+	// Try to link: CAS(t->next, 0 -> node), release.
+	b.MovImm(rN, 0)
+	c.CompareExchange(b, o.LinkCAS, rStatus, rN, rNode, rT, 1)
+	b.CmpImm(rStatus, 1)
+	b.Bne(retry)
+	// Swing the tail (may fail if someone helped; that is fine).
+	c.CompareExchange(b, o.SwingCAS, rStatus, rT, rNode, rQ, 1)
+	b.Label(done)
+}
+
+// Dequeue emits a Michael-Scott dequeue: rVal receives the value (or -1
+// when the queue was empty, with rNode = 0).  Clobbers rH, rT, rN, rStatus
+// and the platform scratch registers; rNode receives the retired dummy.
+func (c *C11) Dequeue(b *arch.Builder, o QueueOrders, rNode, rVal, rQ, rH, rT, rN, rStatus arch.Reg) {
+	id := b.Len()
+	retry := fmt.Sprintf("msq_deq_%d", id)
+	empty := fmt.Sprintf("msq_deq_empty_%d", id)
+	done := fmt.Sprintf("msq_deq_done_%d", id)
+	b.Label(retry)
+	c.Load(b, o.LoadPtr, rH, rQ, 0) // h = head
+	c.Load(b, o.LoadPtr, rT, rQ, 1) // t = tail
+	b.Load(rN, rH, 1)               // n = h->next (dependent)
+	b.Cmp(rH, rT)
+	b.Bne("msq_deq_pop_" + itoa(id))
+	// head == tail: empty, or tail lagging.
+	b.CmpImm(rN, 0)
+	b.Beq(empty)
+	c.CompareExchange(b, Relaxed, rStatus, rT, rN, rQ, 1) // help
+	b.B(retry)
+	b.Label("msq_deq_pop_" + itoa(id))
+	b.CmpImm(rN, 0)
+	b.Beq(retry) // inconsistent snapshot; retry
+	// Read the value out of the successor before swinging head.
+	b.Load(rVal, rN, 0)
+	c.CompareExchange(b, o.SwingCAS, rStatus, rH, rN, rQ, 0)
+	b.CmpImm(rStatus, 1)
+	b.Bne(retry)
+	b.Mov(rNode, rH) // the old dummy is retired
+	b.B(done)
+	b.Label(empty)
+	b.MovImm(rNode, 0)
+	b.MovImm(rVal, -1)
+	b.Label(done)
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

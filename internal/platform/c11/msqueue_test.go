@@ -1,0 +1,114 @@
+package c11
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+// queueMachine builds 2 enqueuer + 2 dequeuer cores over one Michael-Scott
+// queue.  Enqueuers insert 1000*(p+1)+i for i in [0,perProducer);
+// dequeuers each log perProducer values.
+func queueMachine(t *testing.T, prof *arch.Profile, o QueueOrders, seed int64) (*sim.Machine, int64, int64) {
+	t.Helper()
+	const (
+		qAddr       = int64(0)
+		dummyAddr   = int64(64)
+		arenaBase   = int64(1024)
+		logBase     = int64(8192)
+		perProducer = 30
+	)
+	c := New(Config{Prof: prof, Strategy: Barriers()})
+	m, err := sim.New(prof, sim.Config{Cores: 4, MemWords: 1 << 14, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	QueueInit(m.WriteMem, qAddr, dummyAddr)
+	for p := 0; p < 2; p++ {
+		b := arch.NewBuilder()
+		b.MovImm(2, 0)
+		b.Label("enq")
+		b.Lsl(3, 2, 1)
+		b.AddImm(3, 3, arenaBase+int64(p)*2048)
+		b.AddImm(4, 2, int64(1000*(p+1)))
+		b.Store(4, 3, 0) // node.value
+		c.Enqueue(b, o, 3, 1, 7, 8, 9)
+		b.AddImm(2, 2, 1)
+		b.CmpImm(2, perProducer)
+		b.Blt("enq")
+		b.Halt()
+		m.SetReg(p, 1, qAddr)
+		if err := m.LoadProgram(p, b.MustBuild()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q := 0; q < 2; q++ {
+		b := arch.NewBuilder()
+		b.MovImm(2, 0)
+		b.Label("deq")
+		c.Dequeue(b, o, 3, 4, 1, 7, 8, 10, 9)
+		b.CmpImm(3, 0)
+		b.Beq("deq") // empty: retry
+		b.Mov(5, 2)
+		b.AddImm(5, 5, logBase+int64(q)*1024)
+		b.Store(4, 5, 0)
+		b.AddImm(2, 2, 1)
+		b.CmpImm(2, perProducer)
+		b.Blt("deq")
+		b.Halt()
+		core := 2 + q
+		m.SetReg(core, 1, qAddr)
+		if err := m.LoadProgram(core, b.MustBuild()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, logBase, perProducer
+}
+
+// TestMSQueueExactlyOnceFIFO checks, under both correct ordering choices
+// and on both machines: every enqueued value is dequeued exactly once, and
+// within each dequeuer's log the values of one producer appear in
+// increasing order (the FIFO property through linearization).
+func TestMSQueueExactlyOnceFIFO(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for name, prof := range arch.Profiles() {
+		for _, o := range []QueueOrders{QueueReleaseAcquire(), QueueAllSeqCst()} {
+			for _, seed := range seeds {
+				m, logBase, per := queueMachine(t, prof, o, seed)
+				res, err := m.Run(80_000_000)
+				if err != nil || !res.AllHalted {
+					t.Fatalf("%s seed %d: err=%v halted=%v", name, seed, err, res.AllHalted)
+				}
+				seen := map[int64]int{}
+				for q := 0; q < 2; q++ {
+					lastPerProducer := map[int64]int64{1: -1, 2: -1}
+					for i := int64(0); i < per; i++ {
+						v := m.ReadMem(logBase + int64(q)*1024 + i)
+						seen[v]++
+						prod := v / 1000
+						if v%1000 < 0 || (prod != 1 && prod != 2) {
+							t.Fatalf("%s seed %d: alien value %d", name, seed, v)
+						}
+						if v <= lastPerProducer[prod] {
+							t.Errorf("%s seed %d: dequeuer %d saw producer %d out of order (%d after %d)",
+								name, seed, q, prod, v, lastPerProducer[prod])
+						}
+						lastPerProducer[prod] = v
+					}
+				}
+				if len(seen) != int(2*per) {
+					t.Fatalf("%s seed %d: %d distinct values, want %d", name, seed, len(seen), 2*per)
+				}
+				for v, n := range seen {
+					if n != 1 {
+						t.Errorf("%s seed %d: value %d dequeued %d times", name, seed, v, n)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package c11
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// This file emits a Treiber stack over the C11 atomics — the "lock-free
+// stack or queue" the paper's introduction names as a canonical place
+// where a systems programmer must pick orderings and wants to know what
+// the weaker ones buy.
+//
+// Memory layout: the stack head is one word; nodes are two words
+// (value, next) in per-thread arenas so freed nodes are never reused
+// (no ABA).
+//
+//	node+0: value
+//	node+1: next (node address, 0 = bottom)
+
+// StackOrders selects the orderings of the stack's three atomic accesses.
+type StackOrders struct {
+	// PushCAS is the success order of the push's head CAS (Release in
+	// correct code: the node's initialisation must be visible before the
+	// node is).
+	PushCAS Order
+	// PopLoad is the order of the pop's head load (Acquire, or Consume
+	// when the traversal carries a dependency, as it does here).
+	PopLoad Order
+	// PopCAS is the success order of the pop's head CAS.
+	PopCAS Order
+}
+
+// ReleaseAcquire returns the canonical correct orderings.
+func ReleaseAcquire() StackOrders {
+	return StackOrders{PushCAS: Release, PopLoad: Consume, PopCAS: Relaxed}
+}
+
+// AllSeqCst returns the defensive orderings (every access seq_cst).
+func AllSeqCst() StackOrders {
+	return StackOrders{PushCAS: SeqCst, PopLoad: SeqCst, PopCAS: SeqCst}
+}
+
+// AllRelaxed returns the broken orderings (atomicity only): pushes can
+// publish nodes whose contents are not yet visible.
+func AllRelaxed() StackOrders {
+	return StackOrders{PushCAS: Relaxed, PopLoad: Relaxed, PopCAS: Relaxed}
+}
+
+// StackPush emits a push of the node whose address is in rNode (its value
+// and next fields at +0/+1) onto the stack whose head word is [rHead+0].
+// Clobbers rTmp and the platform scratch registers.
+func (c *C11) StackPush(b *arch.Builder, o StackOrders, rNode, rHead, rTmp, rStatus arch.Reg) {
+	retry := fmt.Sprintf("tpush_%d", b.Len())
+	b.Label(retry)
+	// Read the current head (relaxed: the CAS validates it).
+	c.Load(b, Relaxed, rTmp, rHead, 0)
+	// node.next = head (plain store: ordered by the release CAS).
+	b.Store(rTmp, rNode, 1)
+	// CAS head: expected rTmp -> desired rNode.
+	c.CompareExchange(b, o.PushCAS, rStatus, rTmp, rNode, rHead, 0)
+	b.CmpImm(rStatus, 1)
+	b.Bne(retry)
+}
+
+// StackPop emits a pop: rNode receives the popped node's address (0 when
+// the stack was empty) and rVal its value.  Clobbers rTmp/rStatus and the
+// platform scratch registers.
+func (c *C11) StackPop(b *arch.Builder, o StackOrders, rNode, rVal, rHead, rTmp, rStatus arch.Reg) {
+	retry := fmt.Sprintf("tpop_%d", b.Len())
+	empty := fmt.Sprintf("tpop_empty_%d", b.Len())
+	done := fmt.Sprintf("tpop_done_%d", b.Len())
+	b.Label(retry)
+	c.Load(b, o.PopLoad, rNode, rHead, 0)
+	b.CmpImm(rNode, 0)
+	b.Beq(empty)
+	// next = node->next: an address-dependent load, which is what makes
+	// memory_order_consume sufficient for PopLoad.
+	b.Load(rTmp, rNode, 1)
+	c.CompareExchange(b, o.PopCAS, rStatus, rNode, rTmp, rHead, 0)
+	b.CmpImm(rStatus, 1)
+	b.Bne(retry)
+	b.Load(rVal, rNode, 0) // dependent read of the payload
+	b.B(done)
+	b.Label(empty)
+	b.MovImm(rVal, -1)
+	b.Label(done)
+}

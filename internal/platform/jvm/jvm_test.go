@@ -1,0 +1,286 @@
+package jvm
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/costfn"
+	"repro/internal/sim"
+)
+
+func countKinds(p arch.Program) map[arch.BarrierKind]int {
+	m := map[arch.BarrierKind]int{}
+	for _, in := range p.Code {
+		if in.Op == arch.Barrier {
+			m[in.Kind]++
+		}
+	}
+	return m
+}
+
+func countOps(p arch.Program, op arch.Op) int {
+	n := 0
+	for _, in := range p.Code {
+		if in.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// TestLoweringARM checks the §4.2 ARM lowering table.
+func TestLoweringARM(t *testing.T) {
+	j := New(Config{Prof: arch.ARMv8(), Strategy: JDK8()})
+	cases := []struct {
+		mask Elemental
+		want arch.BarrierKind
+	}{
+		{LoadLoad, arch.DMBIshLd},
+		{LoadStore, arch.DMBIshLd},
+		{StoreStore, arch.DMBIshSt},
+		{StoreLoad, arch.DMBIsh},
+		{Volatile, arch.DMBIsh},
+	}
+	for _, c := range cases {
+		b := arch.NewBuilder()
+		j.Barrier(b, c.mask)
+		got := countKinds(b.MustBuild())
+		if got[c.want] != 1 {
+			t.Errorf("ARM %v lowered to %v, want one %v", c.mask, got, c.want)
+		}
+	}
+	// Release = LoadStore|StoreStore → ishld + ishst pair on ARM.
+	b := arch.NewBuilder()
+	j.Barrier(b, Release)
+	got := countKinds(b.MustBuild())
+	if got[arch.DMBIshLd] != 1 || got[arch.DMBIshSt] != 1 {
+		t.Errorf("ARM Release lowered to %v, want ishld+ishst", got)
+	}
+}
+
+// TestLoweringPOWER checks the §4.2 POWER lowering: StoreLoad→hwsync,
+// everything else lwsync.
+func TestLoweringPOWER(t *testing.T) {
+	j := New(Config{Prof: arch.POWER7(), Strategy: JDK8()})
+	for _, c := range []struct {
+		mask Elemental
+		want arch.BarrierKind
+	}{
+		{LoadLoad, arch.LwSync},
+		{LoadStore, arch.LwSync},
+		{StoreStore, arch.LwSync},
+		{Release, arch.LwSync},
+		{StoreLoad, arch.HwSync},
+		{Volatile, arch.HwSync},
+	} {
+		b := arch.NewBuilder()
+		j.Barrier(b, c.mask)
+		got := countKinds(b.MustBuild())
+		if got[c.want] != 1 || len(got) != 1 {
+			t.Errorf("POWER %v lowered to %v, want one %v", c.mask, got, c.want)
+		}
+	}
+}
+
+// TestHeavyStoreStore checks the TXT2 strategy swap.
+func TestHeavyStoreStore(t *testing.T) {
+	st := JDK8()
+	st.HeavyStoreStore = true
+	jArm := New(Config{Prof: arch.ARMv8(), Strategy: st})
+	b := arch.NewBuilder()
+	jArm.Barrier(b, StoreStore)
+	if got := countKinds(b.MustBuild()); got[arch.DMBIsh] != 1 {
+		t.Errorf("heavy StoreStore on ARM lowered to %v, want dmb ish", got)
+	}
+	jPow := New(Config{Prof: arch.POWER7(), Strategy: st})
+	b = arch.NewBuilder()
+	jPow.Barrier(b, StoreStore)
+	if got := countKinds(b.MustBuild()); got[arch.HwSync] != 1 {
+		t.Errorf("heavy StoreStore on POWER lowered to %v, want hwsync", got)
+	}
+}
+
+// TestVolatileShapes checks barrier placement around volatile accesses.
+func TestVolatileShapes(t *testing.T) {
+	// JDK8 on ARM: vload = Volatile(dmb ish) + ld + Acquire(dmb ishld).
+	j := New(Config{Prof: arch.ARMv8(), Strategy: JDK8()})
+	b := arch.NewBuilder()
+	j.VolatileLoad(b, 2, 1, 0)
+	p := b.MustBuild()
+	if k := countKinds(p); k[arch.DMBIsh] != 1 || k[arch.DMBIshLd] != 1 {
+		t.Errorf("JDK8 volatile load barriers: %v", k)
+	}
+	// JDK9 on ARM: single ldar, no barriers.
+	j9 := New(Config{Prof: arch.ARMv8(), Strategy: JDK9()})
+	b = arch.NewBuilder()
+	j9.VolatileLoad(b, 2, 1, 0)
+	p = b.MustBuild()
+	if len(countKinds(p)) != 0 || countOps(p, arch.LoadAcq) != 1 {
+		t.Errorf("JDK9 volatile load should be a single ldar, got %v", p.Code)
+	}
+	b = arch.NewBuilder()
+	j9.VolatileStore(b, 2, 1, 0)
+	p = b.MustBuild()
+	if countOps(p, arch.StoreRel) != 1 {
+		t.Errorf("JDK9 volatile store should use stlr, got %v", p.Code)
+	}
+	// JDK9 on POWER falls back to barriers (the acq/rel strategy is
+	// ARM-specific in the paper).
+	j9p := New(Config{Prof: arch.POWER7(), Strategy: JDK9()})
+	b = arch.NewBuilder()
+	j9p.VolatileLoad(b, 2, 1, 0)
+	if k := countKinds(b.MustBuild()); k[arch.HwSync] != 1 {
+		t.Errorf("JDK9 POWER volatile load barriers: %v", k)
+	}
+}
+
+// TestInjectionPerElemental checks that a composite site receives one
+// injection per constituent elemental (§4.2.1: "a code path will appear in
+// multiple results") and that nop padding preserves instruction counts.
+func TestInjectionPerElemental(t *testing.T) {
+	variant := costfn.ARMNoStack
+	inj := map[arch.PathID]costfn.Injection{
+		PathLoadLoad:   costfn.Cost(variant, 8),
+		PathLoadStore:  costfn.Cost(variant, 8),
+		PathStoreLoad:  costfn.Cost(variant, 8),
+		PathStoreStore: costfn.Cost(variant, 8),
+	}
+	j := New(Config{Prof: arch.ARMv8(), Strategy: JDK8(), Inject: inj})
+	b := arch.NewBuilder()
+	j.Barrier(b, Volatile)
+	withCost := b.Len()
+
+	nops := map[arch.PathID]costfn.Injection{}
+	for p := range inj {
+		nops[p] = costfn.Nops(variant)
+	}
+	jn := New(Config{Prof: arch.ARMv8(), Strategy: JDK8(), Inject: nops})
+	b = arch.NewBuilder()
+	jn.Barrier(b, Volatile)
+	if b.Len() != withCost {
+		t.Errorf("base case %d instructions, test case %d: binary size not invariant", b.Len(), withCost)
+	}
+	// Four elementals → four injections of StaticLen each, plus the
+	// merged dmb ish.
+	want := 4*costfn.StaticLen(variant) + 1
+	if withCost != want {
+		t.Errorf("Volatile with injections = %d instructions, want %d", withCost, want)
+	}
+}
+
+// TestSiteCounting checks elemental invocation counters through a run.
+func TestSiteCounting(t *testing.T) {
+	j := New(Config{Prof: arch.ARMv8(), Strategy: JDK8()})
+	b := arch.NewBuilder()
+	b.MovImm(1, 0)
+	b.MovImm(2, 5) // iterations
+	b.Label("loop")
+	j.VolatileStore(b, 1, 1, 256)
+	b.SubsImm(2, 2, 1)
+	b.Bne("loop")
+	b.Halt()
+	m, err := sim.New(arch.ARMv8(), sim.Config{Cores: 1, MemWords: 1024, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(0, b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllHalted {
+		t.Fatal("did not halt")
+	}
+	// Each volatile store emits Release (ishld+ishst attributed to
+	// LoadStore/StoreStore) and Volatile (dmb ish attributed to
+	// StoreLoad): the StoreLoad site must count 5 retired instructions.
+	if int(PathStoreLoad) >= len(res.SiteCounts) || res.SiteCounts[PathStoreLoad] != 5 {
+		t.Errorf("StoreLoad site count = %v, want 5", res.SiteCounts)
+	}
+}
+
+// TestLockMutualExclusion runs two cores incrementing a plain counter
+// under the JVM monitor and checks no updates are lost, across strategies
+// and architectures.
+func TestLockMutualExclusion(t *testing.T) {
+	const perCore = 60
+	strategies := []Strategy{JDK8(), JDK9(),
+		{Name: "jdk9-patch", UseAcqRel: true, LockPatch: true},
+		{Name: "jdk8-patch", LockPatch: true}}
+	for name, prof := range arch.Profiles() {
+		for _, st := range strategies {
+			j := New(Config{Prof: prof, Strategy: st})
+			prog := func() arch.Program {
+				b := arch.NewBuilder()
+				b.MovImm(2, perCore)
+				b.Label("outer")
+				j.Lock(b, 1, 0)
+				b.Load(3, 1, 8)
+				b.AddImm(3, 3, 1)
+				b.Store(3, 1, 8)
+				j.Unlock(b, 1, 0)
+				b.SubsImm(2, 2, 1)
+				b.Bne("outer")
+				b.Halt()
+				return b.MustBuild()
+			}
+			for seed := int64(1); seed <= 4; seed++ {
+				m, err := sim.New(prof, sim.Config{Cores: 2, MemWords: 1024, Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := m.LoadProgram(0, prog()); err != nil {
+					t.Fatal(err)
+				}
+				if err := m.LoadProgram(1, prog()); err != nil {
+					t.Fatal(err)
+				}
+				res, err := m.Run(20_000_000)
+				if err != nil {
+					t.Fatalf("%s/%s seed %d: %v", name, st.Name, seed, err)
+				}
+				if !res.AllHalted {
+					t.Fatalf("%s/%s seed %d: did not halt", name, st.Name, seed)
+				}
+				if got := m.ReadMem(8); got != 2*perCore {
+					t.Errorf("%s/%s seed %d: counter = %d, want %d", name, st.Name, seed, got, 2*perCore)
+				}
+			}
+		}
+	}
+}
+
+// TestAtomicAdd checks the CAS loop under contention.
+func TestAtomicAdd(t *testing.T) {
+	for name, prof := range arch.Profiles() {
+		j := New(Config{Prof: prof, Strategy: JDK8()})
+		prog := func() arch.Program {
+			b := arch.NewBuilder()
+			b.MovImm(2, 50)
+			b.Label("loop")
+			j.AtomicAdd(b, 4, 1, 0, 3)
+			b.SubsImm(2, 2, 1)
+			b.Bne("loop")
+			b.Halt()
+			return b.MustBuild()
+		}
+		m, err := sim.New(prof, sim.Config{Cores: 2, MemWords: 1024, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = m.LoadProgram(0, prog())
+		_ = m.LoadProgram(1, prog())
+		res, err := m.Run(20_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.AllHalted {
+			t.Fatalf("%s: did not halt", name)
+		}
+		if got := m.ReadMem(0); got != 2*50*3 {
+			t.Errorf("%s: counter = %d, want 300", name, got)
+		}
+	}
+}

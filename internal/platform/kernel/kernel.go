@@ -1,0 +1,324 @@
+// Package kernel models the Linux-kernel memory-model implementation the
+// paper studies in §4.3: the barrier macros of memory-barriers.txt lowered
+// to per-architecture instruction sequences, the five candidate
+// implementations of read_barrier_depends (Figure 10), and the concurrency
+// substrate built on the macros (spinlocks, seqlocks, RCU-style publish /
+// dereference, MPSC queues) that the kernel benchmarks exercise.
+//
+// Each macro is a code path: it carries a stable PathID, accepts a cost
+// function or nop-placeholder injection, and its invocations are counted.
+// Binary-size invariance is preserved exactly as in the paper: every macro
+// site emits the same number of instructions in the base case (nops) and
+// the test case.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/costfn"
+)
+
+// Code-path identities: the 14 macros of Figure 7.
+const (
+	PathSmpMB arch.PathID = iota + 1
+	PathSmpRmb
+	PathSmpWmb
+	PathSmpMBBeforeAtomic
+	PathSmpMBAfterAtomic
+	PathSmpStoreMB
+	PathReadOnce
+	PathWriteOnce
+	PathSmpLoadAcquire
+	PathSmpStoreRelease
+	PathReadBarrierDepends
+	PathMB
+	PathRMB
+	PathWMB
+	// NumPaths is one past the last macro path id.
+	NumPaths
+)
+
+// Paths lists all macro code paths in Figure 7's order of presentation.
+var Paths = []arch.PathID{
+	PathSmpMB, PathReadOnce, PathReadBarrierDepends, PathSmpRmb, PathSmpWmb,
+	PathSmpMBBeforeAtomic, PathSmpStoreMB, PathSmpMBAfterAtomic, PathWriteOnce,
+	PathSmpLoadAcquire, PathSmpStoreRelease, PathRMB, PathMB, PathWMB,
+}
+
+var pathNames = map[arch.PathID]string{
+	PathSmpMB:              "smp_mb",
+	PathSmpRmb:             "smp_rmb",
+	PathSmpWmb:             "smp_wmb",
+	PathSmpMBBeforeAtomic:  "smp_mb_before_atomic",
+	PathSmpMBAfterAtomic:   "smp_mb_after_atomic",
+	PathSmpStoreMB:         "smp_store_mb",
+	PathReadOnce:           "read_once",
+	PathWriteOnce:          "write_once",
+	PathSmpLoadAcquire:     "smp_load_acquire",
+	PathSmpStoreRelease:    "smp_store_release",
+	PathReadBarrierDepends: "read_barrier_depends",
+	PathMB:                 "mb",
+	PathRMB:                "rmb",
+	PathWMB:                "wmb",
+}
+
+// PathName returns the macro name for a kernel code path.
+func PathName(p arch.PathID) string {
+	if n, ok := pathNames[p]; ok {
+		return n
+	}
+	return "?"
+}
+
+// RBDImpl selects the read_barrier_depends implementation under test
+// (Figure 10).
+type RBDImpl uint8
+
+const (
+	// RBDNone is the default: a pure compiler barrier, no instructions.
+	RBDNone RBDImpl = iota
+	// RBDCtrl introduces a true control dependency: the last-loaded value
+	// is compared against a constant (42) and a conditional branch jumps
+	// over an impotent instruction (ARMv8 manual B2.7.4).
+	RBDCtrl
+	// RBDCtrlISB is RBDCtrl followed by an isb, the architecturally
+	// sufficient load-ordering idiom.
+	RBDCtrlISB
+	// RBDIshLd implements the macro as a dmb ishld.
+	RBDIshLd
+	// RBDIsh implements the macro as a full dmb ish.
+	RBDIsh
+)
+
+// String names the implementation as in Figure 10's x-axis.
+func (r RBDImpl) String() string {
+	switch r {
+	case RBDNone:
+		return "base case"
+	case RBDCtrl:
+		return "ctrl"
+	case RBDCtrlISB:
+		return "ctrl+isb"
+	case RBDIshLd:
+		return "dmb ishld"
+	case RBDIsh:
+		return "dmb ish"
+	default:
+		return fmt.Sprintf("rbd(%d)", uint8(r))
+	}
+}
+
+// Strategy is a fencing strategy for the kernel platform.
+type Strategy struct {
+	Name string
+	// RBD selects the read_barrier_depends implementation.
+	RBD RBDImpl
+	// LASR supplements RBDIshLd by adding dmb ishld to READ_ONCE and
+	// dmb ishst to WRITE_ONCE (the la/sr strategy of §4.3.1).
+	LASR bool
+}
+
+// Default returns the stock Linux 4.2 strategy.
+func Default() Strategy { return Strategy{Name: "default"} }
+
+// Strategies returns the Figure 10 test implementations, in the figure's
+// order: base case, ctrl, ctrl+isb, dmb ishld, dmb ish, la/sr.
+func Strategies() []Strategy {
+	return []Strategy{
+		{Name: "base case"},
+		{Name: "ctrl", RBD: RBDCtrl},
+		{Name: "ctrl+isb", RBD: RBDCtrlISB},
+		{Name: "dmb ishld", RBD: RBDIshLd},
+		{Name: "dmb ish", RBD: RBDIsh},
+		{Name: "la/sr", RBD: RBDIshLd, LASR: true},
+	}
+}
+
+// Config assembles a kernel platform instance.
+type Config struct {
+	Prof     *arch.Profile
+	Strategy Strategy
+	// Inject maps macro code paths to injections; absent paths get
+	// nothing.  For a fair base case, populate instrumented paths with
+	// costfn.Nops.
+	Inject map[arch.PathID]costfn.Injection
+}
+
+// Kernel is the code generator for one platform configuration.
+type Kernel struct {
+	cfg Config
+}
+
+// New returns a kernel code generator.
+func New(cfg Config) *Kernel { return &Kernel{cfg: cfg} }
+
+// Prof returns the platform's architecture profile.
+func (k *Kernel) Prof() *arch.Profile { return k.cfg.Prof }
+
+// Strategy returns the platform's fencing strategy.
+func (k *Kernel) Strategy() Strategy { return k.cfg.Strategy }
+
+// site wraps the emission of a macro body: injection first, then the
+// macro's instruction sequence, all attributed to the macro's path.
+func (k *Kernel) site(b *arch.Builder, p arch.PathID, body func()) {
+	old := b.SetSite(p)
+	k.cfg.Inject[p].Apply(b)
+	if body != nil {
+		body()
+	}
+	b.SetSite(old)
+}
+
+// full emits the full barrier for the profile (dmb ish / hwsync).
+func (k *Kernel) full(b *arch.Builder) {
+	if k.cfg.Prof.Flavor == arch.NonMCA {
+		b.Fence(arch.HwSync)
+	} else {
+		b.Fence(arch.DMBIsh)
+	}
+}
+
+// rmbInstr emits the read-barrier instruction (dmb ishld / lwsync).
+func (k *Kernel) rmbInstr(b *arch.Builder) {
+	if k.cfg.Prof.Flavor == arch.NonMCA {
+		b.Fence(arch.LwSync)
+	} else {
+		b.Fence(arch.DMBIshLd)
+	}
+}
+
+// wmbInstr emits the write-barrier instruction (dmb ishst / lwsync).
+func (k *Kernel) wmbInstr(b *arch.Builder) {
+	if k.cfg.Prof.Flavor == arch.NonMCA {
+		b.Fence(arch.LwSync)
+	} else {
+		b.Fence(arch.DMBIshSt)
+	}
+}
+
+// SmpMB emits smp_mb(): the full SMP barrier.
+func (k *Kernel) SmpMB(b *arch.Builder) {
+	k.site(b, PathSmpMB, func() { k.full(b) })
+}
+
+// SmpRmb emits smp_rmb().
+func (k *Kernel) SmpRmb(b *arch.Builder) {
+	k.site(b, PathSmpRmb, func() { k.rmbInstr(b) })
+}
+
+// SmpWmb emits smp_wmb().
+func (k *Kernel) SmpWmb(b *arch.Builder) {
+	k.site(b, PathSmpWmb, func() { k.wmbInstr(b) })
+}
+
+// SmpMBBeforeAtomic emits smp_mb__before_atomic().
+func (k *Kernel) SmpMBBeforeAtomic(b *arch.Builder) {
+	k.site(b, PathSmpMBBeforeAtomic, func() { k.full(b) })
+}
+
+// SmpMBAfterAtomic emits smp_mb__after_atomic().
+func (k *Kernel) SmpMBAfterAtomic(b *arch.Builder) {
+	k.site(b, PathSmpMBAfterAtomic, func() { k.full(b) })
+}
+
+// SmpStoreMB emits smp_store_mb(addr, v): a store followed by smp_mb.
+func (k *Kernel) SmpStoreMB(b *arch.Builder, rs, rn arch.Reg, off int64) {
+	k.site(b, PathSmpStoreMB, func() {
+		b.Store(rs, rn, off)
+		k.full(b)
+	})
+}
+
+// ReadOnce emits READ_ONCE(rd = [rn+off]).  By default it is a compiler
+// barrier only (a plain load); the la/sr strategy appends dmb ishld.
+func (k *Kernel) ReadOnce(b *arch.Builder, rd, rn arch.Reg, off int64) {
+	k.site(b, PathReadOnce, func() {
+		b.Load(rd, rn, off)
+		if k.cfg.Strategy.LASR {
+			b.Fence(arch.DMBIshLd)
+		}
+	})
+}
+
+// WriteOnce emits WRITE_ONCE([rn+off] = rs).  By default a plain store;
+// the la/sr strategy prepends dmb ishst.
+func (k *Kernel) WriteOnce(b *arch.Builder, rs, rn arch.Reg, off int64) {
+	k.site(b, PathWriteOnce, func() {
+		if k.cfg.Strategy.LASR {
+			b.Fence(arch.DMBIshSt)
+		}
+		b.Store(rs, rn, off)
+	})
+}
+
+// LoadAcquire emits smp_load_acquire(rd = [rn+off]).
+func (k *Kernel) LoadAcquire(b *arch.Builder, rd, rn arch.Reg, off int64) {
+	k.site(b, PathSmpLoadAcquire, func() {
+		if k.cfg.Prof.Flavor == arch.NonMCA {
+			b.Load(rd, rn, off)
+			b.Fence(arch.LwSync)
+		} else {
+			b.LoadAcq(rd, rn, off)
+		}
+	})
+}
+
+// StoreRelease emits smp_store_release([rn+off] = rs).
+func (k *Kernel) StoreRelease(b *arch.Builder, rs, rn arch.Reg, off int64) {
+	k.site(b, PathSmpStoreRelease, func() {
+		if k.cfg.Prof.Flavor == arch.NonMCA {
+			b.Fence(arch.LwSync)
+			b.Store(rs, rn, off)
+		} else {
+			b.StoreRel(rs, rn, off)
+		}
+	})
+}
+
+// ReadBarrierDepends emits read_barrier_depends() under the configured
+// strategy.  lastLoad is the register holding the most recently loaded
+// value, against which the ctrl variants form their control dependency.
+func (k *Kernel) ReadBarrierDepends(b *arch.Builder, lastLoad arch.Reg) {
+	k.site(b, PathReadBarrierDepends, func() {
+		switch k.cfg.Strategy.RBD {
+		case RBDNone:
+			// Compiler barrier: no instructions.
+		case RBDCtrl:
+			skip := fmt.Sprintf("rbd_ctrl_%d", b.Len())
+			b.CmpImm(lastLoad, 42)
+			b.Bne(skip)
+			b.Nop() // the impotent instruction branched over
+			b.Label(skip)
+		case RBDCtrlISB:
+			skip := fmt.Sprintf("rbd_ctlisb_%d", b.Len())
+			b.CmpImm(lastLoad, 42)
+			b.Bne(skip)
+			b.Nop()
+			b.Label(skip)
+			b.Fence(arch.ISB)
+		case RBDIshLd:
+			b.Fence(arch.DMBIshLd)
+		case RBDIsh:
+			b.Fence(arch.DMBIsh)
+		}
+	})
+}
+
+// MB, RMB and WMB are the mandatory (non-SMP) barriers; they are stronger
+// than their smp_ counterparts on real hardware (dsb-class) and appear
+// rarely outside driver code, which is why they sit at the bottom of
+// Figure 7's impact ranking.
+func (k *Kernel) MB(b *arch.Builder) {
+	k.site(b, PathMB, func() { k.full(b) })
+}
+
+// RMB emits rmb().
+func (k *Kernel) RMB(b *arch.Builder) {
+	k.site(b, PathRMB, func() { k.rmbInstr(b) })
+}
+
+// WMB emits wmb().
+func (k *Kernel) WMB(b *arch.Builder) {
+	k.site(b, PathWMB, func() { k.wmbInstr(b) })
+}

@@ -1,0 +1,308 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/costfn"
+	"repro/internal/sim"
+)
+
+func kinds(p arch.Program) map[arch.BarrierKind]int {
+	m := map[arch.BarrierKind]int{}
+	for _, in := range p.Code {
+		if in.Op == arch.Barrier {
+			m[in.Kind]++
+		}
+	}
+	return m
+}
+
+// TestMacroLoweringARM checks the default ARM lowering: smp_mb → dmb ish,
+// read_once / write_once / read_barrier_depends → compiler barriers only.
+func TestMacroLoweringARM(t *testing.T) {
+	k := New(Config{Prof: arch.ARMv8(), Strategy: Default()})
+	b := arch.NewBuilder()
+	k.SmpMB(b)
+	if got := kinds(b.MustBuild()); got[arch.DMBIsh] != 1 {
+		t.Errorf("smp_mb: %v", got)
+	}
+	b = arch.NewBuilder()
+	k.ReadOnce(b, 2, 1, 0)
+	p := b.MustBuild()
+	if len(kinds(p)) != 0 || p.Len() != 1 {
+		t.Errorf("read_once should be a bare load, got %v", p.Code)
+	}
+	b = arch.NewBuilder()
+	k.ReadBarrierDepends(b, 2)
+	if p := b.MustBuild(); p.Len() != 0 {
+		t.Errorf("default read_barrier_depends should emit nothing, got %v", p.Code)
+	}
+	b = arch.NewBuilder()
+	k.SmpRmb(b)
+	if got := kinds(b.MustBuild()); got[arch.DMBIshLd] != 1 {
+		t.Errorf("smp_rmb: %v", got)
+	}
+	b = arch.NewBuilder()
+	k.SmpWmb(b)
+	if got := kinds(b.MustBuild()); got[arch.DMBIshSt] != 1 {
+		t.Errorf("smp_wmb: %v", got)
+	}
+}
+
+// TestRBDStrategies checks the Figure 10 implementations emit the right
+// shapes.
+func TestRBDStrategies(t *testing.T) {
+	for _, st := range Strategies() {
+		k := New(Config{Prof: arch.ARMv8(), Strategy: st})
+		b := arch.NewBuilder()
+		k.ReadBarrierDepends(b, 2)
+		p := b.MustBuild()
+		got := kinds(p)
+		switch st.RBD {
+		case RBDNone:
+			if p.Len() != 0 {
+				t.Errorf("%s: expected empty, got %v", st.Name, p.Code)
+			}
+		case RBDCtrl:
+			if got[arch.ISB] != 0 || countOp(p, arch.Bne) != 1 || countOp(p, arch.Nop) != 1 {
+				t.Errorf("%s: want cmp+bne+nop, got %v", st.Name, p.Code)
+			}
+		case RBDCtrlISB:
+			if got[arch.ISB] != 1 || countOp(p, arch.Bne) != 1 {
+				t.Errorf("%s: want ctrl then isb, got %v", st.Name, p.Code)
+			}
+		case RBDIshLd:
+			if got[arch.DMBIshLd] != 1 {
+				t.Errorf("%s: %v", st.Name, got)
+			}
+		case RBDIsh:
+			if got[arch.DMBIsh] != 1 {
+				t.Errorf("%s: %v", st.Name, got)
+			}
+		}
+		// la/sr also fortifies READ_ONCE and WRITE_ONCE.
+		b = arch.NewBuilder()
+		k.ReadOnce(b, 2, 1, 0)
+		ro := kinds(b.MustBuild())
+		b = arch.NewBuilder()
+		k.WriteOnce(b, 2, 1, 0)
+		wo := kinds(b.MustBuild())
+		if st.LASR {
+			if ro[arch.DMBIshLd] != 1 || wo[arch.DMBIshSt] != 1 {
+				t.Errorf("%s: la/sr should add ishld/ishst to READ_ONCE/WRITE_ONCE: %v %v", st.Name, ro, wo)
+			}
+		} else if len(ro) != 0 || len(wo) != 0 {
+			t.Errorf("%s: READ_ONCE/WRITE_ONCE should be bare: %v %v", st.Name, ro, wo)
+		}
+	}
+}
+
+func countOp(p arch.Program, op arch.Op) int {
+	n := 0
+	for _, in := range p.Code {
+		if in.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// TestInjectionSizeInvariance checks base vs test case instruction counts
+// match for macro sites.
+func TestInjectionSizeInvariance(t *testing.T) {
+	v := costfn.ARM
+	cost := map[arch.PathID]costfn.Injection{PathReadOnce: costfn.Cost(v, 64)}
+	nops := map[arch.PathID]costfn.Injection{PathReadOnce: costfn.Nops(v)}
+	a := New(Config{Prof: arch.ARMv8(), Strategy: Default(), Inject: cost})
+	bse := New(Config{Prof: arch.ARMv8(), Strategy: Default(), Inject: nops})
+	ba, bb := arch.NewBuilder(), arch.NewBuilder()
+	a.ReadOnce(ba, 2, 1, 0)
+	bse.ReadOnce(bb, 2, 1, 0)
+	if ba.Len() != bb.Len() {
+		t.Errorf("test case %d instructions, base case %d", ba.Len(), bb.Len())
+	}
+}
+
+// TestSpinLockMutualExclusion checks the substrate lock under contention
+// on both profiles and all Figure 10 strategies.
+func TestSpinLockMutualExclusion(t *testing.T) {
+	const perCore = 50
+	for name, prof := range arch.Profiles() {
+		for _, st := range Strategies() {
+			k := New(Config{Prof: prof, Strategy: st})
+			prog := func() arch.Program {
+				b := arch.NewBuilder()
+				b.MovImm(2, perCore)
+				b.Label("outer")
+				k.SpinLock(b, 1, 0)
+				b.Load(3, 1, 8)
+				b.AddImm(3, 3, 1)
+				b.Store(3, 1, 8)
+				k.SpinUnlock(b, 1, 0)
+				b.SubsImm(2, 2, 1)
+				b.Bne("outer")
+				b.Halt()
+				return b.MustBuild()
+			}
+			m, err := sim.New(prof, sim.Config{Cores: 3, MemWords: 1024, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := 0; c < 3; c++ {
+				if err := m.LoadProgram(c, prog()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, err := m.Run(30_000_000)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, st.Name, err)
+			}
+			if !res.AllHalted {
+				t.Fatalf("%s/%s: did not halt", name, st.Name)
+			}
+			if got := m.ReadMem(8); got != 3*perCore {
+				t.Errorf("%s/%s: counter = %d, want %d", name, st.Name, got, 3*perCore)
+			}
+		}
+	}
+}
+
+// TestSPSCQueue checks the publish/consume ring across two cores: the
+// consumer must receive exactly the produced sequence (no loss, no
+// reordering, no stale payloads), on both profiles.
+func TestSPSCQueue(t *testing.T) {
+	const items = 120
+	const mask = 15
+	for name, prof := range arch.Profiles() {
+		for _, st := range []Strategy{Default(), {Name: "lasr", RBD: RBDIshLd, LASR: true}} {
+			k := New(Config{Prof: prof, Strategy: st})
+			// Producer: push values 1000+i.
+			pb := arch.NewBuilder()
+			pb.MovImm(2, 0) // i
+			pb.Label("prod")
+			pb.AddImm(3, 2, 1000)
+			k.QueuePush(pb, 3, 1, mask)
+			pb.AddImm(2, 2, 1)
+			// Flow control: wait until consumer within window.
+			pb.Label("flow")
+			pb.Load(4, 1, qHead)
+			k.ReadOnce(pb, 5, 1, qTail)
+			pb.Sub(4, 4, 5)
+			pb.CmpImm(4, mask)
+			pb.Bge("flow")
+			pb.CmpImm(2, items)
+			pb.Blt("prod")
+			pb.Halt()
+			// Consumer: pop and verify sequential payloads; count errors.
+			cb := arch.NewBuilder()
+			cb.MovImm(2, 0) // expected index
+			cb.MovImm(7, 0) // error count
+			cb.Label("cons")
+			k.QueuePop(cb, 3, 1, mask)
+			cb.AddImm(4, 2, 1000)
+			cb.Cmp(3, 4)
+			cb.Beq("ok")
+			cb.AddImm(7, 7, 1)
+			cb.Label("ok")
+			cb.AddImm(2, 2, 1)
+			cb.CmpImm(2, items)
+			cb.Blt("cons")
+			cb.Store(7, 1, 512) // error count
+			cb.Store(2, 1, 520) // items consumed
+			cb.Halt()
+			m, err := sim.New(prof, sim.Config{Cores: 2, MemWords: 2048, Seed: 17})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.LoadProgram(0, pb.MustBuild()); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.LoadProgram(1, cb.MustBuild()); err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Run(50_000_000)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, st.Name, err)
+			}
+			if !res.AllHalted {
+				t.Fatalf("%s/%s: did not halt", name, st.Name)
+			}
+			if errs := m.ReadMem(512); errs != 0 {
+				t.Errorf("%s/%s: %d corrupted payloads", name, st.Name, errs)
+			}
+			if got := m.ReadMem(520); got != items {
+				t.Errorf("%s/%s: consumed %d, want %d", name, st.Name, got, items)
+			}
+		}
+	}
+}
+
+// TestSeqlockConsistency runs a writer updating a two-word value inside a
+// seqlock against readers that must never observe a torn pair.
+func TestSeqlockConsistency(t *testing.T) {
+	for name, prof := range arch.Profiles() {
+		k := New(Config{Prof: prof, Strategy: Default()})
+		// Writer: 60 updates of (v, v) pairs.
+		wb := arch.NewBuilder()
+		wb.MovImm(2, 1)
+		wb.Label("wr")
+		k.SeqWriteBegin(wb, 1, 0)
+		wb.Store(2, 1, 64)
+		wb.Store(2, 1, 128)
+		k.SeqWriteEnd(wb, 1, 0)
+		wb.AddImm(2, 2, 1)
+		wb.CmpImm(2, 60)
+		wb.Blt("wr")
+		wb.Halt()
+		// Reader: 60 consistent reads; count mismatches.
+		rb := arch.NewBuilder()
+		rb.MovImm(7, 0)
+		rb.MovImm(2, 0)
+		rb.Label("rd")
+		k.SeqReadRetry(rb, 1, 0, func(b *arch.Builder) {
+			b.Load(4, 1, 64)
+			b.Load(5, 1, 128)
+		})
+		rb.Cmp(4, 5)
+		rb.Beq("match")
+		rb.AddImm(7, 7, 1)
+		rb.Label("match")
+		rb.AddImm(2, 2, 1)
+		rb.CmpImm(2, 60)
+		rb.Blt("rd")
+		rb.Store(7, 1, 512)
+		rb.Halt()
+		m, err := sim.New(prof, sim.Config{Cores: 2, MemWords: 1024, Seed: 23})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = m.LoadProgram(0, wb.MustBuild())
+		_ = m.LoadProgram(1, rb.MustBuild())
+		res, err := m.Run(50_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.AllHalted {
+			t.Fatalf("%s: did not halt", name)
+		}
+		if torn := m.ReadMem(512); torn != 0 {
+			t.Errorf("%s: %d torn seqlock reads", name, torn)
+		}
+	}
+}
+
+// TestPathNames checks every macro has a distinct, stable name.
+func TestPathNames(t *testing.T) {
+	seen := map[string]bool{}
+	if len(Paths) != 14 {
+		t.Fatalf("Paths has %d entries, want 14", len(Paths))
+	}
+	for _, p := range Paths {
+		n := PathName(p)
+		if n == "?" || seen[n] {
+			t.Errorf("bad or duplicate macro name %q", n)
+		}
+		seen[n] = true
+	}
+}

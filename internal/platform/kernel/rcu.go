@@ -1,0 +1,76 @@
+package kernel
+
+import "repro/internal/arch"
+
+// This file adds the read-copy-update machinery the paper names as one of
+// the "larger concurrency frameworks" built over the barrier macros (§4.3):
+// per-CPU nesting counters for the read side and a counter-sampling
+// synchronize_rcu for the write side.
+//
+// The real kernel's read side is free (quiescence is inferred from context
+// switches); a user-level toy cannot see context switches, so this
+// implementation uses the classic atomically-visible nesting counters
+// instead: the read-side enter/exit are uncontended exclusives (coherent,
+// hence immediately globally visible), and the grace-period loop samples
+// them coherently.  With the kernel's smp_mb on both sides of the sampling
+// this is sound on both machines: a reader section either completes before
+// the sampling passes its CPU, or it began after the updater's
+// publication was visible everywhere — in which case its dereference
+// (address-dependent, hence ordered) observes the new version.
+//
+// Memory layout: an RCU domain occupies one counter line per CPU.
+//
+//	base + 16*cpu : read-side nesting counter of cpu
+
+// RCUDomainWords returns the words an RCU domain occupies for n CPUs.
+func RCUDomainWords(n int) int64 { return 16 * int64(n) }
+
+// rcuBump emits an atomic add of delta to the per-CPU counter.  The
+// counter is CPU-private, so the exclusive loop succeeds first try unless
+// the grace-period sampler's exclusive read intervenes.
+func (k *Kernel) rcuBump(b *arch.Builder, rn arch.Reg, cpu int, delta int64) {
+	off := 16 * int64(cpu)
+	retry := label(b, "rcu_bump")
+	b.Label(retry)
+	b.LoadEx(scratchA, rn, off)
+	b.AddImm(scratchA, scratchA, delta)
+	b.StoreEx(scratchB, scratchA, rn, off)
+	b.CmpImm(scratchB, 0)
+	b.Bne(retry)
+}
+
+// RCUReadLock enters a read-side critical section for the executing cpu.
+func (k *Kernel) RCUReadLock(b *arch.Builder, rn arch.Reg, cpu int) {
+	k.rcuBump(b, rn, cpu, 1)
+}
+
+// RCUReadUnlock leaves the read-side critical section.
+func (k *Kernel) RCUReadUnlock(b *arch.Builder, rn arch.Reg, cpu int) {
+	k.rcuBump(b, rn, cpu, -1)
+}
+
+// SynchronizeRCU waits for a grace period: after a full barrier, it polls
+// every CPU's nesting counter until it observes it quiescent (zero), then
+// issues the closing full barrier.  The counters are sampled coherently
+// (exclusive loads), so a non-quiescent CPU can never be missed; the
+// smp_mb pair provides the ordering the paper's macro instrumentation
+// sees on real grace-period paths.
+//
+// The caller must guarantee every reader eventually exits its critical
+// section (all substrate read sections are bounded), or the wait spins
+// forever, as on the real system.
+func (k *Kernel) SynchronizeRCU(b *arch.Builder, rn arch.Reg, cpus int) {
+	// Order the updater's prior stores (the publication) against the
+	// sampling: after this barrier the new version is visible everywhere.
+	k.SmpMB(b)
+	for cpu := 0; cpu < cpus; cpu++ {
+		off := 16 * int64(cpu)
+		wait := label(b, "rcu_gp")
+		b.Label(wait)
+		b.LoadEx(scratchA, rn, off)
+		b.CmpImm(scratchA, 0)
+		b.Bne(wait)
+	}
+	// Order the grace period against the updater's subsequent frees.
+	k.SmpMB(b)
+}

@@ -1,0 +1,223 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// This file provides the concurrency substrate the kernel benchmarks are
+// built on.  Every primitive is expressed in terms of the barrier macros,
+// so instrumenting a macro instruments every primitive that uses it — the
+// kernel benchmarks' sensitivity to a macro is then an emergent property
+// of how often their primitives run, exactly as on the real system.
+
+// Scratch registers reserved by the substrate emitters.
+const (
+	scratchA arch.Reg = 21
+	scratchB arch.Reg = 22
+	scratchC arch.Reg = 23
+)
+
+func label(b *arch.Builder, prefix string) string {
+	return fmt.Sprintf("%s_%d", prefix, b.Len())
+}
+
+// SpinLock emits acquisition of a test-and-set spinlock at [rn + off]
+// (0 = free, 1 = held).  The spin read is a READ_ONCE and the acquisition
+// is followed by smp_mb__after_atomic, as in the kernel's qspinlock slow
+// path.
+func (k *Kernel) SpinLock(b *arch.Builder, rn arch.Reg, off int64) {
+	retry := label(b, "klock")
+	b.Label(retry)
+	// Spin until the lock looks free.  The poll is hand-written assembly
+	// in the real kernel (arch_spin_lock), not the READ_ONCE macro, so
+	// macro instrumentation and the la/sr strategy do not touch it.
+	b.Load(scratchA, rn, off)
+	b.CmpImm(scratchA, 0)
+	b.Bne(retry)
+	// Attempt the exclusive acquisition.
+	b.LoadEx(scratchA, rn, off)
+	b.CmpImm(scratchA, 0)
+	b.Bne(retry)
+	b.MovImm(scratchB, 1)
+	b.StoreEx(scratchC, scratchB, rn, off)
+	b.CmpImm(scratchC, 0)
+	b.Bne(retry)
+	// Acquire ordering comes from the exclusive pair itself (ldaxr on
+	// arm64); the lock fast path invokes no barrier macro.
+}
+
+// SpinUnlock emits release of the spinlock.  Like the acquisition spin,
+// the release is hand-written per-architecture assembly in the kernel
+// (arch_spin_unlock: stlr on arm64, lwsync;store on POWER), so it does not
+// pass through the smp_store_release macro's code path.
+func (k *Kernel) SpinUnlock(b *arch.Builder, rn arch.Reg, off int64) {
+	b.MovImm(scratchA, 0)
+	if k.cfg.Prof.Flavor == arch.NonMCA {
+		b.Fence(arch.LwSync)
+		b.Store(scratchA, rn, off)
+	} else {
+		b.StoreRel(scratchA, rn, off)
+	}
+}
+
+// AtomicInc emits an atomic increment of [rn + off] bracketed by the
+// smp_mb__before/after_atomic pair, leaving the new value in rd.
+func (k *Kernel) AtomicInc(b *arch.Builder, rd, rn arch.Reg, off int64) {
+	k.SmpMBBeforeAtomic(b)
+	retry := label(b, "kinc")
+	b.Label(retry)
+	b.LoadEx(scratchA, rn, off)
+	b.AddImm(rd, scratchA, 1)
+	b.StoreEx(scratchB, rd, rn, off)
+	b.CmpImm(scratchB, 0)
+	b.Bne(retry)
+	k.SmpMBAfterAtomic(b)
+}
+
+// RCUAssign publishes a value: initialise the pointed-to data before the
+// pointer becomes visible (rcu_assign_pointer in its classic smp_wmb +
+// WRITE_ONCE form, which Linux 4.2 drivers still use widely).
+func (k *Kernel) RCUAssign(b *arch.Builder, rs, rn arch.Reg, off int64) {
+	k.SmpWmb(b)
+	k.WriteOnce(b, rs, rn, off)
+}
+
+// RCUDereference reads a published pointer-like value: READ_ONCE followed
+// by read_barrier_depends (the rcu_dereference idiom §4.3).  rd receives
+// the value; the rbd control variants depend on it.
+func (k *Kernel) RCUDereference(b *arch.Builder, rd, rn arch.Reg, off int64) {
+	k.ReadOnce(b, rd, rn, off)
+	k.ReadBarrierDepends(b, rd)
+}
+
+// Queue cell layout: a rings of power-of-two size; each slot is one word,
+// with head and tail counters on their own lines.
+//
+//	base+0:   head (producer index, published)
+//	base+8:   tail (consumer index)
+//	base+16+: slots
+const (
+	qHead    = 0
+	qTail    = 8
+	qSlot0   = 16
+	QueueHdr = qSlot0
+)
+
+// QueuePush emits a single-producer push of rs onto the ring at base rn
+// with slotMask slots-1: write the payload, smp_wmb, publish the new head
+// with WRITE_ONCE.  This is the skb-queue shape the netperf benchmarks
+// hammer.  Clobbers the scratch registers.
+func (k *Kernel) QueuePush(b *arch.Builder, rs, rn arch.Reg, slotMask int64) {
+	// head is producer-private; a plain load suffices to read it.
+	b.Load(scratchA, rn, qHead)
+	b.MovImm(scratchB, slotMask)
+	b.And(scratchB, scratchA, scratchB)
+	b.Lsl(scratchB, scratchB, 3)
+	b.Add(scratchB, rn, scratchB)
+	b.Store(rs, scratchB, qSlot0)
+	// Publish: payload before index.
+	k.SmpWmb(b)
+	b.AddImm(scratchA, scratchA, 1)
+	k.WriteOnce(b, scratchA, rn, qHead)
+}
+
+// QueuePop emits a single-consumer pop from the ring at base rn into rd,
+// spinning until an element is available: READ_ONCE(head), compare to
+// tail, rcu-style dependent read of the slot, advance tail.
+func (k *Kernel) QueuePop(b *arch.Builder, rd, rn arch.Reg, slotMask int64) {
+	wait := label(b, "kqpop")
+	b.Label(wait)
+	k.ReadOnce(b, scratchA, rn, qHead)
+	b.Load(scratchB, rn, qTail)
+	b.Cmp(scratchA, scratchB)
+	b.Beq(wait) // empty
+	// Dependency-ordered read of the slot published at tail.
+	k.ReadBarrierDepends(b, scratchA)
+	b.MovImm(scratchC, slotMask)
+	b.And(scratchC, scratchB, scratchC)
+	b.Lsl(scratchC, scratchC, 3)
+	b.Add(scratchC, rn, scratchC)
+	b.Load(rd, scratchC, qSlot0)
+	b.AddImm(scratchB, scratchB, 1)
+	b.Store(scratchB, rn, qTail)
+}
+
+// QueueTryPop is QueuePop without the blocking spin: if the queue is
+// empty it leaves -1 in rd and falls through.
+func (k *Kernel) QueueTryPop(b *arch.Builder, rd, rn arch.Reg, slotMask int64) {
+	empty := label(b, "kqtry_empty")
+	done := label(b, "kqtry_done")
+	k.ReadOnce(b, scratchA, rn, qHead)
+	b.Load(scratchB, rn, qTail)
+	b.Cmp(scratchA, scratchB)
+	b.Beq(empty)
+	k.ReadBarrierDepends(b, scratchA)
+	b.MovImm(scratchC, slotMask)
+	b.And(scratchC, scratchB, scratchC)
+	b.Lsl(scratchC, scratchC, 3)
+	b.Add(scratchC, rn, scratchC)
+	b.Load(rd, scratchC, qSlot0)
+	b.AddImm(scratchB, scratchB, 1)
+	b.Store(scratchB, rn, qTail)
+	b.B(done)
+	b.Label(empty)
+	b.MovImm(rd, -1)
+	b.Label(done)
+}
+
+// SeqWriteBegin/SeqWriteEnd bracket a seqlock writer critical section on
+// the sequence word at [rn + off].
+func (k *Kernel) SeqWriteBegin(b *arch.Builder, rn arch.Reg, off int64) {
+	b.Load(scratchA, rn, off)
+	b.AddImm(scratchA, scratchA, 1)
+	k.WriteOnce(b, scratchA, rn, off)
+	k.SmpWmb(b)
+}
+
+// SeqWriteEnd completes the seqlock write-side critical section.
+func (k *Kernel) SeqWriteEnd(b *arch.Builder, rn arch.Reg, off int64) {
+	k.SmpWmb(b)
+	b.Load(scratchA, rn, off)
+	b.AddImm(scratchA, scratchA, 1)
+	k.WriteOnce(b, scratchA, rn, off)
+}
+
+// SeqReadRetry emits a seqlock read-side section: sample the sequence,
+// run body, re-sample; retry while the writer was active.  body receives
+// the builder and must not clobber scratchA.
+func (k *Kernel) SeqReadRetry(b *arch.Builder, rn arch.Reg, off int64, body func(*arch.Builder)) {
+	retry := label(b, "kseq")
+	b.Label(retry)
+	k.ReadOnce(b, scratchA, rn, off)
+	k.SmpRmb(b)
+	body(b)
+	k.SmpRmb(b)
+	k.ReadOnce(b, scratchB, rn, off)
+	b.Cmp(scratchA, scratchB)
+	b.Bne(retry)
+	// An odd sequence means a writer was mid-flight; retry too.
+	b.MovImm(scratchC, 1)
+	b.And(scratchC, scratchB, scratchC)
+	b.CmpImm(scratchC, 0)
+	b.Bne(retry)
+}
+
+// SyscallEnter/SyscallExit model the fixed memory-ordering work on the
+// kernel entry/exit path (seqcount reads of the vDSO data page, mandatory
+// barriers around device state in some paths), which is what gives the
+// lmbench-style syscall microbenchmarks their macro sensitivity.
+func (k *Kernel) SyscallEnter(b *arch.Builder, rn arch.Reg, off int64) {
+	// vDSO-style seqcount read: READ_ONCE of the sequence, smp_rmb, then
+	// the entry barrier.
+	k.ReadOnce(b, scratchA, rn, off)
+	k.SmpRmb(b)
+	k.SmpMB(b)
+}
+
+// SyscallExit emits the return-path ordering.
+func (k *Kernel) SyscallExit(b *arch.Builder, rn arch.Reg, off int64) {
+	k.SmpMB(b)
+	k.WriteOnce(b, scratchA, rn, off)
+}

@@ -1,0 +1,135 @@
+// Package report renders experiment results as aligned ASCII tables, the
+// form in which the harness regenerates the paper's figures and tables
+// (rows/series rather than plots).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row; cells beyond the column count are dropped, missing
+// cells padded.
+func (t *Table) Add(cells ...string) *Table {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+	return t
+}
+
+// Addf appends a row built from formatted values.
+func (t *Table) Addf(format string, args ...any) *Table {
+	return t.Add(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+// Note appends a footnote line.
+func (t *Table) Note(format string, args ...any) *Table {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+	return t
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "## %s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Columns)
+	rule := make([]string, len(t.Columns))
+	for i, wd := range widths {
+		rule[i] = strings.Repeat("-", wd)
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// Pct formats a ratio as a signed percentage change.
+func Pct(ratio float64) string {
+	return fmt.Sprintf("%+.2f%%", 100*(ratio-1))
+}
+
+// Sig marks statistically significant comparatives.
+func Sig(significant bool) string {
+	if significant {
+		return "yes"
+	}
+	return "n.s."
+}
+
+// CSV writes the table as RFC-4180-style CSV (title and notes as comment
+// lines), for downstream plotting of the regenerated figures.
+func (t *Table) CSV(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "# %s\n", t.Title)
+	}
+	writeCSVRow(w, t.Columns)
+	for _, row := range t.Rows {
+		writeCSVRow(w, row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+}
+
+func writeCSVRow(w io.Writer, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		fmt.Fprint(w, c)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,65 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := New("Demo", "name", "value")
+	tab.Add("alpha", "1.0")
+	tab.Addf("beta\t%.2f", 2.5)
+	tab.Note("a footnote with %d", 42)
+	out := tab.String()
+	for _, want := range []string{"## Demo", "name", "alpha", "beta", "2.50", "note: a footnote with 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: the header and first row should place "value" and
+	// "1.0" at the same offset.
+	lines := strings.Split(out, "\n")
+	hdr, row := lines[1], lines[3]
+	if strings.Index(hdr, "value") != strings.Index(row, "1.0") {
+		t.Errorf("columns misaligned:\n%s\n%s", hdr, row)
+	}
+}
+
+func TestAddPadsAndTruncates(t *testing.T) {
+	tab := New("t", "a", "b")
+	tab.Add("only")
+	tab.Add("x", "y", "dropped")
+	if len(tab.Rows[0]) != 2 || tab.Rows[0][1] != "" {
+		t.Errorf("short row not padded: %v", tab.Rows[0])
+	}
+	if len(tab.Rows[1]) != 2 {
+		t.Errorf("long row not truncated: %v", tab.Rows[1])
+	}
+}
+
+func TestPctAndSig(t *testing.T) {
+	if got := Pct(1.025); got != "+2.50%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(0.9); got != "-10.00%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if Sig(true) != "yes" || Sig(false) != "n.s." {
+		t.Error("Sig labels wrong")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := New("T", "a", "b")
+	tab.Add("x,y", `quo"te`)
+	tab.Add("plain", "2")
+	tab.Note("n")
+	var sb strings.Builder
+	tab.CSV(&sb)
+	out := sb.String()
+	for _, want := range []string{"# T", "a,b", `"x,y","quo""te"`, "plain,2", "# n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package sim
+
+// l1 is a direct-mapped private cache used purely as a *timing* model: it
+// decides whether a load pays L1, L2 or memory latency.  Values are never
+// served from it — loads always read the coherent storage (MCA) or the
+// core's propagated view (non-MCA) at satisfaction time, which keeps the
+// memory system single-copy atomic per location.  Remote stores invalidate
+// matching lines immediately, so contended data pays coherence-miss
+// latency, which is the effect that makes barrier costs context-dependent
+// in macrobenchmarks (paper §4.4).
+type l1 struct {
+	tags      []int64
+	lineWords int64
+	lineShift uint
+	mask      int64
+
+	hits, misses, invalidations uint64
+}
+
+func newL1(lineCount, lineWords int) *l1 {
+	c := &l1{
+		tags:      make([]int64, lineCount),
+		lineWords: int64(lineWords),
+		mask:      int64(lineCount - 1),
+	}
+	for w := lineWords; w > 1; w >>= 1 {
+		c.lineShift++
+	}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+func (c *l1) lineOf(addr int64) int64 { return addr >> c.lineShift }
+
+// probe reports whether addr hits, recording hit/miss statistics.
+func (c *l1) probe(addr int64) bool {
+	line := c.lineOf(addr)
+	if c.tags[line&c.mask] == line {
+		c.hits++
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// present reports whether addr's line is cached, without touching stats.
+func (c *l1) present(addr int64) bool {
+	line := c.lineOf(addr)
+	return c.tags[line&c.mask] == line
+}
+
+// fill installs the line containing addr.
+func (c *l1) fill(addr int64) {
+	line := c.lineOf(addr)
+	c.tags[line&c.mask] = line
+}
+
+// invalidate removes addr's line if present (remote store committed).
+func (c *l1) invalidate(addr int64) {
+	line := c.lineOf(addr)
+	if c.tags[line&c.mask] == line {
+		c.tags[line&c.mask] = -1
+		c.invalidations++
+	}
+}
+
+// reset empties the cache.
+func (c *l1) reset() {
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+}

@@ -1,0 +1,963 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Window-entry states.
+const (
+	stFetched uint8 = iota // in the window, not yet issued
+	stIssued               // executing; result ready at readyAt
+	stDone                 // completed, eligible to retire in order
+)
+
+const noProd = int64(-1)
+
+// wentry is one in-flight instruction in a core's reorder window.
+type wentry struct {
+	in      arch.Instr
+	pc      int32
+	state   uint8
+	predTak bool // fetch-time prediction for conditional branches
+	fwd     bool // load satisfied by store forwarding
+
+	readyAt int64
+	val     int64 // result value (loads: value read; stxr: 0/1)
+	flagV   int64 // for flag setters: the signed comparison value
+	addr    int64
+	addrOK  bool
+
+	tok uint64 // loads: commit seq associated with the value read
+
+	prod  [2]int64 // window ids of operand producers (noProd = regfile)
+	fprod int64    // window id of flags producer
+	latCl uint8    // latency class chosen at issue (loads)
+}
+
+// Latency classes for loads.
+const (
+	latHit uint8 = iota
+	latL2
+	latMem
+	latFwd
+)
+
+// sbEntry is a pending store (or ordering marker) in the store buffer.
+type sbEntry struct {
+	addr, val int64
+	ready     int64 // earliest commit time (line ownership acquired)
+	site      arch.PathID
+	release   bool // store-release: may not be bypassed, fences the group
+	fence     bool // pure marker from dmb ishst / lwsync
+}
+
+// CoreStats aggregates per-core observable counters for a run.
+type CoreStats struct {
+	Retired     uint64
+	Work        int64
+	Loads       uint64
+	Stores      uint64
+	Barriers    uint64
+	Mispredicts uint64
+	Squashes    uint64
+	L1Hits      uint64
+	L1Misses    uint64
+	StallFull   uint64 // cycles with a full window and nothing fetched
+	WorkTimes   []int64
+}
+
+type core struct {
+	id   int
+	m    *Machine
+	prog []arch.Instr
+
+	regs  [arch.NumRegs]int64
+	flagV int64
+
+	// Reorder window: entries are addressed by monotonically increasing
+	// ids; slot(id) = id & mask.  Ids in [retireID, nextID) are live.
+	entries  []wentry
+	mask     int64
+	retireID int64
+	nextID   int64
+
+	regProd  [arch.NumRegs]int64
+	flagProd int64
+
+	fetchPC         int32
+	fetchStallUntil int64
+	fetchHalted     bool // Halt has been fetched; stop fetching
+
+	sb           []sbEntry
+	nextCommitAt int64
+
+	pred   *predictor
+	cache  *l1
+	rnd    rng
+	halted bool
+
+	// Idle fast path: when nothing can be fetched or issued, the core's
+	// next state change is a known future time; step() skips until then.
+	nFetched  int   // window entries in stFetched
+	minReady  int64 // earliest pending completion seen by the last scan
+	idleUntil int64
+	stats     CoreStats
+	lastRet   int64 // cycle of the most recent retirement (watchdog)
+
+	monArmed bool
+	monAddr  int64
+	monSeq   uint64
+
+	recordWork bool
+}
+
+func newCore(id int, m *Machine, seed uint64) *core {
+	winCap := 1
+	for winCap < m.prof.Pipe.Window {
+		winCap <<= 1
+	}
+	c := &core{
+		id:       id,
+		m:        m,
+		entries:  make([]wentry, winCap),
+		mask:     int64(winCap - 1),
+		pred:     newPredictor(m.prof.Pipe.BranchPredictorBits),
+		cache:    newL1(m.prof.L1Lines, m.prof.LineWords),
+		rnd:      newRNG(seed),
+		flagProd: noProd,
+	}
+	for i := range c.regProd {
+		c.regProd[i] = noProd
+	}
+	return c
+}
+
+func (c *core) slot(id int64) *wentry { return &c.entries[id&c.mask] }
+
+func (c *core) live() int64 { return c.nextID - c.retireID }
+
+// operandVal resolves a register operand at issue time.  A producer that
+// has already retired has written its value to the architectural register
+// file (and nothing younger than the consumer can have overwritten it,
+// because retirement is in order).
+func (c *core) operandVal(_ int64, r arch.Reg, prodID int64) int64 {
+	if prodID == noProd || prodID < c.retireID {
+		return c.regs[r]
+	}
+	return c.slot(prodID).val
+}
+
+// prodReady reports whether the producer of an operand has its value.
+func (c *core) prodReady(prodID int64) bool {
+	if prodID == noProd || prodID < c.retireID {
+		return true
+	}
+	return c.slot(prodID).state == stDone
+}
+
+// step advances the core by one cycle.
+func (c *core) step(now int64) {
+	if c.halted {
+		return
+	}
+	if now < c.idleUntil {
+		// Nothing can change before idleUntil: no fetchable or issuable
+		// work exists and every pending event (completion, store-buffer
+		// commit, fetch restart) lies in the future.  Deliveries are
+		// value-only and are re-applied at load completion.
+		return
+	}
+	c.m.store.deliver(c.id, now)
+	c.drainSB(now)
+	c.completeAndIssue(now)
+	c.retire(now)
+	c.fetch(now)
+	c.maybeIdle(now)
+}
+
+// maybeIdle computes how long the core can safely skip cycles: only when
+// no instruction is waiting to issue and fetch cannot add one.  All
+// remaining state transitions are then timed events.
+func (c *core) maybeIdle(now int64) {
+	if c.nFetched != 0 || c.halted {
+		return
+	}
+	canFetch := !c.fetchHalted && now >= c.fetchStallUntil &&
+		c.live() < int64(c.m.prof.Pipe.Window) && int(c.fetchPC) < len(c.prog)
+	if canFetch {
+		return
+	}
+	wake := int64(1) << 62
+	if c.minReady > now && c.minReady < wake {
+		wake = c.minReady
+	}
+	if len(c.sb) > 0 {
+		w := c.nextCommitAt
+		if !c.sb[0].fence && c.sb[0].ready > w {
+			w = c.sb[0].ready
+		}
+		if w <= now {
+			w = now + 1
+		}
+		if w < wake {
+			wake = w
+		}
+	}
+	if !c.fetchHalted && c.fetchStallUntil > now && c.fetchStallUntil < wake {
+		wake = c.fetchStallUntil
+	}
+	if wake > now+1 && wake < int64(1)<<62 {
+		c.idleUntil = wake
+	}
+}
+
+// ---------------------------------------------------------------- fetch --
+
+func (c *core) fetch(now int64) {
+	if c.fetchHalted || now < c.fetchStallUntil {
+		return
+	}
+	for n := 0; n < c.m.prof.Pipe.FetchWidth; n++ {
+		if c.live() >= int64(c.m.prof.Pipe.Window) {
+			c.stats.StallFull++
+			return
+		}
+		if int(c.fetchPC) >= len(c.prog) {
+			return
+		}
+		in := c.prog[c.fetchPC]
+		id := c.nextID
+		c.nextID++
+		c.nFetched++
+		e := c.slot(id)
+		*e = wentry{in: in, pc: c.fetchPC, state: stFetched, fprod: noProd}
+		e.prod[0], e.prod[1] = noProd, noProd
+
+		// Record operand producers (rename-lite).
+		var buf [3]arch.Reg
+		reads := in.Reads(buf[:0])
+		for i, r := range reads {
+			if i < 2 {
+				e.prod[i] = c.regProd[r]
+			}
+		}
+		if in.ReadsFlags() {
+			e.fprod = c.flagProd
+		}
+		if rd, ok := in.Writes(); ok {
+			c.regProd[rd] = id
+		}
+		if in.SetsFlags() {
+			c.flagProd = id
+		}
+
+		// Redirect fetch.
+		switch {
+		case in.Op == arch.B:
+			c.fetchPC = in.Target
+		case in.Op.IsCondBranch():
+			e.predTak = c.pred.predict(e.pc)
+			if e.predTak {
+				c.fetchPC = in.Target
+			} else {
+				c.fetchPC++
+			}
+		case in.Op == arch.Halt:
+			c.fetchHalted = true
+			c.fetchPC++
+			return
+		default:
+			c.fetchPC++
+		}
+	}
+}
+
+// ------------------------------------------------------------- complete --
+
+// completeAndIssue walks the window oldest→youngest once per cycle,
+// completing in-flight instructions whose latency has elapsed and issuing
+// ready instructions subject to the memory-ordering constraints of the
+// profile's ISA.
+func (c *core) completeAndIssue(now int64) {
+	issueBudget := c.m.prof.Pipe.IssueWidth
+	c.minReady = int64(1) << 62
+
+	// Ordering state accumulated over older entries during the scan.
+	barrierPending := false     // any incomplete barrier (barriers serialize)
+	fullBarrierPending := false // incomplete dmb ish / hwsync / isb older than here
+	loadBarrierPending := false // incomplete load-ordering barrier or ldar
+	olderLoadPending := false   // an older load has not yet satisfied
+	olderStoreAddrUnknown := false
+	noSpec := c.m.prof.Pipe.NoLoadSpeculation
+
+	for id := c.retireID; id < c.nextID; id++ {
+		e := c.slot(id)
+
+		if e.state == stIssued && e.readyAt <= now {
+			c.complete(id, e, now)
+		}
+
+		if e.state == stFetched && issueBudget > 0 {
+			blocked := c.tryIssue(id, e, now,
+				barrierPending, fullBarrierPending, loadBarrierPending, olderLoadPending, olderStoreAddrUnknown)
+			if !blocked && e.state != stFetched {
+				issueBudget--
+				c.nFetched--
+			}
+			// A mispredicted branch squashes everything younger; the
+			// window beyond this point is gone.
+			if id >= c.nextID {
+				return
+			}
+		}
+
+		if e.state == stIssued && e.readyAt < c.minReady {
+			c.minReady = e.readyAt
+		}
+
+		// Update ordering state for younger entries.
+		op := e.in.Op
+		switch {
+		case op == arch.Barrier:
+			if e.state != stDone {
+				// Barriers serialize against each other (at most one in
+				// flight), which is what gives them a measurable cost
+				// even in sterile timing loops (TXT3); beyond that,
+				// only the orderings their semantics demand stall
+				// younger work, so a dmb ishld overlaps with stores and
+				// computation in vivo (the §4.3.1 divergence).
+				barrierPending = true
+				k := e.in.Kind
+				if k == arch.DMBIsh || k == arch.HwSync || k == arch.ISB {
+					fullBarrierPending = true
+				}
+				if k.OrdersLoadLoad() {
+					loadBarrierPending = true
+				}
+			}
+		case op == arch.LoadAcq:
+			if e.state != stDone {
+				loadBarrierPending = true
+			}
+			if e.state != stDone {
+				olderLoadPending = true
+			}
+		case op.IsLoad():
+			if e.state != stDone {
+				olderLoadPending = true
+			}
+		case op.IsStore():
+			if !e.addrOK {
+				olderStoreAddrUnknown = true
+			}
+		case noSpec && op.IsCondBranch():
+			if e.state == stFetched {
+				// Speculation ablation: unresolved branches order
+				// younger loads like a load barrier would.
+				loadBarrierPending = true
+			}
+		}
+	}
+}
+
+// complete finishes an issued instruction whose latency has elapsed.
+func (c *core) complete(id int64, e *wentry, now int64) {
+	if e.in.Op.IsLoad() && !e.fwd {
+		c.readLoadValue(e, now)
+	}
+	e.state = stDone
+}
+
+// readLoadValue performs the actual memory read at satisfaction time.  On
+// MCA storage the value is the coherent one; on non-MCA storage it is the
+// core's propagated view.  Weak load-load behaviour therefore arises from
+// loads being satisfied out of program order, which barriers, acquires and
+// value dependencies constrain by ordering satisfaction times.
+func (c *core) readLoadValue(e *wentry, now int64) {
+	st := c.m.store
+	addr := e.addr
+
+	if e.in.Op == arch.LoadEx {
+		// Exclusives read the coherent value and arm the monitor.
+		// Obtaining the line coherently implies its propagation (and
+		// that of everything channel-ordered before it) has reached
+		// this core.
+		val, seq := st.readCoherent(addr)
+		e.val, e.tok = val, seq
+		st.observeExclusive(c.id, addr, seq, now)
+		c.monArmed, c.monAddr, c.monSeq = true, addr, seq
+	} else {
+		st.deliver(c.id, now)
+		val, seq := st.readView(c.id, addr, now)
+		e.val, e.tok = val, seq
+	}
+	st.noteObserved(c.id, addr, e.tok)
+	if e.latCl != latHit {
+		c.cache.fill(addr)
+		c.m.store.touchLine(addr >> c.cache.lineShift)
+	}
+}
+
+// ---------------------------------------------------------------- issue --
+
+// tryIssue attempts to issue entry e.  It returns true if the entry was
+// blocked by an ordering constraint or unready operand (so it did not
+// consume an issue slot).
+func (c *core) tryIssue(id int64, e *wentry, now int64,
+	barrier, fullBarrier, loadBarrier, olderLoadPending, olderStoreAddrUnknown bool) bool {
+
+	prof := c.m.prof
+	in := e.in
+
+	// A full barrier (dmb ish / hwsync / isb) stalls younger memory
+	// accesses; any barrier stalls younger barriers (serialization).
+	if fullBarrier && in.Op.IsMem() {
+		return true
+	}
+	if barrier && in.Op == arch.Barrier {
+		return true
+	}
+	if !c.prodReady(e.prod[0]) || !c.prodReady(e.prod[1]) {
+		return true
+	}
+	if in.ReadsFlags() && !c.prodReady(e.fprod) {
+		return true
+	}
+	if c.rnd.permille(prof.Pipe.IssueJitter) {
+		return true
+	}
+
+	switch in.Op {
+	case arch.Nop:
+		e.state = stIssued
+		e.readyAt = now + 1
+
+	case arch.Work, arch.Halt:
+		// Halts complete only at the head with an empty store buffer;
+		// model that at retire by marking done here.
+		e.state = stIssued
+		e.readyAt = now + 1
+
+	case arch.MovImm:
+		e.val = in.Imm
+		e.state, e.readyAt = stIssued, now+prof.Lat.ALU
+
+	case arch.Mov:
+		e.val = c.operandVal(id, in.Rn, e.prod[0])
+		e.state, e.readyAt = stIssued, now+prof.Lat.ALU
+
+	case arch.Add, arch.Sub, arch.And, arch.Orr, arch.Eor, arch.Mul:
+		a := c.operandVal(id, in.Rn, e.prod[0])
+		b := c.operandVal(id, in.Rm, e.prod[1])
+		switch in.Op {
+		case arch.Add:
+			e.val = a + b
+		case arch.Sub:
+			e.val = a - b
+		case arch.And:
+			e.val = a & b
+		case arch.Orr:
+			e.val = a | b
+		case arch.Eor:
+			e.val = a ^ b
+		case arch.Mul:
+			e.val = a * b
+		}
+		lat := prof.Lat.ALU
+		if in.Op == arch.Mul {
+			lat = prof.Lat.Mul
+		}
+		e.state, e.readyAt = stIssued, now+lat
+
+	case arch.AddImm, arch.SubImm, arch.Lsl, arch.Lsr, arch.SubsImm:
+		a := c.operandVal(id, in.Rn, e.prod[0])
+		switch in.Op {
+		case arch.AddImm:
+			e.val = a + in.Imm
+		case arch.SubImm:
+			e.val = a - in.Imm
+		case arch.Lsl:
+			e.val = a << uint(in.Imm)
+		case arch.Lsr:
+			e.val = int64(uint64(a) >> uint(in.Imm))
+		case arch.SubsImm:
+			e.val = a - in.Imm
+			e.flagV = e.val
+		}
+		e.state, e.readyAt = stIssued, now+prof.Lat.ALU
+
+	case arch.CmpImm:
+		e.flagV = c.operandVal(id, in.Rn, e.prod[0]) - in.Imm
+		e.state, e.readyAt = stIssued, now+prof.Lat.ALU
+
+	case arch.Cmp:
+		e.flagV = c.operandVal(id, in.Rn, e.prod[0]) - c.operandVal(id, in.Rm, e.prod[1])
+		e.state, e.readyAt = stIssued, now+prof.Lat.ALU
+
+	case arch.B:
+		e.state, e.readyAt = stIssued, now+1
+
+	case arch.Beq, arch.Bne, arch.Blt, arch.Bge:
+		c.resolveBranch(id, e, now)
+
+	case arch.Load, arch.LoadAcq, arch.LoadEx:
+		return c.issueLoad(id, e, now, loadBarrier, olderStoreAddrUnknown)
+
+	case arch.Store, arch.StoreRel:
+		// Stores are "done" once address and data are known; the memory
+		// effect happens at retire, through the store buffer.
+		if !c.prodReady(e.prod[1]) {
+			return true
+		}
+		e.addr = c.operandVal(id, in.Rn, e.prod[0]) + in.Imm
+		if !c.checkAddr(e.addr) {
+			return true
+		}
+		e.addrOK = true
+		e.val = c.operandVal(id, in.Rd, e.prod[1])
+		e.state, e.readyAt = stIssued, now+1
+
+	case arch.StoreEx:
+		return c.issueStoreEx(id, e, now)
+
+	case arch.Barrier:
+		return c.issueBarrier(id, e, now, olderLoadPending)
+
+	default:
+		c.m.fail(fmt.Errorf("core %d: unknown opcode %v at pc %d", c.id, in.Op, e.pc))
+	}
+	return false
+}
+
+func (c *core) resolveBranch(id int64, e *wentry, now int64) {
+	fp := e.fprod
+	var fv int64
+	if fp == noProd || fp < c.retireID {
+		fv = c.flagV
+	} else {
+		fv = c.slot(fp).flagV
+	}
+	var taken bool
+	switch e.in.Op {
+	case arch.Beq:
+		taken = fv == 0
+	case arch.Bne:
+		taken = fv != 0
+	case arch.Blt:
+		taken = fv < 0
+	case arch.Bge:
+		taken = fv >= 0
+	}
+	c.pred.update(e.pc, taken)
+	e.state, e.readyAt = stIssued, now+1
+	if taken == e.predTak {
+		return
+	}
+	// A "mispredicted" branch whose actual target coincides with the path
+	// fetch already took (e.g. a conditional branch to the next
+	// instruction, as in the ctrl litmus shapes and the paper's ctrl
+	// read_barrier_depends strategy) costs nothing: the fetched stream is
+	// correct either way.
+	actualNext := e.pc + 1
+	if taken {
+		actualNext = e.in.Target
+	}
+	predictedNext := e.pc + 1
+	if e.predTak {
+		predictedNext = e.in.Target
+	}
+	if actualNext == predictedNext {
+		return
+	}
+	// Misprediction: squash everything younger and restart fetch.
+	c.stats.Mispredicts++
+	c.squashAfter(id)
+	if taken {
+		c.fetchPC = e.in.Target
+	} else {
+		c.fetchPC = e.pc + 1
+	}
+	c.fetchHalted = false
+	c.fetchStallUntil = now + c.m.prof.Lat.Mispredict
+}
+
+// squashAfter removes all window entries younger than id and rebuilds the
+// producer maps.
+func (c *core) squashAfter(id int64) {
+	c.stats.Squashes += uint64(c.nextID - id - 1)
+	c.nextID = id + 1
+	for i := range c.regProd {
+		c.regProd[i] = noProd
+	}
+	c.flagProd = noProd
+	c.nFetched = 0
+	for i := c.retireID; i < c.nextID; i++ {
+		e := c.slot(i)
+		if e.state == stFetched {
+			c.nFetched++
+		}
+		if rd, ok := e.in.Writes(); ok {
+			c.regProd[rd] = i
+		}
+		if e.in.SetsFlags() {
+			c.flagProd = i
+		}
+	}
+}
+
+// checkAddr reports whether addr is a valid memory address.  Out-of-range
+// addresses block issue rather than failing the machine: instructions on a
+// mispredicted path can compute arbitrary addresses and will be squashed; a
+// genuinely bad program eventually trips the retirement watchdog instead.
+func (c *core) checkAddr(addr int64) bool {
+	return addr >= 0 && addr < int64(c.m.memWords)
+}
+
+func (c *core) issueLoad(id int64, e *wentry, now int64, loadBarrier, olderStoreAddrUnknown bool) bool {
+	prof := c.m.prof
+	if loadBarrier {
+		return true
+	}
+	if olderStoreAddrUnknown {
+		// No speculative memory disambiguation: wait until all older
+		// store addresses are known.
+		return true
+	}
+	addr := c.operandVal(id, e.in.Rn, e.prod[0]) + e.in.Imm
+	if !c.checkAddr(addr) {
+		return true
+	}
+	e.addr = addr
+	e.addrOK = true
+
+	if e.in.Op == arch.LoadAcq {
+		// stlr→ldar: an acquire load may not satisfy while a release
+		// store from this core is still buffered.
+		for i := range c.sb {
+			if c.sb[i].release {
+				return true
+			}
+		}
+	}
+
+	// Same-address ordering: loads to one location satisfy in program
+	// order (preserves per-location coherence, CoRR).  An older load whose
+	// address is not yet computable blocks this one: we do not speculate
+	// on load-load disambiguation.
+	for i := c.retireID; i < id; i++ {
+		o := c.slot(i)
+		if !o.in.Op.IsLoad() || o.state == stDone {
+			continue
+		}
+		oaddr := o.addr
+		if !o.addrOK {
+			if !c.prodReady(o.prod[0]) {
+				return true
+			}
+			oaddr = c.operandVal(i, o.in.Rn, o.prod[0]) + o.in.Imm
+		}
+		if oaddr == addr {
+			return true
+		}
+	}
+
+	if e.in.Op == arch.LoadEx {
+		// Exclusive loads must read coherent memory so the monitor is
+		// armed against the true coherence state: wait for any older
+		// buffered store to the same address to drain first.
+		for i := id - 1; i >= c.retireID; i-- {
+			o := c.slot(i)
+			if o.in.Op.IsStore() && o.addrOK && o.addr == addr {
+				return true
+			}
+		}
+		for i := range c.sb {
+			if !c.sb[i].fence && c.sb[i].addr == addr {
+				return true
+			}
+		}
+	} else {
+		// Store-to-load forwarding: youngest older store to the same
+		// address, in the window or the store buffer.
+		for i := id - 1; i >= c.retireID; i-- {
+			o := c.slot(i)
+			if !o.in.Op.IsStore() || !o.addrOK || o.addr != addr {
+				continue
+			}
+			if o.in.Op == arch.StoreEx {
+				break // already committed to storage; read it from there
+			}
+			if o.state != stDone {
+				return true // value not ready yet
+			}
+			e.val = o.val
+			e.fwd = true
+			e.tok = 0
+			e.state, e.readyAt, e.latCl = stIssued, now+1, latFwd
+			c.stats.Loads++
+			return false
+		}
+		for i := len(c.sb) - 1; i >= 0; i-- {
+			s := &c.sb[i]
+			if !s.fence && s.addr == addr {
+				e.val = s.val
+				e.fwd = true
+				e.state, e.readyAt, e.latCl = stIssued, now+1, latFwd
+				c.stats.Loads++
+				return false
+			}
+		}
+	}
+
+	lat := int64(0)
+	if c.cache.probe(addr) {
+		lat = prof.Lat.L1Hit
+		e.latCl = latHit
+		c.stats.L1Hits++
+	} else {
+		line := addr >> c.cache.lineShift
+		if c.m.store.lineTouched(line) {
+			lat = prof.Lat.L2Hit
+			e.latCl = latL2
+		} else {
+			lat = prof.Lat.Mem
+			e.latCl = latMem
+		}
+		lat += prof.Lat.L1Fill
+		c.stats.L1Misses++
+	}
+	if e.in.Op == arch.LoadAcq {
+		lat += prof.Lat.AcqIssue
+	}
+	// Bank-conflict / memory-scheduling jitter: a small random latency
+	// component that both spreads repeated samples and perturbs the
+	// relative satisfaction order of independent loads.
+	if c.rnd.permille(prof.Pipe.IssueJitter * 8) {
+		lat += 1 + c.rnd.intn(4)
+	}
+	e.state, e.readyAt = stIssued, now+lat
+	c.stats.Loads++
+	return false
+}
+
+func (c *core) issueStoreEx(id int64, e *wentry, now int64) bool {
+	// Store-exclusives serialize: they perform their check-and-commit
+	// atomically when they are the oldest un-retired instruction.
+	if id != c.retireID {
+		return true
+	}
+	// The exclusive commits to the coherent point directly, bypassing the
+	// store buffer; it therefore may not run ahead of an ordering marker
+	// (dmb ishst / lwsync) or a release store still buffered, or it would
+	// reorder across an explicit fence.  Plain buffered stores may still
+	// be bypassed — that is ordinary (architecturally allowed)
+	// store-store reordering.
+	for i := range c.sb {
+		if c.sb[i].fence || c.sb[i].release {
+			return true
+		}
+	}
+	if !c.prodReady(e.prod[1]) {
+		return true
+	}
+	addr := c.operandVal(id, e.in.Rn, e.prod[0]) + e.in.Imm
+	if !c.checkAddr(addr) {
+		return true
+	}
+	e.addr, e.addrOK = addr, true
+	val := c.operandVal(id, e.in.Rm, e.prod[1])
+
+	_, seq := c.m.store.readCoherent(addr)
+	if c.monArmed && c.monAddr == addr && c.monSeq == seq {
+		c.m.store.commitStore(c.id, addr, val, now)
+		e.val = 0
+		c.stats.Stores++
+	} else {
+		e.val = 1
+	}
+	c.monArmed = false
+	e.state, e.readyAt = stIssued, now+c.m.prof.Lat.L1Hit+1
+	return false
+}
+
+func (c *core) issueBarrier(id int64, e *wentry, now int64, olderLoadPending bool) bool {
+	prof := c.m.prof
+	cost := prof.Lat.BarrierIssue[e.in.Kind]
+	switch e.in.Kind {
+	case arch.DMBIsh, arch.HwSync:
+		if id != c.retireID || len(c.sb) != 0 {
+			return true
+		}
+		if e.in.Kind == arch.HwSync {
+			if ack := c.m.store.visibleAllBy(c.id); ack > now {
+				return true
+			}
+		}
+		e.state, e.readyAt = stIssued, now+cost
+
+	case arch.DMBIshLd:
+		if olderLoadPending {
+			return true
+		}
+		e.state, e.readyAt = stIssued, now+cost
+
+	case arch.LwSync:
+		if olderLoadPending {
+			return true
+		}
+		e.state, e.readyAt = stIssued, now+cost
+
+	case arch.DMBIshSt:
+		e.state, e.readyAt = stIssued, now+cost
+
+	case arch.ISB:
+		if id != c.retireID {
+			return true
+		}
+		e.state, e.readyAt = stIssued, now+cost
+
+	default:
+		c.m.fail(fmt.Errorf("core %d: bad barrier kind %v", c.id, e.in.Kind))
+	}
+	return false
+}
+
+// --------------------------------------------------------------- retire --
+
+func (c *core) retire(now int64) {
+	prof := c.m.prof
+	for n := 0; n < prof.Pipe.RetireWidth && c.live() > 0; n++ {
+		id := c.retireID
+		e := c.slot(id)
+		if e.state != stDone {
+			return
+		}
+		in := e.in
+		switch {
+		case in.Op.IsStore() && in.Op != arch.StoreEx:
+			if len(c.sb) >= prof.Pipe.SBDepth {
+				return // store buffer full: stall retirement
+			}
+			// Ownership-acquisition time varies per line (directory
+			// state, contention); the variance is what lets a younger
+			// ready store drain past a stuck head.
+			drain := prof.Lat.StoreDrain + c.rnd.intn(prof.Lat.StoreDrain+1)
+			c.sb = append(c.sb, sbEntry{
+				addr: e.addr, val: e.val,
+				ready:   now + drain,
+				site:    in.Site,
+				release: in.Op == arch.StoreRel,
+			})
+			c.stats.Stores++
+
+		case in.Op == arch.Barrier:
+			c.stats.Barriers++
+			switch in.Kind {
+			case arch.DMBIshSt, arch.LwSync:
+				// Store-side ordering: later stores may not be
+				// committed (or propagated) before earlier ones.
+				c.sb = append(c.sb, sbEntry{fence: true})
+			case arch.ISB:
+				// Context synchronization: discard all speculative
+				// work and restart fetch after the flush penalty.
+				c.squashAfter(id)
+				c.fetchPC = e.pc + 1
+				c.fetchHalted = false
+				c.fetchStallUntil = now + prof.Lat.ISBFlush
+			}
+
+		case in.Op == arch.Work:
+			c.stats.Work += in.Imm
+			if c.recordWork && len(c.stats.WorkTimes) < maxWorkTimes {
+				c.stats.WorkTimes = append(c.stats.WorkTimes, now)
+			}
+
+		case in.Op == arch.Halt:
+			if len(c.sb) != 0 {
+				return // drain before halting
+			}
+			c.halted = true
+			c.retireID++
+			c.stats.Retired++
+			c.lastRet = now
+			return
+		}
+
+		if rd, ok := in.Writes(); ok {
+			c.regs[rd] = e.val
+			if c.regProd[rd] == id {
+				c.regProd[rd] = noProd
+			}
+		}
+		if in.SetsFlags() {
+			c.flagV = e.flagV
+			if c.flagProd == id {
+				c.flagProd = noProd
+			}
+		}
+		c.m.countSite(c.id, in.Site)
+		if c.m.tracer != nil {
+			c.emitTrace(now, e)
+		}
+		c.retireID++
+		c.stats.Retired++
+		c.lastRet = now
+	}
+}
+
+// -------------------------------------------------------------- storebuf --
+
+func (c *core) drainSB(now int64) {
+	if len(c.sb) == 0 || now < c.nextCommitAt {
+		return
+	}
+	// Pop leading fence markers for free.
+	for len(c.sb) > 0 && c.sb[0].fence {
+		c.m.store.fence(c.id)
+		c.sb = c.sb[:copy(c.sb, c.sb[1:])]
+	}
+	if len(c.sb) == 0 {
+		return
+	}
+	idx := 0
+	if c.sb[0].ready > now {
+		// The head store has not yet acquired its line.  A younger store
+		// to a different line whose ownership is already held may commit
+		// first (write combining / out-of-order drain) — this is the
+		// store-store reordering that dmb ishst and lwsync forbid, which
+		// the fence markers in the buffer prevent here.
+		if len(c.sb) > 1 && c.sb[1].ready <= now &&
+			!c.sb[0].release && !c.sb[1].release && !c.sb[1].fence &&
+			c.sb[0].addr>>c.cache.lineShift != c.sb[1].addr>>c.cache.lineShift &&
+			c.rnd.permille(storeCombinePermille) {
+			idx = 1
+			// The bypassed head stays stuck for a while longer (its
+			// line is genuinely unavailable), which is what makes the
+			// reordering externally observable.
+			c.sb[0].ready = now + c.rnd.rangeInt(20, 60)
+		} else {
+			return
+		}
+	}
+	e := c.sb[idx]
+	if e.release {
+		// Release stores close the propagation group before committing
+		// and reopen it after, so nothing moves across them.
+		c.m.store.fence(c.id)
+	}
+	c.m.store.commitStore(c.id, e.addr, e.val, now)
+	if e.release {
+		c.m.store.fence(c.id)
+	}
+	c.sb = append(c.sb[:idx], c.sb[idx+1:]...)
+	c.nextCommitAt = now + c.m.prof.Lat.StoreCommit
+}
+
+// storeCombinePermille is the probability (per mille) that the store buffer
+// commits out of order across different cache lines when permitted.
+const storeCombinePermille = 300
+
+// maxWorkTimes bounds the per-core work-timestamp recording.
+const maxWorkTimes = 8192

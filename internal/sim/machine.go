@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Config parameterises a Machine.
+type Config struct {
+	// Cores is the number of hardware threads (max 64).
+	Cores int
+	// MemWords is the size of the simulated memory in 64-bit words.
+	MemWords int
+	// Seed drives all nondeterminism in the run.
+	Seed int64
+	// WarmupCycles, when positive, resets the work counters at that
+	// cycle so throughput is measured over the steady state only.
+	WarmupCycles int64
+	// RecordWork retains per-core retirement timestamps of Work
+	// instructions (bounded), for response-time benchmarks.
+	RecordWork bool
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	Cycles          int64 // total cycles simulated
+	EffectiveCycles int64 // cycles after the warmup boundary
+	Cores           []CoreStats
+	TotalWork       int64
+	SiteCounts      []uint64 // retired-instruction counts per code path
+	AllHalted       bool
+}
+
+// WorkPerNs returns throughput in work units per simulated nanosecond.
+func (r Result) WorkPerNs(p *arch.Profile) float64 {
+	if r.EffectiveCycles <= 0 {
+		return 0
+	}
+	return float64(r.TotalWork) / p.CyclesToNs(r.EffectiveCycles)
+}
+
+// Machine is a multicore weak-memory simulator instance.  A Machine is used
+// for a single run: construct, load programs, run, inspect.
+type Machine struct {
+	prof     *arch.Profile
+	cfg      Config
+	cores    []*core
+	store    storage
+	memWords int
+	now      int64
+	err      error
+
+	siteCounts []uint64
+	warmStart  int64
+	tracer     Tracer
+}
+
+// watchdogCycles is the number of cycles without any retirement after which
+// the machine declares itself deadlocked (a simulator or program bug).
+const watchdogCycles = 100_000
+
+// New constructs a machine for the given profile.
+func New(prof *arch.Profile, cfg Config) (*Machine, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Cores < 1 || cfg.Cores > 64 {
+		return nil, fmt.Errorf("sim: core count %d outside [1,64]", cfg.Cores)
+	}
+	if cfg.MemWords < prof.LineWords {
+		return nil, fmt.Errorf("sim: memory of %d words is smaller than one line", cfg.MemWords)
+	}
+	m := &Machine{prof: prof, cfg: cfg, memWords: cfg.MemWords}
+	caches := make([]*l1, cfg.Cores)
+	m.cores = make([]*core, cfg.Cores)
+	base := newRNG(uint64(cfg.Seed))
+	for i := range m.cores {
+		m.cores[i] = newCore(i, m, base.next())
+		caches[i] = m.cores[i].cache
+		m.cores[i].recordWork = cfg.RecordWork
+	}
+	if prof.Flavor == arch.MCA {
+		m.store = newMCAStorage(cfg.MemWords, prof.LineWords, caches)
+	} else {
+		m.store = newNonMCAStorage(cfg.MemWords, prof.LineWords, cfg.Cores,
+			prof.Lat.PropMin, prof.Lat.PropMax, prof.Lat.PropTail, base.next(), caches)
+	}
+	return m, nil
+}
+
+// Prof returns the machine's architecture profile.
+func (m *Machine) Prof() *arch.Profile { return m.prof }
+
+// LoadProgram installs prog on the given core.  Branch targets must lie
+// within the program.
+func (m *Machine) LoadProgram(coreID int, prog arch.Program) error {
+	if coreID < 0 || coreID >= len(m.cores) {
+		return fmt.Errorf("sim: core %d out of range", coreID)
+	}
+	for i, in := range prog.Code {
+		if in.Op.IsBranch() && (in.Target < 0 || int(in.Target) >= len(prog.Code)) {
+			return fmt.Errorf("sim: instruction %d branches to %d, outside program of %d", i, in.Target, len(prog.Code))
+		}
+	}
+	m.cores[coreID].prog = prog.Code
+	return nil
+}
+
+// SetReg initialises a register before the run.
+func (m *Machine) SetReg(coreID int, r arch.Reg, v int64) {
+	m.cores[coreID].regs[r] = v
+}
+
+// Reg reads an architectural register (typically after the run).
+func (m *Machine) Reg(coreID int, r arch.Reg) int64 {
+	return m.cores[coreID].regs[r]
+}
+
+// WriteMem initialises a memory word before the run.
+func (m *Machine) WriteMem(addr, val int64) {
+	if addr < 0 || addr >= int64(m.memWords) {
+		panic(fmt.Sprintf("sim: WriteMem address %d out of range", addr))
+	}
+	m.store.write(addr, val)
+}
+
+// ReadMem reads the coherent (master) value of a memory word.
+func (m *Machine) ReadMem(addr int64) int64 { return m.store.read(addr) }
+
+// PreTouch marks the line containing addr as resident in the outer cache
+// hierarchy, so the first access costs L2 rather than memory latency.  Use
+// it to model warmed-up memory (litmus harnesses, steady-state benchmarks).
+func (m *Machine) PreTouch(addr int64) {
+	if addr < 0 || addr >= int64(m.memWords) {
+		panic(fmt.Sprintf("sim: PreTouch address %d out of range", addr))
+	}
+	m.store.touchLine(addr >> m.cores[0].cache.lineShift)
+}
+
+func (m *Machine) fail(err error) {
+	if m.err == nil {
+		m.err = err
+	}
+}
+
+func (m *Machine) countSite(_ int, site arch.PathID) {
+	if site == arch.PathNone {
+		return
+	}
+	if int(site) >= len(m.siteCounts) {
+		grown := make([]uint64, int(site)+16)
+		copy(grown, m.siteCounts)
+		m.siteCounts = grown
+	}
+	m.siteCounts[site]++
+}
+
+// ErrDeadlock is returned when no core makes progress for watchdogCycles.
+var ErrDeadlock = errors.New("sim: machine deadlocked (no retirement progress)")
+
+// Run simulates up to maxCycles cycles, stopping early when every core has
+// executed its Halt.  Cores are stepped in a rotating order so that no core
+// is systematically favoured in same-cycle races.
+func (m *Machine) Run(maxCycles int64) (Result, error) {
+	n := len(m.cores)
+	lastProgressCheck := int64(0)
+	lastRetiredSum := uint64(0)
+	for m.now = 0; m.now < maxCycles; m.now++ {
+		if m.cfg.WarmupCycles > 0 && m.now == m.cfg.WarmupCycles {
+			m.resetWorkCounters()
+		}
+		allHalted := true
+		start := int(m.now) % n
+		for i := 0; i < n; i++ {
+			c := m.cores[(start+i)%n]
+			if !c.halted {
+				allHalted = false
+				c.step(m.now)
+			}
+		}
+		if m.err != nil {
+			return m.result(false), m.err
+		}
+		if allHalted {
+			m.now++
+			return m.result(true), nil
+		}
+		if m.now-lastProgressCheck >= watchdogCycles {
+			var sum uint64
+			for _, c := range m.cores {
+				sum += c.stats.Retired
+			}
+			if sum == lastRetiredSum {
+				return m.result(false), fmt.Errorf("%w at cycle %d", ErrDeadlock, m.now)
+			}
+			lastRetiredSum = sum
+			lastProgressCheck = m.now
+		}
+	}
+	return m.result(false), nil
+}
+
+func (m *Machine) resetWorkCounters() {
+	m.warmStart = m.now
+	for _, c := range m.cores {
+		c.stats.Work = 0
+		c.stats.WorkTimes = c.stats.WorkTimes[:0]
+	}
+}
+
+func (m *Machine) result(halted bool) Result {
+	res := Result{
+		Cycles:          m.now,
+		EffectiveCycles: m.now - m.warmStart,
+		Cores:           make([]CoreStats, len(m.cores)),
+		SiteCounts:      m.siteCounts,
+		AllHalted:       halted,
+	}
+	for i, c := range m.cores {
+		res.Cores[i] = c.stats
+		res.TotalWork += c.stats.Work
+	}
+	return res
+}

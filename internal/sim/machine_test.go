@@ -1,0 +1,386 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func newTestMachine(t *testing.T, prof *arch.Profile, cores, memWords int, seed int64) *Machine {
+	t.Helper()
+	m, err := New(prof, Config{Cores: cores, MemWords: memWords, Seed: seed})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func mustLoad(t *testing.T, m *Machine, core int, p arch.Program) {
+	t.Helper()
+	if err := m.LoadProgram(core, p); err != nil {
+		t.Fatalf("LoadProgram: %v", err)
+	}
+}
+
+func run(t *testing.T, m *Machine, max int64) Result {
+	t.Helper()
+	res, err := m.Run(max)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+// TestSingleCoreALULoop checks that a basic counted loop computes the right
+// value and halts.
+func TestSingleCoreALULoop(t *testing.T) {
+	for name, prof := range arch.Profiles() {
+		t.Run(name, func(t *testing.T) {
+			b := arch.NewBuilder()
+			b.MovImm(0, 0)   // r0 = sum
+			b.MovImm(1, 100) // r1 = counter
+			b.Label("loop")
+			b.Add(0, 0, 1)     // sum += counter
+			b.SubsImm(1, 1, 1) // counter--
+			b.Bne("loop")
+			b.Store(0, 2, 10) // mem[r2+10] = sum
+			b.Halt()
+			m := newTestMachine(t, prof, 1, 1024, 1)
+			m.SetReg(0, 2, 0)
+			mustLoad(t, m, 0, b.MustBuild())
+			res := run(t, m, 1_000_000)
+			if !res.AllHalted {
+				t.Fatalf("did not halt in %d cycles", res.Cycles)
+			}
+			if got := m.ReadMem(10); got != 5050 {
+				t.Errorf("sum = %d, want 5050", got)
+			}
+		})
+	}
+}
+
+// TestStoreLoadSameCore checks basic program-order store→load consistency
+// (forwarding from the store buffer and window).
+func TestStoreLoadSameCore(t *testing.T) {
+	for name, prof := range arch.Profiles() {
+		t.Run(name, func(t *testing.T) {
+			b := arch.NewBuilder()
+			b.MovImm(0, 42)
+			b.Store(0, 1, 0) // mem[0] = 42
+			b.Load(2, 1, 0)  // r2 = mem[0]
+			b.Store(2, 1, 8) // mem[8] = r2
+			b.Halt()
+			m := newTestMachine(t, prof, 1, 1024, 7)
+			mustLoad(t, m, 0, b.MustBuild())
+			res := run(t, m, 100_000)
+			if !res.AllHalted {
+				t.Fatalf("did not halt")
+			}
+			if got := m.ReadMem(8); got != 42 {
+				t.Errorf("forwarded value = %d, want 42", got)
+			}
+		})
+	}
+}
+
+// TestMessagePassingWithFullFences checks that the canonical MP shape with
+// full fences on both sides never observes the relaxed outcome, on either
+// profile, across many seeds.
+func TestMessagePassingWithFullFences(t *testing.T) {
+	for name, prof := range arch.Profiles() {
+		full := arch.DMBIsh
+		if prof.Flavor == arch.NonMCA {
+			full = arch.HwSync
+		}
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 200; seed++ {
+				// Writer: data=1; fence; flag=1.
+				w := arch.NewBuilder()
+				w.MovImm(0, 1)
+				w.Store(0, 1, 0) // data at addr 0
+				w.Fence(full)
+				w.Store(0, 1, 64) // flag at addr 64 (different line)
+				w.Halt()
+				// Reader: spin on flag; fence; read data.
+				r := arch.NewBuilder()
+				r.Label("spin")
+				r.Load(2, 1, 64)
+				r.CmpImm(2, 1)
+				r.Bne("spin")
+				r.Fence(full)
+				r.Load(3, 1, 0)
+				r.Store(3, 1, 128) // result
+				r.Halt()
+				m := newTestMachine(t, prof, 2, 1024, seed)
+				mustLoad(t, m, 0, w.MustBuild())
+				mustLoad(t, m, 1, r.MustBuild())
+				res := run(t, m, 2_000_000)
+				if !res.AllHalted {
+					t.Fatalf("seed %d: did not halt", seed)
+				}
+				if got := m.ReadMem(128); got != 1 {
+					t.Fatalf("seed %d: relaxed outcome observed with full fences: data=%d", seed, got)
+				}
+			}
+		})
+	}
+}
+
+// delay emits a seed-controlled spin so the two threads' critical sections
+// race at varying alignments (the standard litmus-harness technique).
+func delay(b *arch.Builder, r arch.Reg, iters int64) {
+	if iters <= 0 {
+		return
+	}
+	b.MovImm(r, iters)
+	b.Label("delay")
+	b.SubsImm(r, r, 1)
+	b.Bne("delay")
+}
+
+// TestMessagePassingUnfenced checks that without fences the relaxed MP
+// outcome is observable on both profiles (the machine is genuinely weak).
+// The reader is the single-shot form (ld flag; ld data) with the data line
+// primed into its cache, so the data load can satisfy long before the flag
+// load; trials race the threads at random alignments.
+func TestMessagePassingUnfenced(t *testing.T) {
+	for name, prof := range arch.Profiles() {
+		t.Run(name, func(t *testing.T) {
+			relaxed, hits := 0, 0
+			const trials = 600
+			rnd := newRNG(99)
+			for seed := int64(0); seed < trials; seed++ {
+				w := arch.NewBuilder()
+				delay(w, 9, rnd.intn(120))
+				w.MovImm(0, 1)
+				w.Store(0, 1, 0)  // data
+				w.Store(0, 1, 64) // flag
+				w.Halt()
+				r := arch.NewBuilder()
+				r.Load(5, 1, 0) // prime the data line
+				delay(r, 9, rnd.intn(120))
+				r.Load(2, 1, 64)   // r2 = flag
+				r.Load(3, 1, 0)    // r3 = data
+				r.Store(2, 1, 128) // observed flag
+				r.Store(3, 1, 136) // observed data
+				r.Halt()
+				m := newTestMachine(t, prof, 2, 1024, seed)
+				mustLoad(t, m, 0, w.MustBuild())
+				mustLoad(t, m, 1, r.MustBuild())
+				res := run(t, m, 2_000_000)
+				if !res.AllHalted {
+					t.Fatalf("seed %d: did not halt", seed)
+				}
+				if m.ReadMem(128) == 1 { // precondition: flag seen
+					hits++
+					if m.ReadMem(136) == 0 {
+						relaxed++
+					}
+				}
+			}
+			if hits == 0 {
+				t.Fatalf("flag never observed; race never aligned")
+			}
+			if relaxed == 0 {
+				t.Errorf("no relaxed MP outcome in %d flag-observing trials; machine not weak", hits)
+			}
+			t.Logf("%s: relaxed %d / flag-seen %d / trials %d", name, relaxed, hits, trials)
+		})
+	}
+}
+
+// TestStoreBufferingLitmus checks the SB shape: without fences both readers
+// can miss each other's store; with full fences they cannot.
+func TestStoreBufferingLitmus(t *testing.T) {
+	build := func(fence arch.BarrierKind, myAddr, otherAddr, d int64) arch.Program {
+		b := arch.NewBuilder()
+		// Prime both lines so the post-store load is a fast hit.
+		b.Load(5, 1, myAddr)
+		b.Load(5, 1, otherAddr)
+		delay(b, 9, d)
+		b.MovImm(0, 1)
+		b.Store(0, 1, myAddr)
+		b.Fence(fence)
+		b.Load(2, 1, otherAddr)
+		b.Store(2, 1, myAddr+256) // result slot
+		b.Halt()
+		return b.MustBuild()
+	}
+	for name, prof := range arch.Profiles() {
+		full := arch.DMBIsh
+		if prof.Flavor == arch.NonMCA {
+			full = arch.HwSync
+		}
+		t.Run(name, func(t *testing.T) {
+			relaxed := 0
+			const trials = 400
+			rnd := newRNG(7)
+			for seed := int64(0); seed < trials; seed++ {
+				m := newTestMachine(t, prof, 2, 2048, seed)
+				mustLoad(t, m, 0, build(arch.BarrierNone, 0, 64, rnd.intn(60)))
+				mustLoad(t, m, 1, build(arch.BarrierNone, 64, 0, rnd.intn(60)))
+				res := run(t, m, 1_000_000)
+				if !res.AllHalted {
+					t.Fatalf("seed %d: did not halt", seed)
+				}
+				if m.ReadMem(256) == 0 && m.ReadMem(64+256) == 0 {
+					relaxed++
+				}
+			}
+			if relaxed == 0 {
+				t.Errorf("SB relaxed outcome never observed without fences")
+			} else {
+				t.Logf("%s: SB relaxed %d/%d", name, relaxed, trials)
+			}
+			rnd = newRNG(7)
+			for seed := int64(0); seed < 300; seed++ {
+				m := newTestMachine(t, prof, 2, 2048, seed)
+				mustLoad(t, m, 0, build(full, 0, 64, rnd.intn(60)))
+				mustLoad(t, m, 1, build(full, 64, 0, rnd.intn(60)))
+				res := run(t, m, 1_000_000)
+				if !res.AllHalted {
+					t.Fatalf("seed %d: did not halt", seed)
+				}
+				if m.ReadMem(256) == 0 && m.ReadMem(64+256) == 0 {
+					t.Fatalf("seed %d: SB relaxed outcome with full fences", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestExclusivesMutualExclusion runs two cores incrementing a shared counter
+// under an ldxr/stxr CAS loop and checks no increments are lost.
+func TestExclusivesMutualExclusion(t *testing.T) {
+	const perCore = 200
+	inc := func() arch.Program {
+		b := arch.NewBuilder()
+		b.MovImm(0, perCore) // iterations
+		b.Label("outer")
+		b.Label("retry")
+		b.LoadEx(2, 1, 0) // r2 = counter
+		b.AddImm(3, 2, 1) // r3 = r2+1
+		b.StoreEx(4, 3, 1, 0)
+		b.CmpImm(4, 0)
+		b.Bne("retry")
+		b.SubsImm(0, 0, 1)
+		b.Bne("outer")
+		b.Halt()
+		return b.MustBuild()
+	}
+	for name, prof := range arch.Profiles() {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 20; seed++ {
+				m := newTestMachine(t, prof, 2, 1024, seed)
+				mustLoad(t, m, 0, inc())
+				mustLoad(t, m, 1, inc())
+				res := run(t, m, 5_000_000)
+				if !res.AllHalted {
+					t.Fatalf("seed %d: did not halt", seed)
+				}
+				if got := m.ReadMem(0); got != 2*perCore {
+					t.Fatalf("seed %d: counter = %d, want %d", seed, got, 2*perCore)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkAccounting checks Work counters and warmup reset.
+func TestWorkAccounting(t *testing.T) {
+	prof := arch.ARMv8()
+	b := arch.NewBuilder()
+	b.MovImm(0, 50)
+	b.Label("loop")
+	b.Work(2)
+	b.SubsImm(0, 0, 1)
+	b.Bne("loop")
+	b.Halt()
+	m := newTestMachine(t, prof, 1, 256, 3)
+	mustLoad(t, m, 0, b.MustBuild())
+	res := run(t, m, 1_000_000)
+	if res.TotalWork != 100 {
+		t.Errorf("TotalWork = %d, want 100", res.TotalWork)
+	}
+}
+
+// TestDeadlockWatchdog checks that a genuinely stuck program is reported.
+func TestDeadlockWatchdog(t *testing.T) {
+	prof := arch.ARMv8()
+	b := arch.NewBuilder()
+	// A load from an invalid (negative) address blocks issue forever.
+	b.MovImm(1, -4096)
+	b.Load(0, 1, 0)
+	b.Halt()
+	m := newTestMachine(t, prof, 1, 256, 1)
+	mustLoad(t, m, 0, b.MustBuild())
+	_, err := m.Run(500_000)
+	if err == nil {
+		t.Fatal("expected deadlock error, got nil")
+	}
+}
+
+// TestRotatingSeedsDiffer checks that different seeds give different
+// cycle counts under contention (nondeterminism flows from the seed).
+func TestRotatingSeedsDiffer(t *testing.T) {
+	prof := arch.POWER7()
+	prog := func() arch.Program {
+		b := arch.NewBuilder()
+		b.MovImm(0, 500)
+		b.Label("loop")
+		b.Load(2, 1, 0)
+		b.Store(2, 1, 8)
+		b.SubsImm(0, 0, 1)
+		b.Bne("loop")
+		b.Halt()
+		return b.MustBuild()
+	}
+	cycles := map[int64]bool{}
+	for seed := int64(1); seed <= 8; seed++ {
+		m := newTestMachine(t, prof, 2, 1024, seed)
+		mustLoad(t, m, 0, prog())
+		mustLoad(t, m, 1, prog())
+		res := run(t, m, 5_000_000)
+		cycles[res.Cycles] = true
+	}
+	if len(cycles) < 2 {
+		t.Errorf("all 8 seeds produced identical cycle counts; jitter not working")
+	}
+}
+
+// TestDeterminism checks that the same seed reproduces the same run.
+func TestDeterminism(t *testing.T) {
+	for name, prof := range arch.Profiles() {
+		t.Run(name, func(t *testing.T) {
+			runOnce := func() int64 {
+				b := arch.NewBuilder()
+				b.MovImm(0, 300)
+				b.Label("loop")
+				b.Load(2, 1, 0)
+				b.AddImm(2, 2, 1)
+				b.Store(2, 1, 0)
+				b.SubsImm(0, 0, 1)
+				b.Bne("loop")
+				b.Halt()
+				m := newTestMachine(t, prof, 2, 1024, 42)
+				mustLoad(t, m, 0, b.MustBuild())
+				b2 := arch.NewBuilder()
+				b2.MovImm(0, 300)
+				b2.Label("loop")
+				b2.Load(2, 1, 128)
+				b2.AddImm(2, 2, 1)
+				b2.Store(2, 1, 128)
+				b2.SubsImm(0, 0, 1)
+				b2.Bne("loop")
+				b2.Halt()
+				mustLoad(t, m, 1, b2.MustBuild())
+				res := run(t, m, 5_000_000)
+				return res.Cycles
+			}
+			a, b := runOnce(), runOnce()
+			if a != b {
+				t.Errorf("same seed, different cycles: %d vs %d", a, b)
+			}
+		})
+	}
+}

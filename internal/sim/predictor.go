@@ -1,0 +1,51 @@
+package sim
+
+// predictor is a per-core table of 2-bit saturating counters indexed by a
+// hash of the branch PC.  Small tables alias under large instruction
+// footprints, which reproduces the paper's observation (§4.3.1) that the
+// "ctrl" read_barrier_depends strategy costs little in microbenchmarks
+// (where the extra branch trains perfectly) but noticeably more in
+// macrobenchmarks (where predictor pressure causes mispredicts).
+type predictor struct {
+	table []uint8
+	mask  uint32
+}
+
+func newPredictor(bits uint) *predictor {
+	if bits == 0 {
+		bits = 6
+	}
+	size := uint32(1) << bits
+	t := make([]uint8, size)
+	for i := range t {
+		// Weakly not-taken: forward branches (e.g. the exit tests of the
+		// ctrl litmus shapes) speculate through on first encounter, as
+		// static not-taken prediction would; loops train within one
+		// iteration.
+		t[i] = 1
+	}
+	return &predictor{table: t, mask: size - 1}
+}
+
+func (p *predictor) index(pc int32) uint32 {
+	h := uint32(pc) * 2654435761
+	return (h >> 4) & p.mask
+}
+
+// predict reports whether the branch at pc is predicted taken.
+func (p *predictor) predict(pc int32) bool {
+	return p.table[p.index(pc)] >= 2
+}
+
+// update trains the counter for pc with the actual outcome.
+func (p *predictor) update(pc int32, taken bool) {
+	i := p.index(pc)
+	c := p.table[i]
+	if taken {
+		if c < 3 {
+			p.table[i] = c + 1
+		}
+	} else if c > 0 {
+		p.table[i] = c - 1
+	}
+}

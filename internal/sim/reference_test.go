@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+// refInterp is a trivial sequential interpreter used as the semantic
+// oracle for single-threaded programs: whatever reordering the simulator
+// performs, a single thread's architectural results must match sequential
+// execution exactly.
+type refInterp struct {
+	regs  [arch.NumRegs]int64
+	flagV int64
+	mem   map[int64]int64
+	work  int64
+}
+
+func (r *refInterp) run(prog []arch.Instr, maxSteps int) bool {
+	pc := 0
+	for steps := 0; steps < maxSteps; steps++ {
+		if pc < 0 || pc >= len(prog) {
+			return false
+		}
+		in := prog[pc]
+		next := pc + 1
+		switch in.Op {
+		case arch.Nop:
+		case arch.MovImm:
+			r.regs[in.Rd] = in.Imm
+		case arch.Mov:
+			r.regs[in.Rd] = r.regs[in.Rn]
+		case arch.Add:
+			r.regs[in.Rd] = r.regs[in.Rn] + r.regs[in.Rm]
+		case arch.Sub:
+			r.regs[in.Rd] = r.regs[in.Rn] - r.regs[in.Rm]
+		case arch.And:
+			r.regs[in.Rd] = r.regs[in.Rn] & r.regs[in.Rm]
+		case arch.Orr:
+			r.regs[in.Rd] = r.regs[in.Rn] | r.regs[in.Rm]
+		case arch.Eor:
+			r.regs[in.Rd] = r.regs[in.Rn] ^ r.regs[in.Rm]
+		case arch.Mul:
+			r.regs[in.Rd] = r.regs[in.Rn] * r.regs[in.Rm]
+		case arch.AddImm:
+			r.regs[in.Rd] = r.regs[in.Rn] + in.Imm
+		case arch.SubImm:
+			r.regs[in.Rd] = r.regs[in.Rn] - in.Imm
+		case arch.Lsl:
+			r.regs[in.Rd] = r.regs[in.Rn] << uint(in.Imm)
+		case arch.Lsr:
+			r.regs[in.Rd] = int64(uint64(r.regs[in.Rn]) >> uint(in.Imm))
+		case arch.SubsImm:
+			r.regs[in.Rd] = r.regs[in.Rn] - in.Imm
+			r.flagV = r.regs[in.Rd]
+		case arch.CmpImm:
+			r.flagV = r.regs[in.Rn] - in.Imm
+		case arch.Cmp:
+			r.flagV = r.regs[in.Rn] - r.regs[in.Rm]
+		case arch.Load, arch.LoadAcq, arch.LoadEx:
+			r.regs[in.Rd] = r.mem[r.regs[in.Rn]+in.Imm]
+		case arch.Store, arch.StoreRel:
+			r.mem[r.regs[in.Rn]+in.Imm] = r.regs[in.Rd]
+		case arch.StoreEx:
+			// Single-threaded exclusives always succeed.
+			r.mem[r.regs[in.Rn]+in.Imm] = r.regs[in.Rm]
+			r.regs[in.Rd] = 0
+		case arch.B:
+			next = int(in.Target)
+		case arch.Beq:
+			if r.flagV == 0 {
+				next = int(in.Target)
+			}
+		case arch.Bne:
+			if r.flagV != 0 {
+				next = int(in.Target)
+			}
+		case arch.Blt:
+			if r.flagV < 0 {
+				next = int(in.Target)
+			}
+		case arch.Bge:
+			if r.flagV >= 0 {
+				next = int(in.Target)
+			}
+		case arch.Barrier:
+		case arch.Work:
+			r.work += in.Imm
+		case arch.Halt:
+			return true
+		}
+		pc = next
+	}
+	return false
+}
+
+// genProgram builds a random but always-terminating single-core program:
+// straight-line random ALU/memory operations with an occasional bounded
+// counted loop and scattered barriers, ending in stores of every register
+// so the whole architectural state is observable.
+func genProgram(rng *rand.Rand) arch.Program {
+	b := arch.NewBuilder()
+	regs := []arch.Reg{0, 2, 3, 4, 5, 6, 7, 8}
+	// Seed registers with known values.
+	for i, r := range regs {
+		b.MovImm(r, int64(rng.Intn(1000))+int64(i))
+	}
+	b.MovImm(1, 0) // base
+	n := 10 + rng.Intn(40)
+	loops := 0
+	for i := 0; i < n; i++ {
+		rd := regs[rng.Intn(len(regs))]
+		rn := regs[rng.Intn(len(regs))]
+		rm := regs[rng.Intn(len(regs))]
+		switch rng.Intn(12) {
+		case 0:
+			b.Add(rd, rn, rm)
+		case 1:
+			b.Sub(rd, rn, rm)
+		case 2:
+			b.Eor(rd, rn, rm)
+		case 3:
+			b.Mul(rd, rn, rm)
+		case 4:
+			b.AddImm(rd, rn, int64(rng.Intn(64)))
+		case 5:
+			b.Lsl(rd, rn, int64(rng.Intn(8)))
+		case 6:
+			// Bounded random-address load within [0,256).
+			b.MovImm(10, int64(rng.Intn(256)))
+			b.Load(rd, 10, 0)
+		case 7:
+			b.MovImm(10, int64(rng.Intn(256)))
+			b.Store(rn, 10, 0)
+		case 8:
+			b.Fence([]arch.BarrierKind{arch.DMBIsh, arch.DMBIshLd, arch.DMBIshSt, arch.LwSync, arch.HwSync, arch.ISB}[rng.Intn(6)])
+		case 9:
+			if loops < 3 {
+				loops++
+				label := string(rune('a' + loops))
+				b.MovImm(11, int64(2+rng.Intn(6)))
+				b.Label(label)
+				b.Add(rd, rd, rn)
+				b.SubsImm(11, 11, 1)
+				b.Bne(label)
+			} else {
+				b.Nop()
+			}
+		case 10:
+			b.CmpImm(rn, int64(rng.Intn(100)))
+		case 11:
+			b.Work(1)
+		}
+	}
+	// Expose all state.
+	for i, r := range regs {
+		b.MovImm(12, int64(512+8*i))
+		b.Store(r, 12, 0)
+	}
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TestSingleThreadMatchesReference is the simulator's core property test:
+// for random single-core programs, the out-of-order machine must produce
+// exactly the sequential-interpreter results (registers written to memory,
+// work counters), on both profiles.
+func TestSingleThreadMatchesReference(t *testing.T) {
+	profiles := []*arch.Profile{arch.ARMv8(), arch.POWER7()}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := genProgram(rng)
+		ref := &refInterp{mem: map[int64]int64{}}
+		if !ref.run(prog.Code, 1_000_000) {
+			t.Logf("seed %d: reference did not terminate", seed)
+			return false
+		}
+		for _, prof := range profiles {
+			m, err := New(prof, Config{Cores: 1, MemWords: 1024, Seed: seed})
+			if err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if err := m.LoadProgram(0, prog); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			res, err := m.Run(10_000_000)
+			if err != nil || !res.AllHalted {
+				t.Logf("seed %d on %s: err=%v halted=%v", seed, prof.Name, err, res.AllHalted)
+				return false
+			}
+			for addr := int64(0); addr < 1024; addr++ {
+				want := ref.mem[addr]
+				if got := m.ReadMem(addr); got != want {
+					t.Logf("seed %d on %s: mem[%d] = %d, want %d", seed, prof.Name, addr, got, want)
+					return false
+				}
+			}
+			if res.TotalWork != ref.work {
+				t.Logf("seed %d on %s: work %d, want %d", seed, prof.Name, res.TotalWork, ref.work)
+				return false
+			}
+		}
+		return true
+	}
+	n := 60
+	if testing.Short() {
+		n = 15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: n}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFullyFencedSharedCounterIsSC: with a full fence after every access
+// and exclusive-based increments, N cores incrementing a counter must
+// never lose an update, for random core counts and iteration counts.
+func TestFullyFencedSharedCounterIsSC(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cores := 2 + rng.Intn(3)
+		iters := 20 + rng.Intn(60)
+		prof := arch.ARMv8()
+		if seed%2 == 0 {
+			prof = arch.POWER7()
+		}
+		full := arch.DMBIsh
+		if prof.Flavor == arch.NonMCA {
+			full = arch.HwSync
+		}
+		m, err := New(prof, Config{Cores: cores, MemWords: 1024, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for c := 0; c < cores; c++ {
+			b := arch.NewBuilder()
+			b.MovImm(2, int64(iters))
+			b.Label("outer")
+			b.Label("retry")
+			b.LoadEx(3, 1, 0)
+			b.AddImm(4, 3, 1)
+			b.StoreEx(5, 4, 1, 0)
+			b.CmpImm(5, 0)
+			b.Bne("retry")
+			b.Fence(full)
+			b.SubsImm(2, 2, 1)
+			b.Bne("outer")
+			b.Halt()
+			if err := m.LoadProgram(c, b.MustBuild()); err != nil {
+				return false
+			}
+		}
+		res, err := m.Run(50_000_000)
+		if err != nil || !res.AllHalted {
+			return false
+		}
+		return m.ReadMem(0) == int64(cores*iters)
+	}
+	n := 25
+	if testing.Short() {
+		n = 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: n}); err != nil {
+		t.Error(err)
+	}
+}

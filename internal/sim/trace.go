@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+)
+
+// TraceEvent describes one retired instruction, in retirement (program)
+// order per core.  Traces are the debugging companion to the aggregate
+// counters: they show exactly which access satisfied when, which is how
+// reordering windows are diagnosed.
+type TraceEvent struct {
+	Cycle int64 // retirement cycle
+	Core  int
+	PC    int32
+	Instr arch.Instr
+	// Val is the instruction's result (loads: value read; stxr: status).
+	Val int64
+	// Addr is the effective address for memory operations.
+	Addr int64
+	// SatisfiedAt is the cycle a load's value was read (before Cycle for
+	// hits retired behind slower instructions; the gap to program order
+	// is the visible reordering).
+	SatisfiedAt int64
+}
+
+// Tracer receives retirement events.  It runs synchronously inside the
+// simulation loop; keep it cheap.
+type Tracer func(TraceEvent)
+
+// SetTracer installs a retirement tracer (nil disables tracing).
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// WriteTraceTo installs a tracer that renders events as text lines.
+func (m *Machine) WriteTraceTo(w io.Writer) {
+	m.SetTracer(func(e TraceEvent) {
+		switch {
+		case e.Instr.Op.IsLoad():
+			fmt.Fprintf(w, "%8d c%d pc=%-3d %-24s addr=%-5d val=%-8d satisfied@%d\n",
+				e.Cycle, e.Core, e.PC, e.Instr, e.Addr, e.Val, e.SatisfiedAt)
+		case e.Instr.Op.IsStore():
+			fmt.Fprintf(w, "%8d c%d pc=%-3d %-24s addr=%-5d val=%-8d (to store buffer)\n",
+				e.Cycle, e.Core, e.PC, e.Instr, e.Addr, e.Val)
+		default:
+			fmt.Fprintf(w, "%8d c%d pc=%-3d %-24s val=%d\n",
+				e.Cycle, e.Core, e.PC, e.Instr, e.Val)
+		}
+	})
+}
+
+// emitTrace is called from the retire stage.
+func (c *core) emitTrace(now int64, e *wentry) {
+	ev := TraceEvent{
+		Cycle: now,
+		Core:  c.id,
+		PC:    e.pc,
+		Instr: e.in,
+		Val:   e.val,
+	}
+	if e.in.Op.IsMem() {
+		ev.Addr = e.addr
+	}
+	if e.in.Op.IsLoad() {
+		ev.SatisfiedAt = e.readyAt
+	}
+	c.m.tracer(ev)
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// TestTracerEventsInRetirementOrder checks the tracer reports every retired
+// instruction of a core in program order with correct values.
+func TestTracerEventsInRetirementOrder(t *testing.T) {
+	b := arch.NewBuilder()
+	b.MovImm(0, 5)
+	b.Store(0, 1, 8)
+	b.Load(2, 1, 8)
+	b.AddImm(3, 2, 1)
+	b.Halt()
+	m, err := New(arch.ARMv8(), Config{Cores: 1, MemWords: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []TraceEvent
+	m.SetTracer(func(e TraceEvent) { evs = append(evs, e) })
+	if err := m.LoadProgram(0, b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(100_000)
+	if err != nil || !res.AllHalted {
+		t.Fatalf("run: %v halted=%v", err, res.AllHalted)
+	}
+	// Halt is not traced (it terminates the core in its own retire path).
+	if len(evs) != 4 {
+		t.Fatalf("traced %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.PC != int32(i) {
+			t.Errorf("event %d at pc %d: retirement must follow program order", i, e.PC)
+		}
+		if i > 0 && e.Cycle < evs[i-1].Cycle {
+			t.Errorf("event %d cycle regressed", i)
+		}
+	}
+	if evs[2].Val != 5 || evs[2].Addr != 8 {
+		t.Errorf("load event = %+v", evs[2])
+	}
+	if evs[3].Val != 6 {
+		t.Errorf("add result = %d", evs[3].Val)
+	}
+	if evs[2].SatisfiedAt == 0 || evs[2].SatisfiedAt > evs[2].Cycle {
+		t.Errorf("load satisfied at %d, retired %d", evs[2].SatisfiedAt, evs[2].Cycle)
+	}
+}
+
+// TestWriteTraceTo checks the textual renderer includes the key fields.
+func TestWriteTraceTo(t *testing.T) {
+	b := arch.NewBuilder()
+	b.MovImm(0, 9)
+	b.Store(0, 1, 16)
+	b.Load(2, 1, 16)
+	b.Halt()
+	m, err := New(arch.POWER7(), Config{Cores: 1, MemWords: 256, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	m.WriteTraceTo(&sb)
+	if err := m.LoadProgram(0, b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"movimm", "store buffer", "satisfied@", "addr=16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}

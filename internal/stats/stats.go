@@ -1,0 +1,204 @@
+// Package stats provides the statistical machinery the paper's methodology
+// relies on (§4.1): geometric means to aggregate benchmark samples,
+// Student-t 95% confidence intervals appropriate for small sample counts,
+// and the compounded comparative errors used when dividing a test case by a
+// base case.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs.  It returns 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, which the paper uses to reduce
+// the impact of outliers when aggregating samples.  All values must be
+// positive; it returns 0 for empty input.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Variance returns the unbiased sample variance.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min and Max return the extrema; both return 0 for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0-100) using linear
+// interpolation between closest ranks.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	// Interpolate in the overflow-safe form: the difference s[hi]-s[lo]
+	// can overflow for extreme spreads even when both endpoints (and the
+	// result) are finite.
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// tTable95 holds two-sided 97.5% quantiles of the t-distribution for
+// degrees of freedom 1..30; beyond that the normal approximation is used.
+var tTable95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% t critical value for the given
+// degrees of freedom.
+func TCritical95(df int) float64 {
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df <= len(tTable95) {
+		return tTable95[df-1]
+	}
+	return 1.960
+}
+
+// Summary describes a set of samples the way the paper reports results:
+// geometric mean with a Student-t 95% confidence interval.
+type Summary struct {
+	N       int
+	Mean    float64 // arithmetic mean
+	GeoMean float64
+	StdDev  float64
+	Lo, Hi  float64 // 95% confidence interval around the mean
+	Min     float64
+	Max     float64
+}
+
+// Summarise computes a Summary of xs.
+func Summarise(xs []float64) Summary {
+	s := Summary{
+		N:       len(xs),
+		Mean:    Mean(xs),
+		GeoMean: GeoMean(xs),
+		StdDev:  StdDev(xs),
+		Min:     Min(xs),
+		Max:     Max(xs),
+	}
+	if len(xs) >= 2 {
+		half := TCritical95(len(xs)-1) * s.StdDev / math.Sqrt(float64(len(xs)))
+		s.Lo, s.Hi = s.Mean-half, s.Mean+half
+	} else {
+		s.Lo, s.Hi = s.Mean, s.Mean
+	}
+	return s
+}
+
+// String renders the summary as "mean ± half-interval".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.5f ±%.5f (n=%d)", s.Mean, (s.Hi-s.Lo)/2, s.N)
+}
+
+// Comparative is a ratio of a test case to a base case with compounded
+// error bounds, per §4.1: "comparative minimum is test case minimum divided
+// by base case maximum".
+type Comparative struct {
+	Ratio  float64 // geometric mean of test over geometric mean of base
+	Lo, Hi float64 // compounded interval
+}
+
+// Compare computes the comparative performance of test relative to base.
+// Values are performance numbers where higher is better; Ratio < 1 means
+// the test case is slower.
+func Compare(test, base Summary) Comparative {
+	c := Comparative{}
+	if base.GeoMean != 0 {
+		c.Ratio = test.GeoMean / base.GeoMean
+	}
+	if base.Hi != 0 {
+		c.Lo = test.Lo / base.Hi
+	}
+	if base.Lo != 0 {
+		c.Hi = test.Hi / base.Lo
+	}
+	return c
+}
+
+// Significant reports whether the comparative change excludes 1.0 (no
+// change) from its compounded interval.
+func (c Comparative) Significant() bool {
+	return (c.Lo > 1 && c.Hi > 1) || (c.Lo < 1 && c.Hi < 1)
+}
+
+// String renders the comparative as a ratio with its interval.
+func (c Comparative) String() string {
+	return fmt.Sprintf("%.5f [%.5f, %.5f]", c.Ratio, c.Lo, c.Hi)
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeans(t *testing.T) {
+	xs := []float64{1, 2, 4, 8}
+	if got := Mean(xs); !almost(got, 3.75, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := GeoMean(xs); !almost(got, math.Pow(64, 0.25), 1e-9) {
+		t.Errorf("GeoMean = %v", got)
+	}
+	if Mean(nil) != 0 || GeoMean(nil) != 0 {
+		t.Error("empty input should give 0")
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("non-positive input should give 0")
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almost(got, 32.0/7.0, 1e-9) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("P25 = %v", got)
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if got := TCritical95(1); !almost(got, 12.706, 1e-9) {
+		t.Errorf("df=1: %v", got)
+	}
+	if got := TCritical95(5); !almost(got, 2.571, 1e-9) {
+		t.Errorf("df=5: %v", got)
+	}
+	if got := TCritical95(1000); !almost(got, 1.96, 1e-9) {
+		t.Errorf("df=1000: %v", got)
+	}
+	if !math.IsInf(TCritical95(0), 1) {
+		t.Error("df=0 should be +inf")
+	}
+}
+
+func TestSummariseInterval(t *testing.T) {
+	// Six samples, as the paper uses ("six or more samples").
+	xs := []float64{10, 10.5, 9.5, 10.2, 9.8, 10.0}
+	s := Summarise(xs)
+	if s.N != 6 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !(s.Lo < s.Mean && s.Mean < s.Hi) {
+		t.Errorf("interval [%v, %v] does not bracket mean %v", s.Lo, s.Hi, s.Mean)
+	}
+	half := (s.Hi - s.Lo) / 2
+	want := TCritical95(5) * s.StdDev / math.Sqrt(6)
+	if !almost(half, want, 1e-9) {
+		t.Errorf("half interval %v, want %v", half, want)
+	}
+}
+
+func TestCompareCompoundsErrors(t *testing.T) {
+	base := Summarise([]float64{100, 101, 99, 100, 100, 100})
+	test := Summarise([]float64{90, 91, 89, 90, 90, 90})
+	c := Compare(test, base)
+	if !(c.Lo < c.Ratio && c.Ratio < c.Hi) {
+		t.Errorf("comparative interval broken: %v", c)
+	}
+	if !almost(c.Ratio, 0.9, 0.01) {
+		t.Errorf("ratio = %v, want ~0.9", c.Ratio)
+	}
+	if !c.Significant() {
+		t.Error("a 10%% drop with tight samples should be significant")
+	}
+	// Per §4.1: comparative minimum is test minimum over base maximum.
+	if !almost(c.Lo, test.Lo/base.Hi, 1e-12) {
+		t.Errorf("Lo = %v, want %v", c.Lo, test.Lo/base.Hi)
+	}
+}
+
+func TestCompareInsignificant(t *testing.T) {
+	base := Summarise([]float64{100, 110, 90, 105, 95, 100})
+	test := Summarise([]float64{99, 109, 91, 104, 96, 101})
+	if c := Compare(test, base); c.Significant() {
+		t.Errorf("overlapping samples reported significant: %v", c)
+	}
+}
+
+// Property: the geometric mean never exceeds the arithmetic mean (AM-GM).
+func TestAMGMProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) && x < 1e100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return GeoMean(xs) <= Mean(xs)*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Summarise intervals always bracket the mean and widen with
+// variance.
+func TestSummaryBracketsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsInf(x, 0) && !math.IsNaN(x) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		s := Summarise(xs)
+		return s.Lo <= s.Mean+1e-9 && s.Mean <= s.Hi+1e-9 && s.Min <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsInf(x, 0) && !math.IsNaN(x) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p1 = math.Mod(math.Abs(p1), 100)
+		p2 = math.Mod(math.Abs(p2), 100)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		a, b := Percentile(xs, p1), Percentile(xs, p2)
+		return a <= b+1e-9 && a >= Min(xs)-1e-9 && b <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

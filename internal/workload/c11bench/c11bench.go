@@ -1,0 +1,136 @@
+// Package c11bench provides benchmarks over the C11 atomics platform: the
+// lock-free structures the paper's introduction motivates ("a lock-free
+// stack or queue"), used by the ext-c11 experiment to price memory_order
+// decisions the way the paper prices JVM and kernel fencing strategies.
+package c11bench
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/platform/c11"
+	"repro/internal/workload"
+)
+
+// Memory map (word addresses).
+const (
+	headAddr  = int64(0)
+	countAddr = int64(64) // seq_cst side counter (statistics shape)
+	arenaSize = int64(1 << 12)
+	arenaBase = int64(1024)
+	memWords  = 1 << 15
+)
+
+// Stack returns a Treiber-stack throughput benchmark: half the cores push
+// nodes (allocating from private arenas, wrapping — nodes are recycled
+// only after the arena laps, keeping ABA improbable at benchmark
+// time-scales), half pop; a pop that returns a node retires one work unit.
+// The orders are the benchmark's fencing strategy.
+func Stack(name string, orders c11.StackOrders) *workload.Benchmark {
+	const cores = 4
+	return &workload.Benchmark{
+		Name:      name,
+		Platform:  workload.C11Platform,
+		Metric:    workload.Throughput,
+		Cores:     cores,
+		MemWords:  memWords,
+		MaxCycles: 200_000,
+		NoiseARM:  0.02, NoisePOWER: 0.02,
+		Build: func(ctx *workload.BuildCtx) error {
+			c := ctx.C11
+			if c == nil {
+				return fmt.Errorf("c11bench: benchmark %s needs the C11 platform", name)
+			}
+			for core := 0; core < cores/2; core++ {
+				// Pusher: cycle through the arena; write the payload,
+				// push, occasionally bump a shared seq_cst statistic.
+				b := arch.NewBuilder()
+				b.MovImm(2, 0) // i
+				b.Label("push")
+				b.MovImm(3, (arenaSize/2)-1)
+				b.And(3, 2, 3)
+				b.Lsl(3, 3, 1)
+				b.AddImm(3, 3, arenaBase+int64(core)*arenaSize)
+				b.Add(4, 2, 2) // payload
+				b.Store(4, 3, 0)
+				c.StackPush(b, orders, 3, 1, 5, 6)
+				b.AddImm(2, 2, 1)
+				b.Work(1)
+				b.B("push")
+				prog, err := b.Build()
+				if err != nil {
+					return err
+				}
+				ctx.M.SetReg(core, 1, headAddr)
+				ctx.M.SetReg(core, arch.SP, int64(memWords-256*(core+1)-8))
+				if err := ctx.M.LoadProgram(core, prog); err != nil {
+					return err
+				}
+			}
+			for q := 0; q < cores/2; q++ {
+				core := cores/2 + q
+				b := arch.NewBuilder()
+				b.Label("pop")
+				c.StackPop(b, orders, 3, 4, 1, 5, 6)
+				b.CmpImm(3, 0)
+				b.Beq("pop")
+				b.Work(1)
+				b.B("pop")
+				prog, err := b.Build()
+				if err != nil {
+					return err
+				}
+				ctx.M.SetReg(core, 1, headAddr)
+				ctx.M.SetReg(core, arch.SP, int64(memWords-256*(core+1)-8))
+				if err := ctx.M.LoadProgram(core, prog); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Counter returns a shared fetch_add counter benchmark at the given order
+// — the minimal "how much does seq_cst cost over relaxed on an RMW"
+// instrument.
+func Counter(name string, order c11.Order) *workload.Benchmark {
+	const cores = 4
+	return &workload.Benchmark{
+		Name:      name,
+		Platform:  workload.C11Platform,
+		Metric:    workload.Throughput,
+		Cores:     cores,
+		MemWords:  memWords,
+		MaxCycles: 150_000,
+		NoiseARM:  0.02, NoisePOWER: 0.02,
+		Build: func(ctx *workload.BuildCtx) error {
+			c := ctx.C11
+			if c == nil {
+				return fmt.Errorf("c11bench: benchmark %s needs the C11 platform", name)
+			}
+			for core := 0; core < cores; core++ {
+				b := arch.NewBuilder()
+				b.Label("loop")
+				c.FetchAdd(b, order, 4, 1, 0, 1)
+				// A little private work between increments.
+				for i := 0; i < 6; i++ {
+					b.Lsl(5, 4, 13)
+					b.Eor(4, 4, 5)
+				}
+				b.Work(1)
+				b.B("loop")
+				prog, err := b.Build()
+				if err != nil {
+					return err
+				}
+				ctx.M.SetReg(core, 1, countAddr)
+				ctx.M.SetReg(core, arch.SP, int64(memWords-256*(core+1)-8))
+				if err := ctx.M.LoadProgram(core, prog); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,65 @@
+package c11bench
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/platform/c11"
+	"repro/internal/workload"
+)
+
+// TestBenchmarksRun runs the stack and counter benchmarks once per profile
+// and checks they produce work.
+func TestBenchmarksRun(t *testing.T) {
+	benches := []*workload.Benchmark{
+		Stack("stack-ra", c11.ReleaseAcquire()),
+		Stack("stack-sc", c11.AllSeqCst()),
+		Counter("counter-relaxed", c11.Relaxed),
+		Counter("counter-seqcst", c11.SeqCst),
+	}
+	for name, prof := range arch.Profiles() {
+		for _, b := range benches {
+			perf, err := workload.Run(b, workload.DefaultEnv(prof), 3)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, b.Name, err)
+			}
+			if perf <= 0 {
+				t.Errorf("%s/%s: non-positive performance", name, b.Name)
+			}
+		}
+	}
+}
+
+// TestSeqCstCostsThroughput encodes the ext-c11 headline: the
+// all-seq_cst stack is slower than the release/acquire stack, massively so
+// on the non-multi-copy-atomic machine.
+func TestSeqCstCostsThroughput(t *testing.T) {
+	for name, prof := range arch.Profiles() {
+		env := workload.DefaultEnv(prof)
+		ra, err := workload.Measure(Stack("stack", c11.ReleaseAcquire()), env, 3, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := workload.Measure(Stack("stack", c11.AllSeqCst()), env, 3, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.GeoMean >= ra.GeoMean {
+			t.Errorf("%s: seq_cst stack (%.4f) not slower than release/acquire (%.4f)",
+				name, sc.GeoMean, ra.GeoMean)
+		}
+		if prof.Flavor == arch.NonMCA && sc.GeoMean > 0.6*ra.GeoMean {
+			t.Errorf("%s: seq_cst premium too small (%.2fx); hwsync-per-access should dominate",
+				name, sc.GeoMean/ra.GeoMean)
+		}
+	}
+}
+
+// TestWrongPlatformRejected checks the build guards.
+func TestWrongPlatformRejected(t *testing.T) {
+	b := Stack("stack", c11.ReleaseAcquire())
+	b.Platform = workload.JVMPlatform
+	if _, err := workload.Run(b, workload.DefaultEnv(arch.ARMv8()), 1); err == nil {
+		t.Error("stack accepted a non-C11 platform")
+	}
+}

@@ -1,0 +1,69 @@
+package javabench
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestSuiteShape checks the §4.2 suite inventory against the paper's
+// benchmark list (the Kalibera-selected concurrent DaCapo subset + spark).
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	want := []string{"h2", "lusearch", "spark", "sunflow", "tomcat", "tradebeans", "tradesoap", "xalan"}
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d benchmarks, want %d", len(suite), len(want))
+	}
+	for i, name := range want {
+		b := suite[i]
+		if b.Name != name {
+			t.Errorf("suite[%d] = %q, want %q", i, b.Name, name)
+		}
+		if b.Platform != workload.JVMPlatform {
+			t.Errorf("%s: wrong platform", name)
+		}
+		if b.Build == nil {
+			t.Errorf("%s: no build function", name)
+		}
+		if b.Cores < 4 {
+			t.Errorf("%s: %d cores", name, b.Cores)
+		}
+	}
+	// Spark runs the full 8 cores, as the paper's GC configuration implies.
+	if spark, _ := ByName("spark"); spark.Cores != 8 {
+		t.Errorf("spark cores = %d, want 8", spark.Cores)
+	}
+}
+
+// TestInstabilityModel checks the per-architecture instability assignments
+// the paper reports: xalan unstable on POWER; lusearch, tomcat and
+// tradebeans unstable on ARM; spark stable on both.
+func TestInstabilityModel(t *testing.T) {
+	get := func(name string) *workload.Benchmark {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if x := get("xalan"); x.NoisePOWER <= x.NoiseARM {
+		t.Error("xalan should be noisier on POWER (§4.2.1 SMT instability)")
+	}
+	for _, name := range []string{"lusearch", "tomcat", "tradebeans"} {
+		if b := get(name); b.NoiseARM < 0.04 {
+			t.Errorf("%s should carry ARM instability, has %v", name, b.NoiseARM)
+		}
+	}
+	if s := get("spark"); s.NoiseARM > 0.03 || s.NoisePOWER > 0.03 {
+		t.Error("spark should be stable on both architectures")
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("h2"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("dacapo-avrora"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}

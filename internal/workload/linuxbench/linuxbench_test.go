@@ -1,0 +1,99 @@
+package linuxbench
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestSuiteShape checks the §4.3 suite inventory.
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	want := []string{
+		"netperf_tcp", "lmbench", "netperf_udp", "ebizzy", "xalan",
+		"osm_stack (avg)", "osm_stack (max)", "osm_tiles", "kernel_compile",
+		"spark", "h2",
+	}
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d benchmarks, want %d", len(suite), len(want))
+	}
+	for i, name := range want {
+		b := suite[i]
+		if b.Name != name {
+			t.Errorf("suite[%d] = %q, want %q", i, b.Name, name)
+		}
+		if b.Platform != workload.KernelPlatform {
+			t.Errorf("%s: wrong platform", name)
+		}
+	}
+}
+
+// TestMetrics checks the response-time benchmarks use response metrics and
+// everything else throughput, per the paper's §2 performance definitions.
+func TestMetrics(t *testing.T) {
+	for _, b := range Suite() {
+		switch b.Name {
+		case "osm_stack (avg)":
+			if b.Metric != workload.InvMeanResponse {
+				t.Errorf("%s metric = %v", b.Name, b.Metric)
+			}
+		case "osm_stack (max)":
+			if b.Metric != workload.InvMaxResponse {
+				t.Errorf("%s metric = %v", b.Name, b.Metric)
+			}
+		default:
+			if b.Metric != workload.Throughput {
+				t.Errorf("%s metric = %v", b.Name, b.Metric)
+			}
+		}
+	}
+}
+
+// TestRBDSix checks the Figure 9/10 panel set and order.
+func TestRBDSix(t *testing.T) {
+	want := []string{"ebizzy", "xalan", "netperf_udp", "osm_stack (avg)", "lmbench", "netperf_tcp"}
+	six := RBDSix()
+	if len(six) != 6 {
+		t.Fatalf("RBDSix has %d", len(six))
+	}
+	for i, name := range want {
+		if six[i].Name != name {
+			t.Errorf("RBDSix[%d] = %q, want %q", i, six[i].Name, name)
+		}
+	}
+}
+
+// TestLmbenchSubtests checks the §4.3 sub-test list is the paper's.
+func TestLmbenchSubtests(t *testing.T) {
+	want := map[string]bool{
+		"fcntl": true, "proc_exec": true, "proc_fork": true, "select_100": true,
+		"sem": true, "sig_catch": true, "sig_install": true, "syscall_fstat": true,
+		"syscall_null": true, "syscall_open": true, "syscall_read": true, "syscall_write": true,
+	}
+	if len(LmbenchSubtests) != len(want) {
+		t.Fatalf("lmbench has %d subtests", len(LmbenchSubtests))
+	}
+	for _, s := range LmbenchSubtests {
+		if !want[s] {
+			t.Errorf("unexpected subtest %q", s)
+		}
+	}
+}
+
+// TestNetperfStability encodes the §4.3.1 observation that UDP is more
+// stable (and more rbd-indicative) than TCP.
+func TestNetperfStability(t *testing.T) {
+	tcp, udp := NetperfTCP(), NetperfUDP()
+	if tcp.NoiseARM <= udp.NoiseARM {
+		t.Error("netperf_tcp should be less stable than netperf_udp")
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("ebizzy"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("iperf"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}

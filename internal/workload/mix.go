@@ -1,0 +1,332 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/platform/jvm"
+)
+
+// This file provides the generic "mix loop" program builder both benchmark
+// suites are assembled from.  A thread runs an infinite loop; each
+// iteration performs a configurable mixture of private computation, cache
+// traffic and platform operations, then retires one unit of work.  The mix
+// parameters are the calibration dials that give each synthetic benchmark
+// the operation frequencies (and therefore the code-path sensitivities) of
+// the application it stands in for; see DESIGN.md §2 and the per-benchmark
+// comments in the suites.
+
+// Register conventions for mix-loop programs.  r9 and SP are reserved for
+// injected cost functions, r21-r23 for platform scratch.
+const (
+	regBase     arch.Reg = 1 // always 0
+	regRand     arch.Reg = 3 // xorshift state
+	regTmp      arch.Reg = 4 // address/value temps
+	regTmp2     arch.Reg = 5
+	regTmp3     arch.Reg = 6
+	regVal      arch.Reg = 7
+	regPriv     arch.Reg = 10 // private region base
+	regShared   arch.Reg = 11 // shared region base
+	regQueue    arch.Reg = 12 // queue base
+	regLocks    arch.Reg = 13 // lock-stripe region base
+	regMaskPriv arch.Reg = 14
+	regMaskShr  arch.Reg = 15
+	regMaskLock arch.Reg = 16
+)
+
+// Layout fixes where each memory region lives for a benchmark machine.
+type Layout struct {
+	SharedBase  int64
+	SharedWords int64 // power of two
+	LockBase    int64
+	LockStripes int64 // power of two; stride 16 words
+	QueueBase   int64
+	PrivBase    int64 // per-core regions of PrivWords each
+	PrivWords   int64 // power of two
+	StackBase   int64 // per-core stacks grow down from StackBase+256*(core+1)
+}
+
+// DefaultLayout carves the standard regions out of memWords.
+func DefaultLayout(memWords int, cores int, privWords, sharedWords, lockStripes int64) (Layout, error) {
+	l := Layout{
+		SharedBase:  0,
+		SharedWords: sharedWords,
+		LockBase:    sharedWords + 64,
+		LockStripes: lockStripes,
+		QueueBase:   sharedWords + 64 + lockStripes*16 + 64,
+	}
+	l.PrivBase = l.QueueBase + 4096
+	l.PrivWords = privWords
+	l.StackBase = l.PrivBase + int64(cores)*privWords + 64
+	need := l.StackBase + int64(cores)*256 + 256
+	if need > int64(memWords) {
+		return Layout{}, fmt.Errorf("workload: layout needs %d words, machine has %d", need, memWords)
+	}
+	for _, p := range []int64{sharedWords, privWords, lockStripes} {
+		if p < 1 || p&(p-1) != 0 {
+			return Layout{}, fmt.Errorf("workload: region sizes must be powers of two, got %d", p)
+		}
+	}
+	return l, nil
+}
+
+// InitRegs installs the layout's base registers and seeds the xorshift
+// state for one core's program.
+func (l Layout) InitRegs(ctx *BuildCtx, core int) {
+	m := ctx.M
+	m.SetReg(core, regBase, 0)
+	m.SetReg(core, regPriv, l.PrivBase+int64(core)*l.PrivWords)
+	m.SetReg(core, regShared, l.SharedBase)
+	m.SetReg(core, regQueue, l.QueueBase)
+	m.SetReg(core, regLocks, l.LockBase)
+	m.SetReg(core, regMaskPriv, l.PrivWords-1)
+	m.SetReg(core, regMaskShr, l.SharedWords-1)
+	m.SetReg(core, regMaskLock, l.LockStripes-1)
+	m.SetReg(core, regRand, int64(ctx.Rand()|1))
+	m.SetReg(core, arch.SP, l.StackBase+int64(core+1)*256-8)
+}
+
+// emitXorshift advances the per-thread pseudo-random state in regRand.
+func emitXorshift(b *arch.Builder) {
+	b.Lsl(regTmp, regRand, 13)
+	b.Eor(regRand, regRand, regTmp)
+	b.Lsr(regTmp, regRand, 7)
+	b.Eor(regRand, regRand, regTmp)
+	b.Lsl(regTmp, regRand, 17)
+	b.Eor(regRand, regRand, regTmp)
+}
+
+// emitPrivAddr leaves a random private-region address in regTmp2.
+func emitPrivAddr(b *arch.Builder) {
+	emitXorshift(b)
+	b.And(regTmp2, regRand, regMaskPriv)
+	b.Add(regTmp2, regPriv, regTmp2)
+}
+
+// emitSharedAddr leaves a random shared-region address in regTmp2.
+func emitSharedAddr(b *arch.Builder) {
+	emitXorshift(b)
+	b.And(regTmp2, regRand, regMaskShr)
+	b.Add(regTmp2, regShared, regTmp2)
+}
+
+// emitLockAddr leaves a random lock-stripe address in regTmp3 (stride 16
+// words so stripes sit on distinct lines for both profiles).
+func emitLockAddr(b *arch.Builder) {
+	emitXorshift(b)
+	b.And(regTmp3, regRand, regMaskLock)
+	b.Lsl(regTmp3, regTmp3, 4)
+	b.Add(regTmp3, regLocks, regTmp3)
+}
+
+// Mix parameterises one iteration of the generic loop.  Counts are
+// per-iteration operation counts.
+type Mix struct {
+	Compute     int // xorshift rounds of pure ALU work
+	PrivLoads   int // random loads from the private working set
+	PrivStores  int // random stores to the private working set
+	SharedLoads int // plain loads of the shared region (coherence traffic)
+
+	// JVM operations (used when the benchmark's Platform is JVM).
+	VolatileLoads  int
+	VolatileStores int
+	Publishes      int // Release-fenced publication stores
+	CardMarks      int // bare StoreStore barriers (GC card marks)
+	AtomicAdds     int
+	LockPairs      int // lock; small critical section; unlock
+	FullFences     int // Unsafe.fullFence-style raw StoreLoad barriers
+	LoadFences     int // Unsafe.loadFence-style Acquire barriers
+
+	// Kernel operations (used when Platform is Kernel).
+	ReadOnces   int
+	WriteOnces  int
+	RCUDerefs   int // READ_ONCE + read_barrier_depends
+	RCUAssigns  int // smp_wmb + WRITE_ONCE
+	SpinPairs   int // spinlock/unlock around a critical section
+	AtomicIncs  int
+	Syscalls    int // SyscallEnter + tiny body + SyscallExit
+	SeqReads    int
+	SeqWrites   int
+	MBs         int // raw smp_mb invocations
+	MandatoryMB int // mb()/rmb()/wmb() triple (driver-style, rare)
+}
+
+// EmitIteration emits one loop iteration of the mix into b, using the
+// platform generator from ctx.  It ends with a Work(1) marker.
+func (mix Mix) EmitIteration(ctx *BuildCtx, b *arch.Builder) {
+	j, k := ctx.JVM, ctx.Kernel
+
+	for i := 0; i < mix.Compute; i++ {
+		emitXorshift(b)
+	}
+	for i := 0; i < mix.PrivLoads; i++ {
+		emitPrivAddr(b)
+		if j != nil && i%4 == 3 {
+			// Every fourth private load sits at a JIT
+			// redundant-load-elimination site (the §6 extension).
+			j.OptimizableLoad(b, regVal, regTmp2, 0)
+		} else {
+			b.Load(regVal, regTmp2, 0)
+		}
+	}
+	for i := 0; i < mix.PrivStores; i++ {
+		emitPrivAddr(b)
+		b.Store(regRand, regTmp2, 0)
+	}
+	for i := 0; i < mix.SharedLoads; i++ {
+		emitSharedAddr(b)
+		b.Load(regVal, regTmp2, 0)
+	}
+
+	if j != nil {
+		for i := 0; i < mix.VolatileLoads; i++ {
+			emitSharedAddr(b)
+			j.VolatileLoad(b, regVal, regTmp2, 0)
+		}
+		for i := 0; i < mix.VolatileStores; i++ {
+			emitSharedAddr(b)
+			j.VolatileStore(b, regRand, regTmp2, 0)
+		}
+		for i := 0; i < mix.Publishes; i++ {
+			// Initialise a private object, then publish a reference
+			// into the shared region.
+			emitPrivAddr(b)
+			b.Store(regRand, regTmp2, 0)
+			emitSharedAddr(b)
+			j.Publish(b, regTmp2, regTmp2, 0)
+		}
+		for i := 0; i < mix.CardMarks; i++ {
+			emitPrivAddr(b)
+			b.Store(regRand, regTmp2, 0)
+			j.Barrier(b, jvm.StoreStore)
+		}
+		for i := 0; i < mix.AtomicAdds; i++ {
+			emitLockAddr(b)
+			j.AtomicAdd(b, regVal, regTmp3, 8, 1)
+		}
+		for i := 0; i < mix.LockPairs; i++ {
+			emitLockAddr(b)
+			j.Lock(b, regTmp3, 0)
+			b.Load(regVal, regTmp3, 8)
+			b.AddImm(regVal, regVal, 1)
+			b.Store(regVal, regTmp3, 8)
+			j.Unlock(b, regTmp3, 0)
+		}
+		for i := 0; i < mix.FullFences; i++ {
+			j.Barrier(b, jvm.StoreLoad)
+		}
+		for i := 0; i < mix.LoadFences; i++ {
+			j.Barrier(b, jvm.Acquire)
+		}
+	}
+
+	if k != nil {
+		for i := 0; i < mix.ReadOnces; i++ {
+			emitSharedAddr(b)
+			k.ReadOnce(b, regVal, regTmp2, 0)
+		}
+		for i := 0; i < mix.WriteOnces; i++ {
+			emitSharedAddr(b)
+			k.WriteOnce(b, regRand, regTmp2, 0)
+		}
+		for i := 0; i < mix.RCUDerefs; i++ {
+			emitSharedAddr(b)
+			k.RCUDereference(b, regVal, regTmp2, 0)
+			// Follow the "pointer": a dependent private read.
+			b.And(regVal, regVal, regMaskPriv)
+			b.Add(regVal, regPriv, regVal)
+			b.Load(regVal, regVal, 0)
+		}
+		for i := 0; i < mix.RCUAssigns; i++ {
+			emitPrivAddr(b)
+			b.Store(regRand, regTmp2, 0)
+			emitSharedAddr(b)
+			k.RCUAssign(b, regRand, regTmp2, 0)
+		}
+		for i := 0; i < mix.SpinPairs; i++ {
+			emitLockAddr(b)
+			k.SpinLock(b, regTmp3, 0)
+			b.Load(regVal, regTmp3, 8)
+			b.AddImm(regVal, regVal, 1)
+			b.Store(regVal, regTmp3, 8)
+			k.SpinUnlock(b, regTmp3, 0)
+		}
+		for i := 0; i < mix.AtomicIncs; i++ {
+			emitLockAddr(b)
+			k.AtomicInc(b, regVal, regTmp3, 8)
+		}
+		for i := 0; i < mix.Syscalls; i++ {
+			emitSharedAddr(b)
+			k.SyscallEnter(b, regTmp2, 0)
+			emitXorshift(b)
+			k.SyscallExit(b, regTmp2, 0)
+		}
+		for i := 0; i < mix.SeqReads; i++ {
+			k.SeqReadRetry(b, regShared, 0, func(b *arch.Builder) {
+				b.Load(regVal, regShared, 8)
+			})
+		}
+		for i := 0; i < mix.SeqWrites; i++ {
+			k.SeqWriteBegin(b, regShared, 0)
+			b.Store(regRand, regShared, 8)
+			k.SeqWriteEnd(b, regShared, 0)
+		}
+		for i := 0; i < mix.MBs; i++ {
+			k.SmpMB(b)
+		}
+		for i := 0; i < mix.MandatoryMB; i++ {
+			k.MB(b)
+			k.RMB(b)
+			k.WMB(b)
+		}
+	}
+
+	b.Work(1)
+}
+
+// BuildLoopPeriodic installs an infinite loop of period iterations of mix
+// followed by one iteration of rare, on every core.  It models workloads
+// whose platform interactions are much rarer than their work units (e.g.
+// JVM applications that enter the kernel only occasionally).
+func (mix Mix) BuildLoopPeriodic(ctx *BuildCtx, l Layout, cores, period int, rare Mix) error {
+	if period < 1 {
+		period = 1
+	}
+	for c := 0; c < cores; c++ {
+		b := arch.NewBuilder()
+		b.Label("mixloop")
+		for i := 0; i < period; i++ {
+			mix.EmitIteration(ctx, b)
+		}
+		rare.EmitIteration(ctx, b)
+		b.B("mixloop")
+		prog, err := b.Build()
+		if err != nil {
+			return err
+		}
+		l.InitRegs(ctx, c)
+		if err := ctx.M.LoadProgram(c, prog); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildLoop installs the standard infinite mix loop on every core.
+func (mix Mix) BuildLoop(ctx *BuildCtx, l Layout, cores int) error {
+	for c := 0; c < cores; c++ {
+		b := arch.NewBuilder()
+		b.Label("mixloop")
+		mix.EmitIteration(ctx, b)
+		b.B("mixloop")
+		prog, err := b.Build()
+		if err != nil {
+			return err
+		}
+		l.InitRegs(ctx, c)
+		if err := ctx.M.LoadProgram(c, prog); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/platform/jvm"
+	"repro/internal/platform/kernel"
+	"repro/internal/sim"
+)
+
+func TestDefaultLayoutValidation(t *testing.T) {
+	if _, err := DefaultLayout(1<<15, 4, 1<<11, 1<<9, 16); err != nil {
+		t.Fatalf("valid layout rejected: %v", err)
+	}
+	if _, err := DefaultLayout(1024, 4, 1<<11, 1<<9, 16); err == nil {
+		t.Error("oversized layout accepted")
+	}
+	if _, err := DefaultLayout(1<<15, 4, 1000, 1<<9, 16); err == nil {
+		t.Error("non-power-of-two private size accepted")
+	}
+}
+
+func TestLayoutRegionsDisjoint(t *testing.T) {
+	l, err := DefaultLayout(1<<15, 8, 1<<11, 1<<9, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type region struct {
+		name   string
+		lo, hi int64
+	}
+	regions := []region{
+		{"shared", l.SharedBase, l.SharedBase + l.SharedWords},
+		{"locks", l.LockBase, l.LockBase + l.LockStripes*16},
+		{"queue", l.QueueBase, l.QueueBase + 4096},
+		{"priv", l.PrivBase, l.PrivBase + 8*l.PrivWords},
+		{"stacks", l.StackBase, l.StackBase + 8*256},
+	}
+	for i := 0; i < len(regions); i++ {
+		for j := i + 1; j < len(regions); j++ {
+			a, b := regions[i], regions[j]
+			if a.lo < b.hi && b.lo < a.hi {
+				t.Errorf("regions %s and %s overlap: [%d,%d) vs [%d,%d)",
+					a.name, b.name, a.lo, a.hi, b.lo, b.hi)
+			}
+		}
+	}
+}
+
+// TestMixEmitsEveryOp drives every mix field through a one-iteration
+// build on both platforms and checks the machine runs it.
+func TestMixEmitsEveryOp(t *testing.T) {
+	jvmMix := Mix{
+		Compute: 1, PrivLoads: 1, PrivStores: 1, SharedLoads: 1,
+		VolatileLoads: 1, VolatileStores: 1, Publishes: 1, CardMarks: 1,
+		AtomicAdds: 1, LockPairs: 1, FullFences: 1, LoadFences: 1,
+	}
+	kernelMix := Mix{
+		Compute: 1, PrivLoads: 1, PrivStores: 1,
+		ReadOnces: 1, WriteOnces: 1, RCUDerefs: 1, RCUAssigns: 1,
+		SpinPairs: 1, AtomicIncs: 1, Syscalls: 1,
+		SeqReads: 1, SeqWrites: 1, MBs: 1, MandatoryMB: 1,
+	}
+	for name, prof := range arch.Profiles() {
+		for _, tc := range []struct {
+			platform Platform
+			mix      Mix
+		}{{JVMPlatform, jvmMix}, {KernelPlatform, kernelMix}} {
+			m, err := sim.New(prof, sim.Config{Cores: 2, MemWords: 1 << 15, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := &BuildCtx{M: m, Prof: prof}
+			if tc.platform == JVMPlatform {
+				ctx.JVM = jvm.New(jvm.Config{Prof: prof, Strategy: jvm.JDK8()})
+			} else {
+				ctx.Kernel = kernel.New(kernel.Config{Prof: prof, Strategy: kernel.Default()})
+			}
+			s := uint64(3)
+			ctx.Rand = func() uint64 { s = s*2862933555777941757 + 3037000493; return s }
+			l, err := DefaultLayout(1<<15, 2, 1<<10, 1<<8, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.mix.BuildLoop(ctx, l, 2); err != nil {
+				t.Fatalf("%s platform %d: %v", name, tc.platform, err)
+			}
+			res, err := m.Run(120_000)
+			if err != nil {
+				t.Fatalf("%s platform %d: %v", name, tc.platform, err)
+			}
+			if res.TotalWork == 0 {
+				t.Errorf("%s platform %d: no work retired", name, tc.platform)
+			}
+		}
+	}
+}
+
+// TestPeriodicLoopRatio checks BuildLoopPeriodic interleaves work and rare
+// iterations at the requested period (via code-path counters).
+func TestPeriodicLoopRatio(t *testing.T) {
+	prof := arch.ARMv8()
+	m, err := sim.New(prof, sim.Config{Cores: 1, MemWords: 1 << 15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &BuildCtx{M: m, Prof: prof,
+		Kernel: kernel.New(kernel.Config{Prof: prof, Strategy: kernel.Default()})}
+	s := uint64(9)
+	ctx.Rand = func() uint64 { s = s*2862933555777941757 + 3037000493; return s }
+	l, err := DefaultLayout(1<<15, 1, 1<<10, 1<<8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := Mix{Compute: 2}
+	rare := Mix{MBs: 1}
+	if err := work.BuildLoopPeriodic(ctx, l, 1, 7, rare); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Work per smp_mb retirement should be period+1 = 8.
+	mbs := res.SiteCounts[kernel.PathSmpMB]
+	if mbs == 0 {
+		t.Fatal("no smp_mb retirements recorded")
+	}
+	ratio := float64(res.TotalWork) / float64(mbs)
+	if ratio < 7 || ratio > 9.5 {
+		t.Errorf("work per smp_mb = %.2f, want ~8", ratio)
+	}
+}
+
+// TestEnvHashVariesNoise checks decorrelation: the same seed under two
+// different injected environments must produce different noise draws.
+func TestEnvHashVariesNoise(t *testing.T) {
+	prof := arch.ARMv8()
+	bench := &Benchmark{
+		Name:     "noisy",
+		Platform: JVMPlatform,
+		Metric:   Throughput,
+		Cores:    1,
+		NoiseARM: 0.5,
+		Build: func(ctx *BuildCtx) error {
+			l, err := DefaultLayout(1<<15, 1, 1<<10, 1<<8, 8)
+			if err != nil {
+				return err
+			}
+			return Mix{Compute: 4}.BuildLoop(ctx, l, 1)
+		},
+	}
+	envA := DefaultEnv(prof)
+	envB := DefaultEnv(prof).NopBase([]arch.PathID{jvm.PathAnyBarrier})
+	a, err := Run(bench, envA, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(bench, envB, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 50% noise and decorrelated streams, identical values would be
+	// a (vanishingly unlikely) bug.
+	reldiff := (a - b) / a
+	if reldiff < 0.001 && reldiff > -0.001 {
+		t.Errorf("noise identical across environments: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,138 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/platform/jvm"
+	"repro/internal/platform/kernel"
+	"repro/internal/workload"
+	"repro/internal/workload/javabench"
+	"repro/internal/workload/linuxbench"
+)
+
+// allPathsJVM instruments the composite-barrier path (Figure 5 style).
+func jvmAllPaths() []arch.PathID { return []arch.PathID{jvm.PathAnyBarrier} }
+
+// TestAllBenchmarksRun runs every benchmark in both suites once per
+// profile and checks that it produces a positive performance value.
+func TestAllBenchmarksRun(t *testing.T) {
+	suites := append(javabench.Suite(), linuxbench.Suite()...)
+	for _, prof := range arch.Profiles() {
+		prof := prof
+		for _, b := range suites {
+			b := b
+			t.Run(prof.Name+"/"+b.Name, func(t *testing.T) {
+				t.Parallel()
+				env := workload.DefaultEnv(prof)
+				perf, err := workload.Run(b, env, 42)
+				if err != nil {
+					t.Fatalf("%v", err)
+				}
+				if perf <= 0 {
+					t.Fatalf("non-positive performance %v", perf)
+				}
+			})
+		}
+	}
+}
+
+// TestNopBaseCloseToPristine checks that adding nop padding costs only a
+// few percent, as in the paper (§4.2: mean 1.9% on ARM; §4.3: mean 1.9%).
+func TestNopBaseCloseToPristine(t *testing.T) {
+	prof := arch.ARMv8()
+	b := javabench.Spark()
+	clean, err := workload.Measure(b, workload.DefaultEnv(prof), 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := workload.Measure(b, workload.DefaultEnv(prof).NopBase(jvmAllPaths()), 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := padded.GeoMean / clean.GeoMean
+	if rel < 0.85 || rel > 1.05 {
+		t.Errorf("nop padding changed performance by %.1f%%, want within a few percent", 100*(rel-1))
+	}
+	t.Logf("nop padding relative performance: %.4f", rel)
+}
+
+// TestCostInjectionSlowsDown checks the fundamental lever: a large cost
+// function injected into the barrier paths must reduce performance
+// markedly, and more cost must slow things further.
+func TestCostInjectionSlowsDown(t *testing.T) {
+	for _, prof := range arch.Profiles() {
+		base, err := workload.Measure(javabench.Spark(), workload.DefaultEnv(prof).NopBase(jvmAllPaths()), 3, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		small, err := workload.Measure(javabench.Spark(),
+			workload.DefaultEnv(prof).WithCost(jvmAllPaths(), jvmAllPaths(), 32), 3, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := workload.Measure(javabench.Spark(),
+			workload.DefaultEnv(prof).WithCost(jvmAllPaths(), jvmAllPaths(), 512), 3, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(big.GeoMean < small.GeoMean && small.GeoMean < base.GeoMean) {
+			t.Errorf("%s: expected monotone slowdown, got base=%.4f small=%.4f big=%.4f",
+				prof.Name, base.GeoMean, small.GeoMean, big.GeoMean)
+		}
+	}
+}
+
+// TestKernelInjection does the same for a kernel macro path.
+func TestKernelInjection(t *testing.T) {
+	prof := arch.ARMv8()
+	paths := kernel.Paths
+	b := linuxbench.NetperfUDP()
+	base, err := workload.Measure(b, workload.DefaultEnv(prof).NopBase(paths), 3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := workload.Measure(b,
+		workload.DefaultEnv(prof).WithCost([]arch.PathID{kernel.PathReadBarrierDepends}, paths, 512), 3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.GeoMean >= base.GeoMean {
+		t.Errorf("rbd cost did not slow netperf_udp: base=%.4f loaded=%.4f", base.GeoMean, loaded.GeoMean)
+	}
+}
+
+// TestResponseMetric checks the osm_stack response-time measurement
+// produces sane, distinct avg and max figures.
+func TestResponseMetric(t *testing.T) {
+	prof := arch.ARMv8()
+	env := workload.DefaultEnv(prof)
+	avg, err := workload.Run(linuxbench.OSMStackAvg(), env, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max, err := workload.Run(linuxbench.OSMStackMax(), env, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(avg > 0 && max > 0 && max < avg) {
+		t.Errorf("inverse worst-case response (%v) should be below inverse mean (%v)", max, avg)
+	}
+}
+
+// TestSeedSpread checks repeated samples differ (the spread that feeds the
+// confidence intervals).
+func TestSeedSpread(t *testing.T) {
+	prof := arch.POWER7()
+	xs, err := workload.Samples(javabench.Xalan(), workload.DefaultEnv(prof), 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[float64]bool{}
+	for _, x := range xs {
+		distinct[x] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("all samples identical: %v", xs)
+	}
+}
