@@ -5,17 +5,30 @@
 // Usage:
 //
 //	wmmbench [-short] [-samples N] [-seed N] list
-//	wmmbench [-short] [-samples N] [-seed N] <experiment>...
-//	wmmbench [-short] all
+//	wmmbench [flags] <experiment>...
+//	wmmbench [flags] all
+//
+// Flags:
+//
+//	-parallel   run experiments concurrently through the engine's worker
+//	            pool; output stays byte-identical to the sequential run
+//	            because sample seeds are positional and each experiment's
+//	            output is buffered and emitted in request order
+//	-json       emit structured results (tables, fits, timings) as JSON
+//	            instead of ASCII tables
+//	-timeout    abort the whole run after a duration (e.g. 10m)
 //
 // Experiments: fig1 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 // txt1 txt2 txt3 txt4 txt5 txt6 txt7 litmus.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/wmm"
@@ -25,6 +38,9 @@ func main() {
 	short := flag.Bool("short", false, "reduced sweep (fewer sizes and samples)")
 	samples := flag.Int("samples", 0, "samples per measurement (0 = default: 6, or 3 with -short)")
 	seed := flag.Int64("seed", 1, "base random seed")
+	parallel := flag.Bool("parallel", false, "run experiments concurrently (deterministic output)")
+	jsonOut := flag.Bool("json", false, "emit structured JSON results instead of ASCII tables")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: wmmbench [flags] list | all | <experiment>...\n\nexperiments:\n")
 		for _, e := range wmm.Experiments() {
@@ -40,30 +56,83 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opt := wmm.ExperimentOptions{Short: *short, Samples: *samples, Seed: *seed}
 
-	switch args[0] {
-	case "list":
+	if args[0] == "list" {
 		for _, e := range wmm.Experiments() {
 			fmt.Printf("%-8s %-10s %s\n", e.Name, "("+e.Paper+")", e.Desc)
 		}
 		return
-	case "all":
-		start := time.Now()
-		if err := wmm.RunAllExperiments(opt); err != nil {
-			fmt.Fprintln(os.Stderr, "wmmbench:", err)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	all := args[0] == "all"
+	var names []string
+	if !all {
+		names = args
+	}
+
+	concurrency := 1
+	if *parallel {
+		// Experiments mostly wait on the shared sample pool, so their
+		// concurrency can exceed the core count; overlapping them keeps
+		// the pool fed across calibration and fit phases.
+		concurrency = 2 * runtime.GOMAXPROCS(0)
+		if concurrency < 2 {
+			concurrency = 2
+		}
+	}
+
+	eng := wmm.NewEngine(wmm.EngineOptions{})
+	defer eng.Close()
+
+	start := time.Now()
+	results, err := eng.Run(ctx, names, wmm.EngineRunOptions{
+		Samples:  *samples,
+		Seed:     *seed,
+		Short:    *short,
+		Parallel: concurrency,
+	}, nil)
+
+	if *jsonOut {
+		out, merr := json.MarshalIndent(results, "", "  ")
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "wmmbench:", merr)
 			os.Exit(1)
 		}
-		fmt.Printf("all experiments completed in %v\n", time.Since(start).Round(time.Second))
+		fmt.Println(string(out))
+		if err != nil {
+			os.Exit(1)
+		}
 		return
 	}
 
-	for _, name := range args {
-		start := time.Now()
-		if err := wmm.RunExperiment(name, opt); err != nil {
-			fmt.Fprintln(os.Stderr, "wmmbench:", err)
-			os.Exit(1)
+	for _, r := range results {
+		if r == nil {
+			continue
 		}
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		if all {
+			fmt.Printf("=== %s (%s): %s ===\n", r.Experiment, r.Paper, r.Desc)
+		}
+		fmt.Print(r.Output)
+		if r.Err != "" {
+			break
+		}
+		if !all {
+			fmt.Printf("[%s completed in %v]\n\n", r.Experiment,
+				time.Duration(r.WallNs).Round(time.Millisecond))
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wmmbench:", err)
+		os.Exit(1)
+	}
+	if all {
+		fmt.Printf("all experiments completed in %v\n", time.Since(start).Round(time.Second))
 	}
 }

@@ -1,0 +1,62 @@
+// Command wmmd serves the weak-memory-model benchmarking engine over
+// HTTP: experiments become queryable, cancellable jobs instead of
+// one-shot stdout dumps.
+//
+// Usage:
+//
+//	wmmd [-addr :8347] [-workers N] [-parallel N]
+//
+// API:
+//
+//	GET    /healthz          liveness and worker count
+//	GET    /experiments      the experiment catalogue
+//	POST   /runs             submit {"experiments": ["fig5"], "short": true,
+//	                         "seed": 1, "samples": 6, "timeout_ms": 600000}
+//	GET    /runs             all run statuses
+//	GET    /runs/{id}        one run's status; ?results=1 includes partial
+//	                         results, ?stream=1 streams NDJSON progress
+//	DELETE /runs/{id}        cancel a run
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", ":8347", "listen address")
+	workers := flag.Int("workers", 0, "sample worker-pool size (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "default concurrent experiments per run (0 = worker count)")
+	flag.Parse()
+
+	eng := engine.New(engine.Options{Workers: *workers})
+	defer eng.Close()
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: engine.NewServer(eng, *parallel).Handler(),
+	}
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("wmmd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	log.Printf("wmmd: serving on %s (%d workers)", *addr, eng.Workers())
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("wmmd: %v", err)
+	}
+}

@@ -55,6 +55,32 @@ func (c Calibration) Ns(iterations int64) float64 {
 	return costfn.NsForIterations(c.Curve, iterations)
 }
 
+// Measurer runs one measurement — n samples of bench under env — and
+// summarises them.  It is the single point through which the
+// methodology's instruments obtain performance numbers: a nil Measurer
+// means direct in-process execution via workload.Measure, while an
+// execution engine substitutes a pooled, cancellable implementation
+// without the instruments knowing.
+type Measurer func(b *workload.Benchmark, env workload.Env, n int, seed int64) (stats.Summary, error)
+
+// measure dispatches through the Measurer, defaulting to direct
+// execution.
+func (m Measurer) measure(b *workload.Benchmark, env workload.Env, n int, seed int64) (stats.Summary, error) {
+	if m == nil {
+		return workload.Measure(b, env, n, seed)
+	}
+	return m(b, env, n, seed)
+}
+
+// Session binds the methodology's instruments to a measurement backend.
+// The zero Session measures directly in-process; Session{Meas: ...}
+// routes every sample through the given backend (e.g. an engine worker
+// pool).  Results are bit-identical either way because sample seeds are
+// derived positionally (workload.SampleSeed).
+type Session struct {
+	Meas Measurer
+}
+
 // ScanConfig describes a sensitivity scan.
 type ScanConfig struct {
 	Bench *workload.Benchmark
@@ -68,6 +94,8 @@ type ScanConfig struct {
 	Samples   int     // samples per point; 6 if zero (paper §4.1)
 	Seed      int64
 	Cal       Calibration
+	// Meas routes the scan's measurements; direct execution if nil.
+	Meas Measurer
 }
 
 // ScanPoint is one measured point of a scan.
@@ -91,6 +119,15 @@ type ScanResult struct {
 // case, sweep the cost-function size over the chosen code paths, and fit
 // the sensitivity model to the relative performances.
 func SensitivityScan(cfg ScanConfig) (ScanResult, error) {
+	return Session{}.SensitivityScan(cfg)
+}
+
+// SensitivityScan runs the §3 scan through the session's backend (the
+// config's own Meas, if set, takes precedence).
+func (s Session) SensitivityScan(cfg ScanConfig) (ScanResult, error) {
+	if cfg.Meas == nil {
+		cfg.Meas = s.Meas
+	}
 	sizes := cfg.Sizes
 	if sizes == nil {
 		sizes = DefaultSizes
@@ -102,7 +139,7 @@ func SensitivityScan(cfg ScanConfig) (ScanResult, error) {
 	if len(cfg.Cal.Curve) == 0 {
 		return ScanResult{}, fmt.Errorf("core: scan of %s missing calibration", cfg.Bench.Name)
 	}
-	base, err := workload.Measure(cfg.Bench, cfg.Env.NopBase(cfg.AllPaths), samples, cfg.Seed)
+	base, err := cfg.Meas.measure(cfg.Bench, cfg.Env.NopBase(cfg.AllPaths), samples, cfg.Seed)
 	if err != nil {
 		return ScanResult{}, fmt.Errorf("core: base case of %s: %w", cfg.Bench.Name, err)
 	}
@@ -110,7 +147,7 @@ func SensitivityScan(cfg ScanConfig) (ScanResult, error) {
 	pts := make([]fit.Point, 0, len(sizes))
 	for _, n := range sizes {
 		env := cfg.Env.WithCost(cfg.CostPaths, cfg.AllPaths, n)
-		sum, err := workload.Measure(cfg.Bench, env, samples, cfg.Seed)
+		sum, err := cfg.Meas.measure(cfg.Bench, env, samples, cfg.Seed)
 		if err != nil {
 			return ScanResult{}, fmt.Errorf("core: %s at size %d: %w", cfg.Bench.Name, n, err)
 		}
@@ -146,14 +183,20 @@ type ProbeResult struct {
 // the relative performance against the nop base case.
 func FixedProbe(bench *workload.Benchmark, env workload.Env, path arch.PathID,
 	allPaths []arch.PathID, size int64, samples int, seed int64) (ProbeResult, error) {
+	return Session{}.FixedProbe(bench, env, path, allPaths, size, samples, seed)
+}
+
+// FixedProbe runs the fixed-size probe through the session's backend.
+func (s Session) FixedProbe(bench *workload.Benchmark, env workload.Env, path arch.PathID,
+	allPaths []arch.PathID, size int64, samples int, seed int64) (ProbeResult, error) {
 	if samples <= 0 {
 		samples = 6
 	}
-	base, err := workload.Measure(bench, env.NopBase(allPaths), samples, seed)
+	base, err := s.Meas.measure(bench, env.NopBase(allPaths), samples, seed)
 	if err != nil {
 		return ProbeResult{}, fmt.Errorf("core: probe base of %s: %w", bench.Name, err)
 	}
-	test, err := workload.Measure(bench, env.WithCost([]arch.PathID{path}, allPaths, size), samples, seed)
+	test, err := s.Meas.measure(bench, env.WithCost([]arch.PathID{path}, allPaths, size), samples, seed)
 	if err != nil {
 		return ProbeResult{}, fmt.Errorf("core: probe of %s path %d: %w", bench.Name, path, err)
 	}
@@ -166,17 +209,23 @@ func FixedProbe(bench *workload.Benchmark, env workload.Env, path arch.PathID,
 // shared across its probes.
 func Survey(benches []*workload.Benchmark, env workload.Env, paths []arch.PathID,
 	size int64, samples int, seed int64) ([]ProbeResult, error) {
+	return Session{}.Survey(benches, env, paths, size, samples, seed)
+}
+
+// Survey runs the fixed-probe survey through the session's backend.
+func (s Session) Survey(benches []*workload.Benchmark, env workload.Env, paths []arch.PathID,
+	size int64, samples int, seed int64) ([]ProbeResult, error) {
 	if samples <= 0 {
 		samples = 6
 	}
 	out := make([]ProbeResult, 0, len(benches)*len(paths))
 	for _, b := range benches {
-		base, err := workload.Measure(b, env.NopBase(paths), samples, seed)
+		base, err := s.Meas.measure(b, env.NopBase(paths), samples, seed)
 		if err != nil {
 			return nil, fmt.Errorf("core: survey base of %s: %w", b.Name, err)
 		}
 		for _, p := range paths {
-			test, err := workload.Measure(b, env.WithCost([]arch.PathID{p}, paths, size), samples, seed)
+			test, err := s.Meas.measure(b, env.WithCost([]arch.PathID{p}, paths, size), samples, seed)
 			if err != nil {
 				return nil, fmt.Errorf("core: survey of %s path %d: %w", b.Name, p, err)
 			}
@@ -211,14 +260,21 @@ func SumByBench(rs []ProbeResult) map[string]float64 {
 // over allPaths so binary size stays invariant.
 func CompareStrategies(bench *workload.Benchmark, envBase, envTest workload.Env,
 	allPaths []arch.PathID, samples int, seed int64) (stats.Comparative, error) {
+	return Session{}.CompareStrategies(bench, envBase, envTest, allPaths, samples, seed)
+}
+
+// CompareStrategies runs the strategy comparison through the session's
+// backend.
+func (s Session) CompareStrategies(bench *workload.Benchmark, envBase, envTest workload.Env,
+	allPaths []arch.PathID, samples int, seed int64) (stats.Comparative, error) {
 	if samples <= 0 {
 		samples = 6
 	}
-	base, err := workload.Measure(bench, envBase.NopBase(allPaths), samples, seed)
+	base, err := s.Meas.measure(bench, envBase.NopBase(allPaths), samples, seed)
 	if err != nil {
 		return stats.Comparative{}, fmt.Errorf("core: strategy base of %s: %w", bench.Name, err)
 	}
-	test, err := workload.Measure(bench, envTest.NopBase(allPaths), samples, seed)
+	test, err := s.Meas.measure(bench, envTest.NopBase(allPaths), samples, seed)
 	if err != nil {
 		return stats.Comparative{}, fmt.Errorf("core: strategy test of %s: %w", bench.Name, err)
 	}

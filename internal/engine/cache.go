@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+)
+
+// calEntry computes one calibration at most once; concurrent requesters
+// for the same key block on the sync.Once instead of duplicating the
+// measurement (the Figure 4 curve is the single most repeated piece of
+// work in the sequential harness — every scan driver rebuilt it).
+type calEntry struct {
+	once chan struct{} // closed when computed
+	cal  core.Calibration
+	err  error
+}
+
+// calKey identifies a calibration: the exact profile, size sweep, and
+// seed.  Any difference (e.g. Figure 1's extended sweep) is a distinct
+// curve.
+func calKey(prof *arch.Profile, sizes []int64, seed int64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s|%d|", prof.Name, seed)
+	for _, s := range sizes {
+		fmt.Fprintf(&sb, "%d,", s)
+	}
+	return sb.String()
+}
+
+// Calibration returns the Figure 4 curve for (profile, sizes, seed),
+// computing it on first request and serving every later request from the
+// cache.  A failed or cancelled computation is evicted so a later run can
+// retry rather than inherit the stale error.
+func (e *Engine) Calibration(ctx context.Context, prof *arch.Profile, sizes []int64, seed int64) (core.Calibration, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Calibration{}, err
+	}
+	k := calKey(prof, sizes, seed)
+	e.calMu.Lock()
+	ent, ok := e.cals[k]
+	if ok {
+		e.hits++
+	} else {
+		ent = &calEntry{once: make(chan struct{})}
+		e.cals[k] = ent
+		e.misses++
+	}
+	e.calMu.Unlock()
+
+	if !ok {
+		ent.cal, ent.err = core.Calibrate(prof, append([]int64{}, sizes...), seed)
+		close(ent.once)
+	} else {
+		select {
+		case <-ent.once:
+		case <-ctx.Done():
+			return core.Calibration{}, ctx.Err()
+		}
+	}
+	if ent.err != nil {
+		e.calMu.Lock()
+		if e.cals[k] == ent {
+			delete(e.cals, k)
+		}
+		e.calMu.Unlock()
+		return core.Calibration{}, ent.err
+	}
+	return ent.cal, nil
+}
+
+// CalStats reports the calibration cache's hit/miss counters (misses are
+// computations, hits are reuses).
+func (e *Engine) CalStats() (hits, misses int) {
+	e.calMu.Lock()
+	defer e.calMu.Unlock()
+	return e.hits, e.misses
+}

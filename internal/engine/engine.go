@@ -1,0 +1,124 @@
+// Package engine is the concurrent experiment execution engine.  It
+// turns the paper's evaluation — six-plus samples per point across large
+// cost-function sweeps on two simulated machines (§4.1) — from a strictly
+// sequential stdout dump into scheduled, cancellable, queryable jobs:
+//
+//   - a worker pool fans individual (profile, experiment, size, sample)
+//     measurements out across GOMAXPROCS workers; sample seeds are derived
+//     positionally (workload.SampleSeed), so a pooled run is bit-identical
+//     to the sequential one for the same base seed;
+//
+//   - a process-wide calibration cache keyed by (profile, sizes, seed)
+//     computes each Figure 4 curve once instead of once per driver;
+//
+//   - every experiment produces a structured Result (tables, fitted
+//     sensitivities, measurement counts, wall time) serialized to JSON
+//     alongside the existing ASCII tables;
+//
+//   - the Server in this package exposes runs over HTTP for cmd/wmmd.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the sample-level worker-pool size; GOMAXPROCS if <= 0.
+	Workers int
+}
+
+// Engine schedules measurements across a worker pool and caches
+// calibrations.  It implements experiments.Runtime, so drivers run
+// against it without knowing they are pooled.  An Engine is safe for
+// concurrent use; Close releases its workers.
+type Engine struct {
+	workers int
+	jobs    chan job
+
+	calMu  sync.Mutex
+	cals   map[string]*calEntry
+	hits   int
+	misses int
+
+	closeOnce sync.Once
+}
+
+// job is one sample run: a single simulator execution of a benchmark
+// under an environment with a derived seed.
+type job struct {
+	ctx  context.Context
+	b    *workload.Benchmark
+	env  workload.Env
+	seed int64
+	out  *float64
+	err  *error
+	wg   *sync.WaitGroup
+}
+
+// New starts an engine with its worker pool.
+func New(o Options) *Engine {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		workers: w,
+		jobs:    make(chan job),
+		cals:    map[string]*calEntry{},
+	}
+	for i := 0; i < w; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Workers reports the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Close shuts the worker pool down.  Outstanding Measure calls complete;
+// new ones panic.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.jobs) })
+}
+
+func (e *Engine) worker() {
+	for j := range e.jobs {
+		if err := j.ctx.Err(); err != nil {
+			*j.err = err
+		} else {
+			*j.out, *j.err = workload.Run(j.b, j.env, j.seed)
+		}
+		j.wg.Done()
+	}
+}
+
+// Measure fans the measurement's n samples out across the pool and
+// summarises them in seed order.  The summary is bit-identical to
+// workload.Measure for the same inputs: sample i always runs with
+// workload.SampleSeed(seed, i) regardless of which worker executes it or
+// in what order samples complete.
+func (e *Engine) Measure(ctx context.Context, b *workload.Benchmark, env workload.Env, n int, seed int64) (stats.Summary, error) {
+	if err := ctx.Err(); err != nil {
+		return stats.Summary{}, err
+	}
+	xs := make([]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		e.jobs <- job{ctx: ctx, b: b, env: env, seed: workload.SampleSeed(seed, i), out: &xs[i], err: &errs[i], wg: &wg}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats.Summary{}, err
+		}
+	}
+	return stats.Summarise(xs), nil
+}

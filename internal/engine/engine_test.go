@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+	"repro/internal/workload/javabench"
+)
+
+// cheapSet is a subset of experiments fast enough to run repeatedly in
+// tests while still covering tables, notes, litmus campaigns, and the
+// counter survey.
+var cheapSet = []string{"fig4", "txt3", "counters", "ablations"}
+
+// TestMeasureMatchesSequential verifies the engine's pooled measurement
+// is bit-identical to the direct sequential one: same samples, same
+// summary, regardless of worker count.
+func TestMeasureMatchesSequential(t *testing.T) {
+	e := New(Options{Workers: 4})
+	defer e.Close()
+
+	b := javabench.Tomcat()
+	env := workload.DefaultEnv(arch.ARMv8())
+	want, err := workload.Measure(b, env, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Measure(context.Background(), b, env, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("pooled summary %+v != sequential %+v", got, want)
+	}
+}
+
+// TestRunDeterminism verifies that a parallel engine run produces output
+// byte-identical to running the same drivers directly and sequentially —
+// the property the -parallel flag advertises.
+func TestRunDeterminism(t *testing.T) {
+	var want bytes.Buffer
+	for _, name := range cheapSet {
+		ex, err := experiments.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ex.Run(experiments.Options{Short: true, Samples: 2, Seed: 3, Out: &want}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	e := New(Options{Workers: 4})
+	defer e.Close()
+	results, err := e.Run(context.Background(), cheapSet,
+		RunOptions{Short: true, Samples: 2, Seed: 3, Parallel: len(cheapSet)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	for _, r := range results {
+		got.WriteString(r.Output)
+	}
+	if got.String() != want.String() {
+		t.Errorf("parallel engine output differs from sequential:\n--- sequential ---\n%s\n--- engine ---\n%s",
+			want.String(), got.String())
+	}
+}
+
+// TestResultStructure checks the structured side of a Result: tables,
+// measurement accounting, and JSON round-tripping.
+func TestResultStructure(t *testing.T) {
+	e := New(Options{})
+	defer e.Close()
+	results, err := e.Run(context.Background(), []string{"fig4"},
+		RunOptions{Short: true, Samples: 2, Seed: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Experiment != "fig4" || r.Paper != "Figure 4" {
+		t.Errorf("result identity = %q/%q", r.Experiment, r.Paper)
+	}
+	if len(r.Tables) != 1 {
+		t.Fatalf("fig4 produced %d tables, want 1", len(r.Tables))
+	}
+	if len(r.Tables[0].Rows) != 4 {
+		t.Errorf("short fig4 table has %d rows, want 4", len(r.Tables[0].Rows))
+	}
+	if r.WallNs <= 0 {
+		t.Error("missing wall time")
+	}
+	raw, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Experiment != "fig4" || len(back.Tables) != 1 {
+		t.Errorf("JSON round trip lost data: %+v", back)
+	}
+}
+
+// TestCalibrationCache verifies the shared cache computes each
+// (profile, sizes, seed) curve once and reuses it for every later
+// request, including across concurrent requesters.
+func TestCalibrationCache(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	ctx := context.Background()
+	sizes := []int64{1, 8, 64}
+
+	a, err := e.Calibration(ctx, arch.ARMv8(), sizes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Calibration(ctx, arch.ARMv8(), sizes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := e.CalStats(); hits != 1 || misses != 1 {
+		t.Errorf("after two identical requests: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if len(a.Curve) != len(b.Curve) || a.Curve[0] != b.Curve[0] {
+		t.Error("cache returned a different curve")
+	}
+
+	// A different sweep or seed is a distinct curve.
+	if _, err := e.Calibration(ctx, arch.ARMv8(), []int64{1, 8}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Calibration(ctx, arch.ARMv8(), sizes, 2); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := e.CalStats(); hits != 1 || misses != 3 {
+		t.Errorf("distinct keys: hits=%d misses=%d, want 1/3", hits, misses)
+	}
+
+	// Concurrent requesters on a fresh key: exactly one computation.
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, err := e.Calibration(ctx, arch.POWER7(), sizes, 1)
+			done <- err
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses := e.CalStats(); misses != 4 {
+		t.Errorf("concurrent requesters recomputed: hits=%d misses=%d, want misses=4", hits, misses)
+	}
+}
+
+// TestDriversShareCalibrationCache runs two scan-based drivers that use
+// the same (profile, sizes, seed) and checks the second one hits the
+// cache instead of recomputing — the fix for the per-driver
+// core.Calibrate recomputation.
+func TestDriversShareCalibrationCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scan drivers are expensive")
+	}
+	e := New(Options{})
+	defer e.Close()
+	_, err := e.Run(context.Background(), []string{"fig9", "txt7"},
+		RunOptions{Short: true, Samples: 1, Seed: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := e.CalStats()
+	if misses != 1 {
+		t.Errorf("fig9+txt7 computed %d calibrations, want 1 (hits=%d)", misses, hits)
+	}
+	if hits < 1 {
+		t.Errorf("no cache hits across drivers (hits=%d misses=%d)", hits, misses)
+	}
+}
+
+// TestRunCancellation verifies a cancelled context aborts a run at its
+// next measurement and surfaces as a cancelled result.
+func TestRunCancellation(t *testing.T) {
+	e := New(Options{})
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := e.Run(ctx, []string{"fig4"}, RunOptions{Short: true, Samples: 2}, nil)
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if len(results) != 1 || !results[0].Canceled() {
+		t.Errorf("result not marked cancelled: %+v", results[0])
+	}
+}
+
+// TestUnknownExperiment verifies name validation happens before any work.
+func TestUnknownExperiment(t *testing.T) {
+	e := New(Options{})
+	defer e.Close()
+	if _, err := e.Run(context.Background(), []string{"bogus"}, RunOptions{}, nil); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+// Result is the structured outcome of one experiment: the machine-readable
+// counterpart of the ASCII tables, carrying the same rows plus the fitted
+// sensitivities and execution accounting.
+type Result struct {
+	Experiment   string                  `json:"experiment"`
+	Paper        string                  `json:"paper"`
+	Desc         string                  `json:"desc"`
+	Tables       []*report.Table         `json:"tables,omitempty"`
+	Fits         []experiments.FitRecord `json:"fits,omitempty"`
+	Measurements int                     `json:"measurements"`
+	Samples      int                     `json:"samples"`
+	WallNs       int64                   `json:"wall_ns"`
+	Output       string                  `json:"output"`
+	Err          string                  `json:"error,omitempty"`
+}
+
+// JSON serializes the result.
+func (r *Result) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// RunOptions parameterises one engine run.
+type RunOptions struct {
+	// Samples per measurement (0 = the drivers' defaults).
+	Samples int
+	// Seed is the base random seed (0 = 1).
+	Seed int64
+	// Short runs the reduced sweep.
+	Short bool
+	// Parallel is the number of experiments in flight at once; 1 (the
+	// sequential schedule) if <= 0.  Whatever the schedule, results are
+	// returned in request order and each experiment's output is
+	// buffered separately, so the bytes are identical for any value.
+	Parallel int
+}
+
+// Sink observes a run's progress.  Callbacks may arrive from multiple
+// experiment goroutines; the engine does not serialize them.
+type Sink interface {
+	ExperimentStarted(name string)
+	ExperimentDone(r *Result)
+}
+
+// Run executes the named experiments (nil or empty = all, in paper order)
+// and returns one Result per experiment, in request order.  Individual
+// experiment failures are recorded in their Result and the first one (in
+// request order) is also returned as the run's error; cancellation stops
+// scheduling and aborts in-flight experiments at their next measurement.
+func (e *Engine) Run(ctx context.Context, names []string, o RunOptions, sink Sink) ([]*Result, error) {
+	var exps []experiments.Experiment
+	if len(names) == 0 {
+		exps = experiments.All()
+	} else {
+		for _, name := range names {
+			ex, err := experiments.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			exps = append(exps, ex)
+		}
+	}
+
+	parallel := o.Parallel
+	if parallel <= 0 {
+		parallel = 1
+	}
+	if parallel > len(exps) {
+		parallel = len(exps)
+	}
+
+	results := make([]*Result, len(exps))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, ex := range exps {
+		wg.Add(1)
+		go func(i int, ex experiments.Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if sink != nil {
+				sink.ExperimentStarted(ex.Name)
+			}
+			results[i] = e.runOne(ctx, ex, o)
+			if sink != nil {
+				sink.ExperimentDone(results[i])
+			}
+		}(i, ex)
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		if r.Err != "" {
+			return results, fmt.Errorf("%s: %s", r.Experiment, r.Err)
+		}
+	}
+	return results, nil
+}
+
+// runOne executes a single experiment against the engine, buffering its
+// rendered output and collecting its structured artefacts.
+func (e *Engine) runOne(ctx context.Context, ex experiments.Experiment, o RunOptions) *Result {
+	var buf bytes.Buffer
+	col := &experiments.Collector{}
+	opt := experiments.Options{
+		Samples: o.Samples,
+		Seed:    o.Seed,
+		Short:   o.Short,
+		Out:     &buf,
+		Ctx:     ctx,
+		RT:      e,
+		Collect: col,
+	}
+	start := time.Now()
+	err := ex.Run(opt)
+	r := &Result{
+		Experiment:   ex.Name,
+		Paper:        ex.Paper,
+		Desc:         ex.Desc,
+		Tables:       col.Tables,
+		Fits:         col.Fits,
+		Measurements: col.Measurements,
+		Samples:      col.Samples,
+		WallNs:       time.Since(start).Nanoseconds(),
+		Output:       buf.String(),
+	}
+	if err != nil {
+		r.Err = err.Error()
+	}
+	return r
+}
+
+// Canceled reports whether a result's error records a context
+// cancellation or deadline (as opposed to a genuine experiment failure).
+// Driver errors cross the Result boundary as strings, and %w-wrapping
+// preserves the sentinel's rendering as a suffix.
+func (r *Result) Canceled() bool {
+	return r.Err != "" &&
+		(strings.Contains(r.Err, context.Canceled.Error()) ||
+			strings.Contains(r.Err, context.DeadlineExceeded.Error()))
+}

@@ -1,0 +1,421 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// RunSpec is the body of POST /runs.
+type RunSpec struct {
+	// Experiments to run, in order; empty = the full evaluation in
+	// paper order.
+	Experiments []string `json:"experiments,omitempty"`
+	// Short selects the reduced sweep.
+	Short bool `json:"short"`
+	// Samples per measurement (0 = driver default).
+	Samples int `json:"samples,omitempty"`
+	// Seed is the base random seed (0 = 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Parallel experiments in flight (0 = server default).
+	Parallel int `json:"parallel,omitempty"`
+	// TimeoutMs bounds the whole run; 0 = no deadline.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// Run states.
+const (
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// RunStatus is the snapshot served by GET /runs/{id}.
+type RunStatus struct {
+	ID        string    `json:"id"`
+	State     string    `json:"state"`
+	Spec      RunSpec   `json:"spec"`
+	Total     int       `json:"total"`
+	Completed int       `json:"completed"`
+	Running   []string  `json:"running,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	StartedAt time.Time `json:"started_at"`
+	WallMs    int64     `json:"wall_ms"`
+	Results   []*Result `json:"results,omitempty"`
+}
+
+// event is one progress record streamed by GET /runs/{id}?stream=1.
+type event struct {
+	Event      string `json:"event"` // "started" | "done" | "end"
+	Experiment string `json:"experiment,omitempty"`
+	Error      string `json:"error,omitempty"`
+	WallMs     int64  `json:"wall_ms,omitempty"`
+	State      string `json:"state,omitempty"` // on "end"
+	Completed  int    `json:"completed,omitempty"`
+	Total      int    `json:"total,omitempty"`
+}
+
+// serverRun is one submitted job.
+type serverRun struct {
+	id     string
+	spec   RunSpec
+	total  int
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    string
+	started  time.Time
+	finished time.Time
+	running  map[string]bool
+	results  []*Result // completed experiments, in completion order
+	final    []*Result // full ordered set, once the run ends
+	err      string
+	subs     []chan event
+}
+
+// Server exposes the engine over HTTP: a queryable catalogue of
+// experiments and asynchronous, cancellable runs with streamed progress.
+// Wire its Handler into an http.Server (see cmd/wmmd).
+type Server struct {
+	eng             *Engine
+	defaultParallel int
+
+	mu   sync.Mutex
+	runs map[string]*serverRun
+	seq  int
+}
+
+// NewServer wraps an engine.  defaultParallel is the experiment-level
+// concurrency used when a RunSpec does not choose its own (values <= 0
+// fall back to the engine's worker count).
+func NewServer(eng *Engine, defaultParallel int) *Server {
+	if defaultParallel <= 0 {
+		defaultParallel = eng.Workers()
+	}
+	return &Server{eng: eng, defaultParallel: defaultParallel, runs: map[string]*serverRun{}}
+}
+
+// Handler returns the wmmd API:
+//
+//	GET    /healthz          liveness
+//	GET    /experiments      the experiment catalogue
+//	POST   /runs             submit a run (RunSpec), returns {"id": ...}
+//	GET    /runs             list run statuses
+//	GET    /runs/{id}        status; ?results=1 includes results while
+//	                         running; ?stream=1 streams NDJSON progress
+//	DELETE /runs/{id}        cancel
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /experiments", s.handleExperiments)
+	mux.HandleFunc("POST /runs", s.handleSubmit)
+	mux.HandleFunc("GET /runs", s.handleList)
+	mux.HandleFunc("GET /runs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /runs/{id}", s.handleCancel)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "workers": s.eng.Workers()})
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type exp struct {
+		Name  string `json:"name"`
+		Paper string `json:"paper"`
+		Desc  string `json:"desc"`
+	}
+	var out []exp
+	for _, e := range experiments.All() {
+		out = append(out, exp{Name: e.Name, Paper: e.Paper, Desc: e.Desc})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec RunSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad run spec: %v", err)
+		return
+	}
+	for _, name := range spec.Experiments {
+		if _, err := experiments.ByName(name); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	if spec.Parallel <= 0 {
+		spec.Parallel = s.defaultParallel
+	}
+
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if spec.TimeoutMs > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(spec.TimeoutMs)*time.Millisecond)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+
+	total := len(spec.Experiments)
+	if total == 0 {
+		total = len(experiments.All())
+	}
+	s.mu.Lock()
+	s.seq++
+	run := &serverRun{
+		id:      fmt.Sprintf("run-%d", s.seq),
+		spec:    spec,
+		total:   total,
+		cancel:  cancel,
+		state:   StateRunning,
+		started: time.Now(),
+		running: map[string]bool{},
+	}
+	s.runs[run.id] = run
+	s.mu.Unlock()
+
+	go s.execute(ctx, cancel, run)
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": run.id, "state": StateRunning, "total": total})
+}
+
+// execute drives the run to completion on its own goroutine.
+func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, run *serverRun) {
+	defer cancel()
+	results, err := s.eng.Run(ctx, run.spec.Experiments, RunOptions{
+		Samples:  run.spec.Samples,
+		Seed:     run.spec.Seed,
+		Short:    run.spec.Short,
+		Parallel: run.spec.Parallel,
+	}, (*runSink)(run))
+
+	run.mu.Lock()
+	run.final = results
+	run.finished = time.Now()
+	switch {
+	case err == nil:
+		run.state = StateDone
+	case ctx.Err() != nil || anyCanceled(results):
+		run.state = StateCancelled
+		run.err = err.Error()
+	default:
+		run.state = StateFailed
+		run.err = err.Error()
+	}
+	ev := event{Event: "end", State: run.state, Completed: len(run.results), Total: run.total}
+	subs := run.subs
+	run.subs = nil
+	run.mu.Unlock()
+
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default: // dead reader with a full buffer; the close wakes it
+		}
+		close(ch)
+	}
+}
+
+func anyCanceled(rs []*Result) bool {
+	for _, r := range rs {
+		if r != nil && r.Canceled() {
+			return true
+		}
+	}
+	return false
+}
+
+// runSink adapts a serverRun to the engine's progress Sink.
+type runSink serverRun
+
+func (rs *runSink) ExperimentStarted(name string) {
+	r := (*serverRun)(rs)
+	r.broadcast(func() event {
+		r.running[name] = true
+		return event{Event: "started", Experiment: name}
+	})
+}
+
+func (rs *runSink) ExperimentDone(res *Result) {
+	r := (*serverRun)(rs)
+	r.broadcast(func() event {
+		delete(r.running, res.Experiment)
+		r.results = append(r.results, res)
+		return event{Event: "done", Experiment: res.Experiment, Error: res.Err,
+			WallMs: res.WallNs / int64(time.Millisecond), Completed: len(r.results), Total: r.total}
+	})
+}
+
+// broadcast applies a state mutation under the run's lock and fans the
+// resulting event out to stream subscribers.
+func (r *serverRun) broadcast(mutate func() event) {
+	r.mu.Lock()
+	ev := mutate()
+	subs := append([]chan event{}, r.subs...)
+	r.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default: // a slow stream reader drops progress, never blocks the run
+		}
+	}
+}
+
+// status snapshots the run.
+func (r *serverRun) status(includeResults bool) RunStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RunStatus{
+		ID:        r.id,
+		State:     r.state,
+		Spec:      r.spec,
+		Total:     r.total,
+		Completed: len(r.results),
+		StartedAt: r.started,
+	}
+	for name := range r.running {
+		st.Running = append(st.Running, name)
+	}
+	end := r.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	st.WallMs = end.Sub(r.started).Milliseconds()
+	st.Error = r.err
+	if includeResults || r.state != StateRunning {
+		if r.final != nil {
+			st.Results = r.final
+		} else {
+			st.Results = append([]*Result{}, r.results...)
+		}
+	}
+	return st
+}
+
+func (s *Server) lookup(r *http.Request) (*serverRun, string) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs[id], id
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	runs := make([]*serverRun, 0, len(s.runs))
+	for _, run := range s.runs {
+		runs = append(runs, run)
+	}
+	s.mu.Unlock()
+	out := make([]RunStatus, 0, len(runs))
+	for _, run := range runs {
+		out = append(out, run.status(false))
+	}
+	// Stable submission order for clients: run-2 before run-10.
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].ID, out[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	run, id := s.lookup(r)
+	if run == nil {
+		writeErr(w, http.StatusNotFound, "unknown run %q", id)
+		return
+	}
+	if r.URL.Query().Get("stream") != "" {
+		s.streamStatus(w, r, run)
+		return
+	}
+	writeJSON(w, http.StatusOK, run.status(r.URL.Query().Get("results") != ""))
+}
+
+// streamStatus serves NDJSON progress: one snapshot line, then an event
+// line per experiment start/finish, then an "end" line.
+func (s *Server) streamStatus(w http.ResponseWriter, r *http.Request, run *serverRun) {
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+
+	ch := make(chan event, 64)
+	run.mu.Lock()
+	snapshot := run.state
+	if snapshot == StateRunning {
+		run.subs = append(run.subs, ch)
+	}
+	run.mu.Unlock()
+
+	enc.Encode(run.status(false))
+	if flusher != nil {
+		flusher.Flush()
+	}
+	if snapshot != StateRunning {
+		enc.Encode(event{Event: "end", State: snapshot, Completed: run.status(false).Completed, Total: run.total})
+		return
+	}
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			enc.Encode(ev)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if ev.Event == "end" {
+				return
+			}
+		case <-r.Context().Done():
+			run.mu.Lock()
+			for i, sub := range run.subs {
+				if sub == ch {
+					run.subs = append(run.subs[:i], run.subs[i+1:]...)
+					break
+				}
+			}
+			run.mu.Unlock()
+			return
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	run, id := s.lookup(r)
+	if run == nil {
+		writeErr(w, http.StatusNotFound, "unknown run %q", id)
+		return
+	}
+	run.cancel()
+	// A finished run keeps its final state; cancelling it is a no-op.
+	run.mu.Lock()
+	state := run.state
+	run.mu.Unlock()
+	if state == StateRunning {
+		state = "cancelling"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": run.id, "state": state})
+}

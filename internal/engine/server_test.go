@@ -1,0 +1,214 @@
+package engine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Engine) {
+	t.Helper()
+	eng := New(Options{Workers: 2})
+	t.Cleanup(eng.Close)
+	ts := httptest.NewServer(NewServer(eng, 2).Handler())
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func postRun(t *testing.T, ts *httptest.Server, spec string) string {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("POST /runs: %d: %s", resp.StatusCode, buf.String())
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID == "" {
+		t.Fatal("run id missing")
+	}
+	return out.ID
+}
+
+// waitState polls the run until it leaves StateRunning or the deadline
+// passes, returning the final status.
+func waitState(t *testing.T, ts *httptest.Server, id string, deadline time.Duration) RunStatus {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for {
+		var st RunStatus
+		getJSON(t, ts.URL+"/runs/"+id, &st)
+		if st.State != StateRunning {
+			return st
+		}
+		if time.Now().After(stop) {
+			t.Fatalf("run %s still %s after %v (%d/%d done)", id, st.State, deadline, st.Completed, st.Total)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var out map[string]any
+	resp := getJSON(t, ts.URL+"/healthz", &out)
+	if resp.StatusCode != http.StatusOK || out["status"] != "ok" {
+		t.Errorf("healthz = %d %v", resp.StatusCode, out)
+	}
+}
+
+func TestExperimentsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var out []struct {
+		Name  string `json:"name"`
+		Paper string `json:"paper"`
+	}
+	getJSON(t, ts.URL+"/experiments", &out)
+	if len(out) != 20 {
+		t.Fatalf("catalogue has %d experiments, want 20", len(out))
+	}
+	if out[0].Name != "fig1" || out[1].Paper != "Figure 4" {
+		t.Errorf("catalogue order wrong: %+v", out[:2])
+	}
+}
+
+func TestRunLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id := postRun(t, ts, `{"experiments": ["fig4", "txt3"], "short": true, "samples": 2, "seed": 3}`)
+
+	st := waitState(t, ts, id, 2*time.Minute)
+	if st.State != StateDone {
+		t.Fatalf("run ended %s (err %q)", st.State, st.Error)
+	}
+	if st.Completed != 2 || len(st.Results) != 2 {
+		t.Fatalf("completed=%d results=%d, want 2/2", st.Completed, len(st.Results))
+	}
+	if st.Results[0].Experiment != "fig4" || !strings.Contains(st.Results[0].Output, "Figure 4") {
+		t.Errorf("first result = %q", st.Results[0].Experiment)
+	}
+	if st.Results[1].Experiment != "txt3" {
+		t.Errorf("second result = %q", st.Results[1].Experiment)
+	}
+
+	// The run also shows up in the listing.
+	var list []RunStatus
+	getJSON(t, ts.URL+"/runs", &list)
+	if len(list) != 1 || list[0].ID != id {
+		t.Errorf("listing = %+v", list)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/runs", "application/json",
+		strings.NewReader(`{"experiments": ["bogus"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown experiment accepted: %d", resp.StatusCode)
+	}
+
+	resp = getJSON(t, ts.URL+"/runs/nope", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown run id = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestRunCancellationEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// txt1 at full size is minutes of work; the DELETE must stop it at
+	// the next sample boundary.
+	id := postRun(t, ts, `{"experiments": ["txt1"], "seed": 3}`)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/runs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d", resp.StatusCode)
+	}
+
+	st := waitState(t, ts, id, time.Minute)
+	if st.State != StateCancelled {
+		t.Fatalf("cancelled run ended %s (err %q)", st.State, st.Error)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id := postRun(t, ts, `{"experiments": ["txt1"], "seed": 3, "timeout_ms": 1}`)
+	st := waitState(t, ts, id, time.Minute)
+	if st.State != StateCancelled {
+		t.Fatalf("timed-out run ended %s (err %q)", st.State, st.Error)
+	}
+}
+
+func TestRunStreaming(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id := postRun(t, ts, `{"experiments": ["fig4"], "short": true, "samples": 2, "seed": 3}`)
+
+	resp, err := http.Get(fmt.Sprintf("%s/runs/%s?stream=1", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var sawEnd bool
+	var lines int
+	for sc.Scan() {
+		lines++
+		var ev struct {
+			Event string `json:"event"`
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if ev.Event == "end" {
+			sawEnd = true
+			if ev.State != StateDone {
+				t.Errorf("stream ended in state %q", ev.State)
+			}
+		}
+	}
+	if !sawEnd {
+		t.Errorf("stream closed without an end event (%d lines)", lines)
+	}
+}

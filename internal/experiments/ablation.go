@@ -21,16 +21,17 @@ import (
 //  4. the sensitivity-model form — footnote 4's 1/((1-k)+ka) against the
 //     naive 1/(1+ka).
 func Ablations(o Options) error {
-	if err := ablationSBDepth(o); err != nil {
-		return err
+	for _, step := range []func(Options) error{
+		ablationSBDepth, ablationMCA, ablationSpeculation, ablationFitModel,
+	} {
+		if err := o.ctx().Err(); err != nil {
+			return err
+		}
+		if err := step(o); err != nil {
+			return err
+		}
 	}
-	if err := ablationMCA(o); err != nil {
-		return err
-	}
-	if err := ablationSpeculation(o); err != nil {
-		return err
-	}
-	return ablationFitModel(o)
+	return nil
 }
 
 func sbShape(prof *arch.Profile, trials int, seed int64) (litmus.Outcome, error) {
@@ -71,7 +72,7 @@ func ablationSBDepth(o Options) error {
 		t.Addf("%d\t%d\t%d / %d", cfg.depth, cfg.drain, out.Relaxed, out.Trials)
 	}
 	t.Note("shallow, fast-draining buffers shrink the window; the shape never becomes forbidden (TSO also allows SB)")
-	t.Render(o.out())
+	o.emit(t)
 	return nil
 }
 
@@ -107,7 +108,7 @@ func ablationMCA(o Options) error {
 		t.Addf("%s\t%d / %d", prof.Flavor, out.Relaxed, out.Trials)
 	}
 	t.Note("IRIW requires non-multi-copy-atomic stores; forcing MCA must eliminate it")
-	t.Render(o.out())
+	o.emit(t)
 	return nil
 }
 
@@ -145,7 +146,7 @@ func ablationSpeculation(o Options) error {
 		t.Addf("%s\t%d / %d", name, out.Relaxed, out.Hits)
 	}
 	t.Note("control dependencies only fail to order loads because of speculation; disabling it forbids the shape")
-	t.Render(o.out())
+	o.emit(t)
 	return nil
 }
 
@@ -170,6 +171,6 @@ func ablationFitModel(o Options) error {
 		t.Addf("%.5f\t%.5f\t%.5f\t%.2f%%", k, full.K, naive.K, 100*(naive.K-full.K)/full.K)
 	}
 	t.Note("for the small k values of real benchmarks the forms coincide, as footnote 4 argues")
-	t.Render(o.out())
+	o.emit(t)
 	return nil
 }

@@ -34,6 +34,9 @@ func Counters(o Options) error {
 	}
 	var rows []row
 	for _, b := range benches {
+		if err := o.ctx().Err(); err != nil {
+			return err
+		}
 		counts, work, err := countSites(b, prof, o.seed())
 		if err != nil {
 			return err
@@ -70,7 +73,7 @@ func Counters(o Options) error {
 	t.Note("invocation counts are indicative of sensitivity but not conclusive (§3): they cannot")
 	t.Note("see the context-dependent cost of an invocation, which is why the cost-function")
 	t.Note("methodology exists — compare this ranking with Figure 7's measured impacts")
-	t.Render(o.out())
+	o.emit(t)
 	return nil
 }
 

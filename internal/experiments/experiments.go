@@ -2,16 +2,56 @@
 // paper's evaluation (§4), each regenerating the same rows/series the
 // paper reports, on the simulated machines.  DESIGN.md carries the
 // experiment index; EXPERIMENTS.md records paper-vs-measured outcomes.
+//
+// Drivers obtain every measurement and calibration through their Options'
+// Runtime, so the same driver code runs directly in-process (the zero
+// Options) or through internal/engine's worker pool and calibration cache
+// — with bit-identical output either way, because sample seeds are
+// derived positionally rather than from execution order.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workload"
 )
+
+// Runtime is the measurement backend a driver runs against.  The engine
+// implements it with a worker pool and a process-wide calibration cache;
+// a nil Runtime executes directly in-process.
+type Runtime interface {
+	// Measure runs n samples of bench under env and summarises them.
+	Measure(ctx context.Context, b *workload.Benchmark, env workload.Env, n int, seed int64) (stats.Summary, error)
+	// Calibration returns the Figure 4 curve for the profile over the
+	// given sizes, possibly from a cache.
+	Calibration(ctx context.Context, prof *arch.Profile, sizes []int64, seed int64) (core.Calibration, error)
+}
+
+// FitRecord is one fitted sensitivity produced by a driver, collected for
+// the structured result model.
+type FitRecord struct {
+	Profile string  `json:"profile"`
+	Bench   string  `json:"bench"`
+	K       float64 `json:"k"`
+	StdErr  float64 `json:"stderr"`
+}
+
+// Collector accumulates the structured artefacts of one experiment run
+// alongside the rendered ASCII output.  A Collector belongs to a single
+// driver invocation and is not safe for concurrent use.
+type Collector struct {
+	Tables       []*report.Table
+	Fits         []FitRecord
+	Measurements int // Measure calls issued
+	Samples      int // individual sample runs issued
+}
 
 // Options tunes the experiment drivers.
 type Options struct {
@@ -24,6 +64,15 @@ type Options struct {
 	Short bool
 	// Out receives the rendered tables; os.Stdout if nil.
 	Out io.Writer
+	// Ctx cancels the run between measurements; context.Background()
+	// if nil.
+	Ctx context.Context
+	// RT is the measurement backend; direct in-process execution if
+	// nil.
+	RT Runtime
+	// Collect, when non-nil, receives the run's structured artefacts
+	// (tables, fitted sensitivities, measurement counts).
+	Collect *Collector
 }
 
 func (o Options) out() io.Writer {
@@ -50,6 +99,13 @@ func (o Options) seed() int64 {
 	return 1
 }
 
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
 // sizes returns the cost-function sweep in loop iterations.
 func (o Options) sizes() []int64 {
 	if o.Short {
@@ -58,17 +114,88 @@ func (o Options) sizes() []int64 {
 	return []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 }
 
+// measurer adapts the runtime into the methodology's Measurer, counting
+// issued work into the collector.
+func (o Options) measurer() core.Measurer {
+	return func(b *workload.Benchmark, env workload.Env, n int, seed int64) (stats.Summary, error) {
+		if o.Collect != nil {
+			o.Collect.Measurements++
+			o.Collect.Samples += n
+		}
+		if o.RT != nil {
+			return o.RT.Measure(o.ctx(), b, env, n, seed)
+		}
+		if err := o.ctx().Err(); err != nil {
+			return stats.Summary{}, err
+		}
+		return workload.Measure(b, env, n, seed)
+	}
+}
+
+// measure runs one measurement with the options' sample count and seed.
+func (o Options) measure(b *workload.Benchmark, env workload.Env) (stats.Summary, error) {
+	return o.measurer()(b, env, o.samples(), o.seed())
+}
+
+// calibration returns the Figure 4 curve for the profile over sizes,
+// through the runtime's cache when one is attached.
+func (o Options) calibration(prof *arch.Profile, sizes []int64) (core.Calibration, error) {
+	if o.RT != nil {
+		return o.RT.Calibration(o.ctx(), prof, sizes, o.seed())
+	}
+	if err := o.ctx().Err(); err != nil {
+		return core.Calibration{}, err
+	}
+	return core.Calibrate(prof, sizes, o.seed())
+}
+
+// scan runs a sensitivity scan through the runtime and records the fitted
+// sensitivity in the collector.
+func (o Options) scan(cfg core.ScanConfig) (core.ScanResult, error) {
+	cfg.Meas = o.measurer()
+	res, err := core.SensitivityScan(cfg)
+	if err == nil && o.Collect != nil {
+		o.Collect.Fits = append(o.Collect.Fits, FitRecord{
+			Profile: cfg.Env.Prof.Name,
+			Bench:   cfg.Bench.Name,
+			K:       res.Sens.K,
+			StdErr:  res.Sens.StdErr,
+		})
+	}
+	return res, err
+}
+
+// compare runs a strategy comparison through the runtime.
+func (o Options) compare(b *workload.Benchmark, base, test workload.Env, allPaths []arch.PathID) (stats.Comparative, error) {
+	return core.Session{Meas: o.measurer()}.CompareStrategies(b, base, test, allPaths, o.samples(), o.seed())
+}
+
+// survey runs a fixed-probe survey through the runtime.
+func (o Options) survey(benches []*workload.Benchmark, env workload.Env, paths []arch.PathID, size int64) ([]core.ProbeResult, error) {
+	return core.Session{Meas: o.measurer()}.Survey(benches, env, paths, size, o.samples(), o.seed())
+}
+
+// emit renders the table and hands it to the collector.
+func (o Options) emit(t *report.Table) {
+	if o.Collect != nil {
+		o.Collect.Tables = append(o.Collect.Tables, t)
+	}
+	t.Render(o.out())
+}
+
 // profiles returns the evaluation profiles in presentation order.
 func profiles() []*arch.Profile {
 	return []*arch.Profile{arch.ARMv8(), arch.POWER7()}
 }
 
-// calibrations builds (and caches per call) the Figure 4 curves needed to
-// convert loop counts to nanoseconds on each profile.
+// calibrations builds the Figure 4 curves needed to convert loop counts
+// to nanoseconds on each profile, through the runtime's shared cache when
+// one is attached (so concurrent drivers calibrate each profile once per
+// process rather than once per driver).
 func calibrations(o Options) (map[string]core.Calibration, error) {
 	out := map[string]core.Calibration{}
 	for _, p := range profiles() {
-		cal, err := core.Calibrate(p, o.sizes(), o.seed())
+		cal, err := o.calibration(p, o.sizes())
 		if err != nil {
 			return nil, fmt.Errorf("calibrating %s: %w", p.Name, err)
 		}
@@ -122,10 +249,20 @@ func ByName(name string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", name)
 }
 
+// Header is the banner RunAll prints before each experiment; the engine
+// callers reuse it so batched parallel output is byte-identical to the
+// sequential run.
+func Header(e Experiment) string {
+	return fmt.Sprintf("=== %s (%s): %s ===\n", e.Name, e.Paper, e.Desc)
+}
+
 // RunAll executes every experiment in order.
 func RunAll(o Options) error {
 	for _, e := range All() {
-		fmt.Fprintf(o.out(), "=== %s (%s): %s ===\n", e.Name, e.Paper, e.Desc)
+		if err := o.ctx().Err(); err != nil {
+			return err
+		}
+		fmt.Fprint(o.out(), Header(e))
 		if err := e.Run(o); err != nil {
 			return fmt.Errorf("%s: %w", e.Name, err)
 		}

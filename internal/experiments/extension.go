@@ -27,14 +27,14 @@ import (
 // decisions — the turnkey evaluation system the paper envisages.
 func JITExtension(o Options) error {
 	prof := arch.ARMv8()
-	cal, err := core.Calibrate(prof, o.sizes(), o.seed())
+	cal, err := o.calibration(prof, o.sizes())
 	if err != nil {
 		return err
 	}
 	t := report.New("§6 extension: sensitivity to the redundant-load-elimination code path (armv8)",
 		"benchmark", "k (fitted)", "stability", "interpretation")
 	for _, b := range javabench.Suite() {
-		res, err := core.SensitivityScan(core.ScanConfig{
+		res, err := o.scan(core.ScanConfig{
 			Bench:     b,
 			Env:       workload.DefaultEnv(prof),
 			CostPaths: []arch.PathID{jvm.PathJITOpt},
@@ -55,7 +55,7 @@ func JITExtension(o Options) error {
 	}
 	t.Note("the k of an optimisation site bounds the end-to-end effect of enabling/disabling it:")
 	t.Note("p = 1/((1-k)+ka) with a = the per-site cost delta of the optimisation")
-	t.Render(o.out())
+	o.emit(t)
 	return nil
 }
 
@@ -94,7 +94,7 @@ func C11Extension(o Options) error {
 				},
 			})
 		}
-		baseSum, err := workload.Measure(stackBase, base, o.samples(), o.seed())
+		baseSum, err := o.measure(stackBase, base)
 		if err != nil {
 			return err
 		}
@@ -103,7 +103,7 @@ func C11Extension(o Options) error {
 			if c.env != nil {
 				env = c.env(env)
 			}
-			sum, err := workload.Measure(c.bench, env, o.samples(), o.seed())
+			sum, err := o.measure(c.bench, env)
 			if err != nil {
 				return err
 			}
@@ -113,12 +113,12 @@ func C11Extension(o Options) error {
 		}
 
 		// Counter: relaxed is the baseline.
-		ctrBase, err := workload.Measure(c11bench.Counter("counter", c11.Relaxed), base, o.samples(), o.seed())
+		ctrBase, err := o.measure(c11bench.Counter("counter", c11.Relaxed), base)
 		if err != nil {
 			return err
 		}
 		for _, ord := range []c11.Order{c11.AcqRel, c11.SeqCst} {
-			sum, err := workload.Measure(c11bench.Counter("counter", ord), base, o.samples(), o.seed())
+			sum, err := o.measure(c11bench.Counter("counter", ord), base)
 			if err != nil {
 				return err
 			}
@@ -128,7 +128,7 @@ func C11Extension(o Options) error {
 		}
 		t.Note("baseline: release/acquire stack and relaxed counter; the gap to seq_cst is what")
 		t.Note("defensive ordering costs on this structure (cf. Marino et al.'s SC-preservation bound, §5)")
-		t.Render(o.out())
+		o.emit(t)
 	}
 	return nil
 }

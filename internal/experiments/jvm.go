@@ -33,11 +33,11 @@ func Fig1(o Options) error {
 		// Figure 1's x-axis extends to 2^14 loop iterations.
 		sizes = append(append([]int64{}, sizes...), 1024, 2048, 4096, 8192, 16384)
 	}
-	cal, err := core.Calibrate(prof, sizes, o.seed())
+	cal, err := o.calibration(prof, sizes)
 	if err != nil {
 		return err
 	}
-	res, err := core.SensitivityScan(core.ScanConfig{
+	res, err := o.scan(core.ScanConfig{
 		Bench:     javabench.Tomcat(),
 		Env:       workload.DefaultEnv(prof),
 		CostPaths: jvmAllBarriers,
@@ -56,7 +56,7 @@ func Fig1(o Options) error {
 		t.Addf("%d\t%.1f\t%.4f\t%.4f", p.Iterations, p.Ns, p.P, modelAt(res.Sens.K, p.Ns))
 	}
 	t.Note("fitted %v (paper's example: k=0.00277 ± 2.5%%)", res.Sens)
-	t.Render(o.out())
+	o.emit(t)
 	return nil
 }
 
@@ -65,6 +65,11 @@ func modelAt(k, a float64) float64 { return 1 / ((1 - k) + k*a) }
 // Fig4 regenerates Figure 4: the time taken to execute each cost-function
 // variant for increasing loop counts (arm, arm-nostack, power).
 func Fig4(o Options) error {
+	// Fig4 times the cost functions directly rather than through the
+	// runtime, so it carries its own cancellation check.
+	if err := o.ctx().Err(); err != nil {
+		return err
+	}
 	sizes := []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 	if o.Short {
 		sizes = []int64{1, 8, 64, 512}
@@ -94,7 +99,7 @@ func Fig4(o Options) error {
 			cols[0].curve[i].Ns, cols[1].curve[i].Ns, cols[2].curve[i].Ns)
 	}
 	t.Note("linear for large counts; the spilling variants add two memory operations")
-	t.Render(o.out())
+	o.emit(t)
 	return nil
 }
 
@@ -125,7 +130,7 @@ func Fig5(o Options) error {
 		t := report.New(fmt.Sprintf("Figure 5 (%s): sensitivity to all memory barriers", prof.Name),
 			"benchmark", "k (fitted)", "stability", "paper k")
 		for _, b := range javabench.Suite() {
-			res, err := core.SensitivityScan(core.ScanConfig{
+			res, err := o.scan(core.ScanConfig{
 				Bench:     b,
 				Env:       workload.DefaultEnv(prof),
 				CostPaths: jvmAllBarriers,
@@ -140,7 +145,7 @@ func Fig5(o Options) error {
 			}
 			t.Addf("%s\t%v\t%s\t%s", b.Name, res.Sens, core.Classify(res.Sens), paperFig5[prof.Name][b.Name])
 		}
-		t.Render(o.out())
+		o.emit(t)
 	}
 	return nil
 }
@@ -168,7 +173,7 @@ func Fig6(o Options) error {
 		t := report.New(fmt.Sprintf("Figure 6 (%s): spark sensitivity per elemental barrier", prof.Name),
 			"elemental", "k (fitted)", "paper k")
 		for _, e := range jvm.Elementals {
-			res, err := core.SensitivityScan(core.ScanConfig{
+			res, err := o.scan(core.ScanConfig{
 				Bench:     javabench.Spark(),
 				Env:       workload.DefaultEnv(prof),
 				CostPaths: []arch.PathID{jvm.PathFor(e)},
@@ -184,7 +189,7 @@ func Fig6(o Options) error {
 			t.Addf("%s\t%v\t%s", e, res.Sens, paperFig6[prof.Name][e.String()])
 		}
 		t.Note("shape criterion: StoreStore dominates on both architectures")
-		t.Render(o.out())
+		o.emit(t)
 	}
 	return nil
 }
@@ -198,11 +203,11 @@ func Txt1(o Options) error {
 			"benchmark", "relative perf", "change")
 		var ratios []float64
 		for _, b := range javabench.Suite() {
-			clean, err := workload.Measure(b, workload.DefaultEnv(prof), o.samples(), o.seed())
+			clean, err := o.measure(b, workload.DefaultEnv(prof))
 			if err != nil {
 				return err
 			}
-			padded, err := workload.Measure(b, workload.DefaultEnv(prof).NopBase(jvmElementals), o.samples(), o.seed())
+			padded, err := o.measure(b, workload.DefaultEnv(prof).NopBase(jvmElementals))
 			if err != nil {
 				return err
 			}
@@ -212,7 +217,7 @@ func Txt1(o Options) error {
 		}
 		t.Note("mean %.2f%% (paper: ARM -1.9%%, POWER -0.7%%; peak -4.5%%)",
 			100*(stats.Mean(ratios)-1))
-		t.Render(o.out())
+		o.emit(t)
 	}
 	return nil
 }
@@ -227,7 +232,7 @@ func Txt2(o Options) error {
 		return err
 	}
 	for _, prof := range profiles() {
-		scan, err := core.SensitivityScan(core.ScanConfig{
+		scan, err := o.scan(core.ScanConfig{
 			Bench:     javabench.Spark(),
 			Env:       workload.DefaultEnv(prof),
 			CostPaths: []arch.PathID{jvm.PathStoreStore},
@@ -249,7 +254,7 @@ func Txt2(o Options) error {
 			"benchmark", "relative perf", "significant", "k(StoreStore)", "cost increase a")
 		var others []float64
 		for _, b := range javabench.Suite() {
-			rel, err := core.CompareStrategies(b, base, test, jvmElementals, o.samples(), o.seed())
+			rel, err := o.compare(b, base, test, jvmElementals)
 			if err != nil {
 				return err
 			}
@@ -270,7 +275,7 @@ func Txt2(o Options) error {
 		} else {
 			t.Note("paper: spark -0.7%%, a = 1.8 ns")
 		}
-		t.Render(o.out())
+		o.emit(t)
 	}
 	return nil
 }
@@ -287,14 +292,14 @@ func Txt4(o Options) error {
 	t := report.New("TXT4 (armv8): JDK9 acq/rel vs JDK8 barriers",
 		"benchmark", "relative perf", "change", "significant")
 	for _, b := range javabench.Suite() {
-		rel, err := core.CompareStrategies(b, base, test, jvmAllBarriers, o.samples(), o.seed())
+		rel, err := o.compare(b, base, test, jvmAllBarriers)
 		if err != nil {
 			return err
 		}
 		t.Addf("%s\t%.5f\t%s\t%s", b.Name, rel.Ratio, report.Pct(rel.Ratio), report.Sig(rel.Significant()))
 	}
 	t.Note("paper: xalan +2.9%%, sunflow +3.0%%, h2 -0.3%%, spark -0.5%%, tomcat -1.7%%, rest n.s.")
-	t.Render(o.out())
+	o.emit(t)
 	return nil
 }
 
@@ -316,7 +321,7 @@ func Txt5(o Options) error {
 		test := base
 		st.LockPatch = true
 		test.JVMStrategy = st
-		rel, err := core.CompareStrategies(javabench.Spark(), base, test, jvmAllBarriers, o.samples(), o.seed())
+		rel, err := o.compare(javabench.Spark(), base, test, jvmAllBarriers)
 		if err != nil {
 			return err
 		}
@@ -327,6 +332,6 @@ func Txt5(o Options) error {
 		t.Addf("%s\t%.5f\t%s\t%s", name, rel.Ratio, report.Pct(rel.Ratio), report.Sig(rel.Significant()))
 	}
 	t.Note("paper: +2.9%% with acq/rel, -1.0%% with barriers")
-	t.Render(o.out())
+	o.emit(t)
 	return nil
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -23,11 +24,19 @@ func kernelProfile() *arch.Profile { return arch.ARMv8() }
 const surveySize = 1024
 
 // surveyCache memoizes the 154-point dataset shared by Figures 7 and 8 so
-// running both does not repeat the most expensive measurement.
-var surveyCache = map[string][]core.ProbeResult{}
+// running both does not repeat the most expensive measurement.  The mutex
+// covers the whole computation: when the engine schedules Figures 7 and 8
+// concurrently, the second blocks until the first has built the shared
+// dataset rather than duplicating it.
+var (
+	surveyMu    sync.Mutex
+	surveyCache = map[string][]core.ProbeResult{}
+)
 
 // runKernelSurvey produces the Figure 7/8 dataset.
 func runKernelSurvey(o Options) ([]core.ProbeResult, error) {
+	surveyMu.Lock()
+	defer surveyMu.Unlock()
 	key := fmt.Sprintf("%v/%d/%d", o.Short, o.samples(), o.seed())
 	if rs, ok := surveyCache[key]; ok {
 		return rs, nil
@@ -36,8 +45,8 @@ func runKernelSurvey(o Options) ([]core.ProbeResult, error) {
 	if o.Short {
 		benches = benches[:4]
 	}
-	rs, err := core.Survey(benches, workload.DefaultEnv(kernelProfile()),
-		kernel.Paths, surveySize, o.samples(), o.seed())
+	rs, err := o.survey(benches, workload.DefaultEnv(kernelProfile()),
+		kernel.Paths, surveySize)
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +71,7 @@ func Fig7(o Options) error {
 		t.Addf("%s\t%.3f", kernel.PathName(p), sums[p])
 	}
 	t.Note("paper's biggest-impact macros: smp_mb, read_once, read_barrier_depends")
-	t.Render(o.out())
+	o.emit(t)
 	return nil
 }
 
@@ -87,7 +96,7 @@ func Fig8(o Options) error {
 		t.Addf("%s\t%.3f", n, sums[n])
 	}
 	t.Note("paper's order: netperf_tcp, lmbench, netperf_udp, ebizzy, xalan, osm_stack(avg), osm_stack(max), osm_tiles, kernel_compile, spark, h2")
-	t.Render(o.out())
+	o.emit(t)
 	return nil
 }
 
@@ -102,14 +111,14 @@ var paperFig9 = map[string]string{
 // benchmarks to the read_barrier_depends macro.
 func Fig9(o Options) error {
 	prof := kernelProfile()
-	cal, err := core.Calibrate(prof, o.sizes(), o.seed())
+	cal, err := o.calibration(prof, o.sizes())
 	if err != nil {
 		return err
 	}
 	t := report.New("Figure 9: sensitivity to read_barrier_depends (armv8)",
 		"benchmark", "k (fitted)", "stability", "paper k")
 	for _, b := range linuxbench.RBDSix() {
-		res, err := core.SensitivityScan(core.ScanConfig{
+		res, err := o.scan(core.ScanConfig{
 			Bench:     b,
 			Env:       workload.DefaultEnv(prof),
 			CostPaths: []arch.PathID{kernel.PathReadBarrierDepends},
@@ -125,7 +134,7 @@ func Fig9(o Options) error {
 		t.Addf("%s\t%v\t%s\t%s", b.Name, res.Sens, core.Classify(res.Sens), paperFig9[b.Name])
 	}
 	t.Note("shape: netperf_udp most sensitive; osm/xalan near-insensitive; tcp less stable than udp")
-	t.Render(o.out())
+	o.emit(t)
 	return nil
 }
 
@@ -143,7 +152,7 @@ func Fig10(o Options) error {
 		for _, st := range strategies[1:] {
 			env := baseEnv
 			env.KernelStrategy = st
-			rel, err := core.CompareStrategies(b, baseEnv, env, kernel.Paths, o.samples(), o.seed())
+			rel, err := o.compare(b, baseEnv, env, kernel.Paths)
 			if err != nil {
 				return err
 			}
@@ -156,7 +165,7 @@ func Fig10(o Options) error {
 		t.Add(row...)
 	}
 	t.Note("paper's shape: ctrl+isb always worst; ishld/ish small; xalan slightly improves with added ishld")
-	t.Render(o.out())
+	o.emit(t)
 	return nil
 }
 
@@ -168,11 +177,11 @@ func Txt6(o Options) error {
 		"benchmark", "relative perf", "change")
 	var ratios []float64
 	for _, b := range linuxbench.Suite() {
-		clean, err := workload.Measure(b, workload.DefaultEnv(prof), o.samples(), o.seed())
+		clean, err := o.measure(b, workload.DefaultEnv(prof))
 		if err != nil {
 			return err
 		}
-		padded, err := workload.Measure(b, workload.DefaultEnv(prof).NopBase(kernel.Paths), o.samples(), o.seed())
+		padded, err := o.measure(b, workload.DefaultEnv(prof).NopBase(kernel.Paths))
 		if err != nil {
 			return err
 		}
@@ -181,7 +190,7 @@ func Txt6(o Options) error {
 		t.Addf("%s\t%.5f\t%s", b.Name, rel.Ratio, report.Pct(rel.Ratio))
 	}
 	t.Note("mean %.2f%% (paper: mean -1.9%%, worst -6.6%% on netperf)", 100*(stats.Mean(ratios)-1))
-	t.Render(o.out())
+	o.emit(t)
 	return nil
 }
 
@@ -191,7 +200,7 @@ func Txt6(o Options) error {
 // the micro/macro divergence analysis.
 func Txt7(o Options) error {
 	prof := kernelProfile()
-	cal, err := core.Calibrate(prof, o.sizes(), o.seed())
+	cal, err := o.calibration(prof, o.sizes())
 	if err != nil {
 		return err
 	}
@@ -199,7 +208,7 @@ func Txt7(o Options) error {
 	// Fit per-benchmark rbd sensitivities.
 	sens := map[string]core.ScanResult{}
 	for _, b := range benches {
-		res, err := core.SensitivityScan(core.ScanConfig{
+		res, err := o.scan(core.ScanConfig{
 			Bench:     b,
 			Env:       workload.DefaultEnv(prof),
 			CostPaths: []arch.PathID{kernel.PathReadBarrierDepends},
@@ -235,7 +244,7 @@ func Txt7(o Options) error {
 			baseEnv := workload.DefaultEnv(prof)
 			env := baseEnv
 			env.KernelStrategy = st
-			rel, err := core.CompareStrategies(b, baseEnv, env, kernel.Paths, o.samples(), o.seed())
+			rel, err := o.compare(b, baseEnv, env, kernel.Paths)
 			if err != nil {
 				return err
 			}
@@ -257,6 +266,6 @@ func Txt7(o Options) error {
 		t.Note("%s excluded from the macro mean: its rbd sensitivity is unresolved", name)
 	}
 	t.Note("divergence between the micro (lmbench) and macro estimates is the point: dmb ishld is nearly free in vivo")
-	t.Render(o.out())
+	o.emit(t)
 	return nil
 }

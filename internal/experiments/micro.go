@@ -24,6 +24,9 @@ func Txt3(o Options) error {
 		seeds = 1
 	}
 	for _, prof := range profiles() {
+		if err := o.ctx().Err(); err != nil {
+			return err
+		}
 		var probes []probe
 		if prof.Flavor == arch.MCA {
 			probes = []probe{
@@ -59,7 +62,7 @@ func Txt3(o Options) error {
 		} else {
 			t.Note("paper: dmb variants indistinguishable beyond ishld/ishst being faster than ish")
 		}
-		t.Render(o.out())
+		o.emit(t)
 	}
 	return nil
 }
@@ -70,6 +73,9 @@ func Txt3(o Options) error {
 // every other experiment meaning anything.
 func Litmus(o Options) error {
 	for _, prof := range profiles() {
+		if err := o.ctx().Err(); err != nil {
+			return err
+		}
 		trials := 400
 		if o.Short {
 			trials = 120
@@ -88,7 +94,7 @@ func Litmus(o Options) error {
 				t.Note("%v", err)
 			}
 		}
-		t.Render(o.out())
+		o.emit(t)
 	}
 	return nil
 }

@@ -284,6 +284,14 @@ func metricValue(b *Benchmark, prof *arch.Profile, res sim.Result) (float64, err
 	return 0, fmt.Errorf("unknown metric")
 }
 
+// SampleSeed derives the seed of the i-th sample of a measurement with
+// the given base seed.  The derivation is positional, so a measurement's
+// samples are identical whether they run sequentially here or are fanned
+// out across an execution engine's worker pool.
+func SampleSeed(baseSeed int64, i int) int64 {
+	return baseSeed + int64(i)*104729 + 1
+}
+
 // Samples runs the benchmark n times with distinct seeds and returns the
 // performance samples in seed order.  Runs are independent simulator
 // instances, so on multi-core hosts they execute in parallel (bounded by
@@ -297,7 +305,7 @@ func Samples(b *Benchmark, env Env, n int, baseSeed int64) ([]float64, error) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			out[i], errs[i] = Run(b, env, baseSeed+int64(i)*104729+1)
+			out[i], errs[i] = Run(b, env, SampleSeed(baseSeed, i))
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -307,7 +315,7 @@ func Samples(b *Benchmark, env Env, n int, baseSeed int64) ([]float64, error) {
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					out[i], errs[i] = Run(b, env, baseSeed+int64(i)*104729+1)
+					out[i], errs[i] = Run(b, env, SampleSeed(baseSeed, i))
 				}
 			}()
 		}

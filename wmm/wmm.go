@@ -25,9 +25,13 @@
 package wmm
 
 import (
+	"context"
+	"encoding/json"
+
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/costfn"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/fit"
 	"repro/internal/litmus"
@@ -320,14 +324,63 @@ type ExperimentOptions = experiments.Options
 func Experiments() []experiments.Experiment { return experiments.All() }
 
 // RunExperiment runs one named experiment (fig1..fig10, txt1..txt7,
-// litmus).
+// litmus) directly in-process.
 func RunExperiment(name string, o ExperimentOptions) error {
+	return RunExperimentContext(context.Background(), name, o)
+}
+
+// RunExperimentContext runs one named experiment under a context: the
+// run aborts at its next measurement once ctx is cancelled or its
+// deadline passes.
+func RunExperimentContext(ctx context.Context, name string, o ExperimentOptions) error {
 	e, err := experiments.ByName(name)
 	if err != nil {
 		return err
 	}
+	o.Ctx = ctx
 	return e.Run(o)
 }
 
 // RunAllExperiments runs the full evaluation in paper order.
 func RunAllExperiments(o ExperimentOptions) error { return experiments.RunAll(o) }
+
+// ----------------------------------------------------------------- engine --
+
+// Engine is the concurrent experiment execution engine: a worker pool
+// fanning individual sample measurements across GOMAXPROCS workers with
+// positional seed derivation (so pooled runs are bit-identical to
+// sequential ones), plus a process-wide calibration cache.  Close it when
+// done.
+type Engine = engine.Engine
+
+// EngineOptions configures NewEngine.
+type EngineOptions = engine.Options
+
+// EngineRunOptions parameterises one Engine.Run call.
+type EngineRunOptions = engine.RunOptions
+
+// EngineResult is the structured outcome of one experiment: the paper
+// artifact it regenerates, its tables, fitted sensitivities, measurement
+// counts, and wall time, serializable to JSON.
+type EngineResult = engine.Result
+
+// NewEngine starts an execution engine and its worker pool.
+func NewEngine(o EngineOptions) *Engine { return engine.New(o) }
+
+// RunExperimentJSON runs one named experiment through a fresh engine and
+// returns its structured result serialized as JSON.  Long-lived callers
+// wanting the shared calibration cache across experiments should hold an
+// Engine and use Engine.Run instead.
+func RunExperimentJSON(ctx context.Context, name string, o ExperimentOptions) ([]byte, error) {
+	eng := engine.New(engine.Options{})
+	defer eng.Close()
+	results, err := eng.Run(ctx, []string{name}, engine.RunOptions{
+		Samples: o.Samples,
+		Seed:    o.Seed,
+		Short:   o.Short,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(results[0], "", "  ")
+}

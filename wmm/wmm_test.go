@@ -1,6 +1,8 @@
 package wmm_test
 
 import (
+	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -158,6 +160,35 @@ func TestExperimentSmoke(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("experiment output missing %q", want)
 		}
+	}
+}
+
+func TestEngineFacade(t *testing.T) {
+	eng := wmm.NewEngine(wmm.EngineOptions{Workers: 2})
+	defer eng.Close()
+	results, err := eng.Run(context.Background(), []string{"fig4", "txt3"},
+		wmm.EngineRunOptions{Short: true, Samples: 2, Seed: 1, Parallel: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Experiment != "fig4" || results[1].Experiment != "txt3" {
+		t.Fatalf("engine results out of order: %+v", results)
+	}
+	if !strings.Contains(results[0].Output, "Figure 4") {
+		t.Errorf("fig4 output missing table: %q", results[0].Output)
+	}
+
+	raw, err := wmm.RunExperimentJSON(context.Background(),
+		"fig4", wmm.ExperimentOptions{Short: true, Samples: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r wmm.EngineResult
+	if err := json.Unmarshal(raw, &r); err != nil {
+		t.Fatalf("RunExperimentJSON returned invalid JSON: %v", err)
+	}
+	if r.Experiment != "fig4" || len(r.Tables) != 1 {
+		t.Errorf("structured result = %q with %d tables", r.Experiment, len(r.Tables))
 	}
 }
 
