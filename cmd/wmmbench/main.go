@@ -17,6 +17,10 @@
 //	-json       emit structured results (tables, fits, timings) as JSON
 //	            instead of ASCII tables
 //	-timeout    abort the whole run after a duration (e.g. 10m)
+//	-stats      after the run, print the engine's metrics (jobs, queue
+//	            waits, sample durations, calibration cache hits) to
+//	            stderr in Prometheus text format — the same counters
+//	            wmmd serves at GET /metrics
 //
 // Experiments: fig1 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 // txt1 txt2 txt3 txt4 txt5 txt6 txt7 litmus.
@@ -41,6 +45,7 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run experiments concurrently (deterministic output)")
 	jsonOut := flag.Bool("json", false, "emit structured JSON results instead of ASCII tables")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	stats := flag.Bool("stats", false, "print engine metrics to stderr after the run")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: wmmbench [flags] list | all | <experiment>...\n\nexperiments:\n")
 		for _, e := range wmm.Experiments() {
@@ -99,6 +104,16 @@ func main() {
 		Parallel: concurrency,
 	}, nil)
 
+	// printStats dumps the engine's counters in the same Prometheus
+	// text format wmmd serves at /metrics.  Called explicitly on every
+	// exit path because os.Exit skips defers.
+	printStats := func() {
+		if *stats {
+			fmt.Fprintln(os.Stderr, "# wmmbench engine metrics")
+			eng.Metrics().WriteText(os.Stderr)
+		}
+	}
+
 	if *jsonOut {
 		out, merr := json.MarshalIndent(results, "", "  ")
 		if merr != nil {
@@ -106,6 +121,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(string(out))
+		printStats()
 		if err != nil {
 			os.Exit(1)
 		}
@@ -128,6 +144,7 @@ func main() {
 				time.Duration(r.WallNs).Round(time.Millisecond))
 		}
 	}
+	printStats()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wmmbench:", err)
 		os.Exit(1)

@@ -4,26 +4,38 @@
 //
 // Usage:
 //
-//	wmmd [-addr :8347] [-workers N] [-parallel N]
+//	wmmd [-addr :8347] [-workers N] [-parallel N] [-retain 24h] [-debug]
 //
 // API:
 //
 //	GET    /healthz          liveness and worker count
 //	GET    /experiments      the experiment catalogue
+//	GET    /metrics          Prometheus text exposition (engine + HTTP)
 //	POST   /runs             submit {"experiments": ["fig5"], "short": true,
 //	                         "seed": 1, "samples": 6, "timeout_ms": 600000}
 //	GET    /runs             all run statuses
 //	GET    /runs/{id}        one run's status; ?results=1 includes partial
 //	                         results, ?stream=1 streams NDJSON progress
-//	DELETE /runs/{id}        cancel a run
+//	DELETE /runs/{id}        cancel a running run / remove a finished one
+//	GET    /debug/pprof/     runtime profiling (only with -debug)
+//
+// Finished runs are garbage-collected after -retain (0 keeps them
+// forever).  Every request is access-logged as one JSON line on stderr.
+//
+// On SIGINT/SIGTERM the server shuts down in order: stop accepting
+// runs, cancel in-flight runs and wait for their executors, drain HTTP,
+// and only then close the engine's worker pool — so a shutdown never
+// closes the job channel under an in-flight Measure.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,31 +44,117 @@ import (
 	"repro/internal/engine"
 )
 
+// accessLog wraps a handler with one-line JSON access logging.
+type accessLog struct {
+	h   http.Handler
+	out *log.Logger
+}
+
+// logWriter records status and bytes while passing Flush through to
+// streaming handlers.
+type logWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *logWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *logWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *logWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController.
+func (w *logWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func (a *accessLog) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	lw := &logWriter{ResponseWriter: w}
+	start := time.Now()
+	a.h.ServeHTTP(lw, r)
+	code := lw.code
+	if code == 0 {
+		code = http.StatusOK
+	}
+	line, _ := json.Marshal(map[string]any{
+		"time":        start.UTC().Format(time.RFC3339Nano),
+		"method":      r.Method,
+		"path":        r.URL.RequestURI(),
+		"status":      code,
+		"bytes":       lw.bytes,
+		"duration_ms": time.Since(start).Seconds() * 1e3,
+		"remote":      r.RemoteAddr,
+	})
+	a.out.Print(string(line))
+}
+
 func main() {
 	addr := flag.String("addr", ":8347", "listen address")
 	workers := flag.Int("workers", 0, "sample worker-pool size (0 = GOMAXPROCS)")
 	parallel := flag.Int("parallel", 0, "default concurrent experiments per run (0 = worker count)")
+	retain := flag.Duration("retain", 24*time.Hour, "garbage-collect finished runs after this long (0 = keep forever)")
+	debug := flag.Bool("debug", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	eng := engine.New(engine.Options{Workers: *workers})
-	defer eng.Close()
-	srv := &http.Server{
-		Addr:    *addr,
-		Handler: engine.NewServer(eng, *parallel).Handler(),
+	api := engine.NewServer(eng, engine.ServerOptions{Parallel: *parallel, Retain: *retain})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", api.Handler())
+	if *debug {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: &accessLog{h: mux, out: log.New(os.Stderr, "", 0)},
+	}
+
+	shutdownDone := make(chan struct{})
 	go func() {
+		defer close(shutdownDone)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Print("wmmd: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
-		srv.Shutdown(ctx)
+		// Order matters: cancel in-flight runs and wait for their
+		// executors first (api.Shutdown), then drain HTTP
+		// (srv.Shutdown), and let main close the engine last.  Closing
+		// the engine while a run is mid-Measure is a send on a closed
+		// channel.
+		if err := api.Shutdown(ctx); err != nil {
+			log.Printf("wmmd: run shutdown: %v", err)
+		}
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("wmmd: http shutdown: %v", err)
+		}
 	}()
 
-	log.Printf("wmmd: serving on %s (%d workers)", *addr, eng.Workers())
+	log.Printf("wmmd: serving on %s (%d workers, retain %v, debug %v)", *addr, eng.Workers(), *retain, *debug)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("wmmd: %v", err)
 	}
+	<-shutdownDone
+	eng.Close()
 }

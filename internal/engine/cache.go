@@ -50,6 +50,11 @@ func (e *Engine) Calibration(ctx context.Context, prof *arch.Profile, sizes []in
 		e.misses++
 	}
 	e.calMu.Unlock()
+	if ok {
+		e.met.calHits.Inc()
+	} else {
+		e.met.calMisses.Inc()
+	}
 
 	if !ok {
 		ent.cal, ent.err = core.Calibrate(prof, append([]int64{}, sizes...), seed)

@@ -22,7 +22,9 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -31,6 +33,41 @@ import (
 type Options struct {
 	// Workers is the sample-level worker-pool size; GOMAXPROCS if <= 0.
 	Workers int
+	// Registry receives the engine's metrics; a private registry is
+	// created if nil.
+	Registry *metrics.Registry
+}
+
+// engineMetrics are the engine's instruments: what the worker pool and
+// calibration cache record about themselves.
+type engineMetrics struct {
+	jobsExecuted  *metrics.Counter   // samples run to completion
+	jobsCancelled *metrics.Counter   // samples skipped or unsent due to cancellation
+	queueWait     *metrics.Histogram // enqueue → worker pickup
+	sampleRun     *metrics.Histogram // one simulator execution
+	workersBusy   *metrics.Gauge     // workers currently running a sample
+	workers       *metrics.Gauge     // pool size (constant per engine)
+	measurements  *metrics.Counter   // Measure calls
+	calHits       *metrics.Counter   // calibration cache reuses
+	calMisses     *metrics.Counter   // calibration cache computations
+	experiments   *metrics.Counter   // experiments finished, by outcome
+	experimentDur *metrics.Histogram // wall time of one experiment
+}
+
+func newEngineMetrics(r *metrics.Registry) *engineMetrics {
+	return &engineMetrics{
+		jobsExecuted:  r.Counter("wmm_engine_jobs_executed_total", "Sample jobs run to completion by the worker pool."),
+		jobsCancelled: r.Counter("wmm_engine_jobs_cancelled_total", "Sample jobs skipped or unsent because their run was cancelled."),
+		queueWait:     r.Histogram("wmm_engine_job_queue_wait_seconds", "Time a sample job waits between enqueue and worker pickup.", nil),
+		sampleRun:     r.Histogram("wmm_engine_sample_run_seconds", "Duration of one simulator sample execution.", nil),
+		workersBusy:   r.Gauge("wmm_engine_workers_busy", "Workers currently executing a sample."),
+		workers:       r.Gauge("wmm_engine_workers", "Sample worker-pool size."),
+		measurements:  r.Counter("wmm_engine_measurements_total", "Measurements (n-sample summaries) requested."),
+		calHits:       r.Counter("wmm_engine_calibration_cache_hits_total", "Calibration curves served from the cache."),
+		calMisses:     r.Counter("wmm_engine_calibration_cache_misses_total", "Calibration curves computed (cache misses)."),
+		experiments:   r.Counter("wmm_engine_experiments_total", "Experiments finished, by outcome.", "outcome"),
+		experimentDur: r.Histogram("wmm_engine_experiment_seconds", "Wall time of one experiment driver.", nil),
+	}
 }
 
 // Engine schedules measurements across a worker pool and caches
@@ -40,6 +77,8 @@ type Options struct {
 type Engine struct {
 	workers int
 	jobs    chan job
+	reg     *metrics.Registry
+	met     *engineMetrics
 
 	calMu  sync.Mutex
 	cals   map[string]*calEntry
@@ -52,13 +91,15 @@ type Engine struct {
 // job is one sample run: a single simulator execution of a benchmark
 // under an environment with a derived seed.
 type job struct {
-	ctx  context.Context
-	b    *workload.Benchmark
-	env  workload.Env
-	seed int64
-	out  *float64
-	err  *error
-	wg   *sync.WaitGroup
+	ctx      context.Context
+	b        *workload.Benchmark
+	env      workload.Env
+	seed     int64
+	out      *float64
+	err      *error
+	wg       *sync.WaitGroup
+	enqueued time.Time
+	run      func() (float64, error) // test seam; nil = workload.Run
 }
 
 // New starts an engine with its worker pool.
@@ -67,16 +108,28 @@ func New(o Options) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	reg := o.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	e := &Engine{
 		workers: w,
 		jobs:    make(chan job),
+		reg:     reg,
+		met:     newEngineMetrics(reg),
 		cals:    map[string]*calEntry{},
 	}
+	e.met.workers.Set(float64(w))
 	for i := 0; i < w; i++ {
 		go e.worker()
 	}
 	return e
 }
+
+// Metrics returns the engine's registry so callers (wmmd's /metrics,
+// wmmbench -stats) can expose or print it.  The server registers its
+// HTTP instruments into the same registry.
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
 
 // Workers reports the pool size.
 func (e *Engine) Workers() int { return e.workers }
@@ -89,10 +142,21 @@ func (e *Engine) Close() {
 
 func (e *Engine) worker() {
 	for j := range e.jobs {
+		e.met.queueWait.Observe(time.Since(j.enqueued).Seconds())
 		if err := j.ctx.Err(); err != nil {
 			*j.err = err
+			e.met.jobsCancelled.Inc()
 		} else {
-			*j.out, *j.err = workload.Run(j.b, j.env, j.seed)
+			e.met.workersBusy.Add(1)
+			start := time.Now()
+			if j.run != nil {
+				*j.out, *j.err = j.run()
+			} else {
+				*j.out, *j.err = workload.Run(j.b, j.env, j.seed)
+			}
+			e.met.sampleRun.Observe(time.Since(start).Seconds())
+			e.met.workersBusy.Add(-1)
+			e.met.jobsExecuted.Inc()
 		}
 		j.wg.Done()
 	}
@@ -103,16 +167,33 @@ func (e *Engine) worker() {
 // workload.Measure for the same inputs: sample i always runs with
 // workload.SampleSeed(seed, i) regardless of which worker executes it or
 // in what order samples complete.
+//
+// Enqueueing selects on ctx, so cancelling a run unblocks a Measure that
+// is waiting for busy workers: unsent samples are marked cancelled
+// locally and only the already-enqueued ones are waited for.
 func (e *Engine) Measure(ctx context.Context, b *workload.Benchmark, env workload.Env, n int, seed int64) (stats.Summary, error) {
 	if err := ctx.Err(); err != nil {
 		return stats.Summary{}, err
 	}
+	e.met.measurements.Inc()
 	xs := make([]float64, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
+enqueue:
 	for i := 0; i < n; i++ {
-		e.jobs <- job{ctx: ctx, b: b, env: env, seed: workload.SampleSeed(seed, i), out: &xs[i], err: &errs[i], wg: &wg}
+		j := job{ctx: ctx, b: b, env: env, seed: workload.SampleSeed(seed, i),
+			out: &xs[i], err: &errs[i], wg: &wg, enqueued: time.Now()}
+		select {
+		case e.jobs <- j:
+		case <-ctx.Done():
+			for k := i; k < n; k++ {
+				errs[k] = ctx.Err()
+				wg.Done()
+			}
+			e.met.jobsCancelled.Add(float64(n - i))
+			break enqueue
+		}
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -4,7 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/experiments"
@@ -206,5 +210,93 @@ func TestUnknownExperiment(t *testing.T) {
 	defer e.Close()
 	if _, err := e.Run(context.Background(), []string{"bogus"}, RunOptions{}, nil); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestMeasureCancelUnblocksEnqueue is the regression test for the
+// uncancellable-enqueue bug: with every worker busy, Measure blocks
+// sending its first job; cancelling the context must unblock it
+// promptly (within one sample boundary) instead of waiting for the
+// pool to drain.  Run under -race it also proves the unsent samples'
+// WaitGroup accounting is sound.
+func TestMeasureCancelUnblocksEnqueue(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+
+	// Occupy the only worker with a job that blocks until released.
+	release := make(chan struct{})
+	var blockerWG sync.WaitGroup
+	blockerWG.Add(1)
+	var out float64
+	var errv error
+	e.jobs <- job{
+		ctx: context.Background(), out: &out, err: &errv, wg: &blockerWG,
+		enqueued: time.Now(),
+		run:      func() (float64, error) { <-release; return 0, nil },
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		b := javabench.Tomcat()
+		env := workload.DefaultEnv(arch.ARMv8())
+		_, err := e.Measure(ctx, b, env, 4, 42)
+		done <- err
+	}()
+
+	// Let Measure reach the blocked enqueue, then cancel.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Measure returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Measure still blocked 10s after cancellation")
+	}
+
+	close(release)
+	blockerWG.Wait()
+}
+
+// TestEngineMetrics verifies the engine's instruments track the work it
+// does: jobs, measurements, and calibration cache traffic.
+func TestEngineMetrics(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+
+	b := javabench.Tomcat()
+	env := workload.DefaultEnv(arch.ARMv8())
+	if _, err := e.Measure(context.Background(), b, env, 3, 42); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.met.jobsExecuted.Value(); got != 3 {
+		t.Errorf("jobs executed = %v, want 3", got)
+	}
+	if got := e.met.measurements.Value(); got != 1 {
+		t.Errorf("measurements = %v, want 1", got)
+	}
+	if got := e.met.sampleRun.Count(); got != 3 {
+		t.Errorf("sample duration observations = %v, want 3", got)
+	}
+
+	sizes := []int64{1, 8}
+	if _, err := e.Calibration(context.Background(), arch.ARMv8(), sizes, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Calibration(context.Background(), arch.ARMv8(), sizes, 1); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := e.met.calHits.Value(), e.met.calMisses.Value(); hits != 1 || misses != 1 {
+		t.Errorf("cache metrics hits=%v misses=%v, want 1/1", hits, misses)
+	}
+
+	var sb strings.Builder
+	if err := e.Metrics().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wmm_engine_jobs_executed_total 3") {
+		t.Errorf("exposition missing jobs counter:\n%s", sb.String())
 	}
 }

@@ -141,6 +141,15 @@ func (e *Engine) runOne(ctx context.Context, ex experiments.Experiment, o RunOpt
 	if err != nil {
 		r.Err = err.Error()
 	}
+	e.met.experimentDur.Observe(time.Since(start).Seconds())
+	switch {
+	case err == nil:
+		e.met.experiments.Inc("ok")
+	case r.Canceled():
+		e.met.experiments.Inc("cancelled")
+	default:
+		e.met.experiments.Inc("failed")
+	}
 	return r
 }
 

@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
 // RunSpec is the body of POST /runs.
@@ -45,10 +48,15 @@ type RunStatus struct {
 	Total     int       `json:"total"`
 	Completed int       `json:"completed"`
 	Running   []string  `json:"running,omitempty"`
-	Error     string    `json:"error,omitempty"`
-	StartedAt time.Time `json:"started_at"`
-	WallMs    int64     `json:"wall_ms"`
-	Results   []*Result `json:"results,omitempty"`
+	// Measurements and Samples aggregate the execution accounting of
+	// the experiments completed so far — the per-run counters behind
+	// the engine-wide wmm_engine_* series.
+	Measurements int       `json:"measurements"`
+	Samples      int       `json:"samples"`
+	Error        string    `json:"error,omitempty"`
+	StartedAt    time.Time `json:"started_at"`
+	WallMs       int64     `json:"wall_ms"`
+	Results      []*Result `json:"results,omitempty"`
 }
 
 // event is one progress record streamed by GET /runs/{id}?stream=1.
@@ -80,54 +88,247 @@ type serverRun struct {
 	subs     []chan event
 }
 
+// serverMetrics are the HTTP layer's instruments.
+type serverMetrics struct {
+	requests   *metrics.Counter   // method, path, code
+	latency    *metrics.Histogram // method, path
+	runs       *metrics.Counter   // lifecycle transitions, by state
+	runsActive *metrics.Gauge     // runs currently executing
+	runsKept   *metrics.Gauge     // runs retained in memory
+	runsSwept  *metrics.Counter   // runs removed by GC or DELETE
+}
+
+func newServerMetrics(r *metrics.Registry) *serverMetrics {
+	return &serverMetrics{
+		requests:   r.Counter("wmm_http_requests_total", "HTTP requests served, by route and status code.", "method", "path", "code"),
+		latency:    r.Histogram("wmm_http_request_seconds", "HTTP request latency, by route.", nil, "method", "path"),
+		runs:       r.Counter("wmm_runs_total", "Run lifecycle transitions (submitted/done/failed/cancelled).", "state"),
+		runsActive: r.Gauge("wmm_runs_active", "Runs currently executing."),
+		runsKept:   r.Gauge("wmm_runs_retained", "Runs held in memory (running + finished awaiting retention)."),
+		runsSwept:  r.Counter("wmm_runs_swept_total", "Finished runs removed by the retention sweep or DELETE."),
+	}
+}
+
+// ServerOptions configures NewServer.
+type ServerOptions struct {
+	// Parallel is the experiment-level concurrency used when a RunSpec
+	// does not choose its own (<= 0 falls back to the engine's worker
+	// count).
+	Parallel int
+	// Retain bounds how long a finished run stays queryable.  The
+	// retention sweep removes completed runs older than this; 0 keeps
+	// them forever (the pre-retention behaviour — a leak on a
+	// long-lived server).
+	Retain time.Duration
+	// SweepEvery is the GC interval; Retain/4 clamped to [1s, 1m] if 0.
+	SweepEvery time.Duration
+}
+
 // Server exposes the engine over HTTP: a queryable catalogue of
 // experiments and asynchronous, cancellable runs with streamed progress.
-// Wire its Handler into an http.Server (see cmd/wmmd).
+// Wire its Handler into an http.Server (see cmd/wmmd) and call Shutdown
+// before Engine.Close — it cancels in-flight runs and waits for them,
+// so the engine's job channel is never closed mid-send.
 type Server struct {
 	eng             *Engine
 	defaultParallel int
+	retain          time.Duration
+	met             *serverMetrics
 
-	mu   sync.Mutex
-	runs map[string]*serverRun
-	seq  int
+	mu     sync.Mutex
+	runs   map[string]*serverRun
+	seq    int
+	closed bool
+
+	active   sync.WaitGroup // one per executing run
+	stopOnce sync.Once
+	stop     chan struct{} // closes to end the retention sweeper
 }
 
-// NewServer wraps an engine.  defaultParallel is the experiment-level
-// concurrency used when a RunSpec does not choose its own (values <= 0
-// fall back to the engine's worker count).
-func NewServer(eng *Engine, defaultParallel int) *Server {
-	if defaultParallel <= 0 {
-		defaultParallel = eng.Workers()
+// NewServer wraps an engine.  Its metrics land in the engine's registry.
+func NewServer(eng *Engine, o ServerOptions) *Server {
+	if o.Parallel <= 0 {
+		o.Parallel = eng.Workers()
 	}
-	return &Server{eng: eng, defaultParallel: defaultParallel, runs: map[string]*serverRun{}}
+	s := &Server{
+		eng:             eng,
+		defaultParallel: o.Parallel,
+		retain:          o.Retain,
+		met:             newServerMetrics(eng.Metrics()),
+		runs:            map[string]*serverRun{},
+		stop:            make(chan struct{}),
+	}
+	if o.Retain > 0 {
+		every := o.SweepEvery
+		if every <= 0 {
+			every = o.Retain / 4
+			if every < time.Second {
+				every = time.Second
+			}
+			if every > time.Minute {
+				every = time.Minute
+			}
+		}
+		go s.sweep(every)
+	}
+	return s
+}
+
+// sweep periodically garbage-collects finished runs past retention.
+func (s *Server) sweep(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.gc(time.Now())
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// gc removes finished runs whose retention has lapsed, returning how
+// many were removed.
+func (s *Server) gc(now time.Time) int {
+	if s.retain <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-s.retain)
+	s.mu.Lock()
+	var victims []string
+	for id, run := range s.runs {
+		run.mu.Lock()
+		expired := run.state != StateRunning && run.finished.Before(cutoff)
+		run.mu.Unlock()
+		if expired {
+			victims = append(victims, id)
+		}
+	}
+	for _, id := range victims {
+		delete(s.runs, id)
+	}
+	s.met.runsKept.Set(float64(len(s.runs)))
+	s.mu.Unlock()
+	if len(victims) > 0 {
+		s.met.runsSwept.Add(float64(len(victims)))
+	}
+	return len(victims)
+}
+
+// Shutdown stops accepting new runs, cancels every in-flight run, and
+// waits (bounded by ctx) for their executor goroutines to finish.  After
+// it returns nil, no run is mid-Measure, so Engine.Close is safe.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	runs := make([]*serverRun, 0, len(s.runs))
+	for _, run := range s.runs {
+		runs = append(runs, run)
+	}
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stop) })
+	for _, run := range runs {
+		run.cancel()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.active.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Handler returns the wmmd API:
 //
 //	GET    /healthz          liveness
 //	GET    /experiments      the experiment catalogue
+//	GET    /metrics          Prometheus text exposition
 //	POST   /runs             submit a run (RunSpec), returns {"id": ...}
 //	GET    /runs             list run statuses
 //	GET    /runs/{id}        status; ?results=1 includes results while
 //	                         running; ?stream=1 streams NDJSON progress
-//	DELETE /runs/{id}        cancel
+//	DELETE /runs/{id}        cancel a running run / remove a finished one
+//
+// Every route is instrumented: wmm_http_requests_total and
+// wmm_http_request_seconds, labelled by route pattern (not raw path, so
+// run IDs do not explode the cardinality).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /experiments", s.handleExperiments)
+	mux.Handle("GET /metrics", s.eng.Metrics().Handler())
 	mux.HandleFunc("POST /runs", s.handleSubmit)
 	mux.HandleFunc("GET /runs", s.handleList)
 	mux.HandleFunc("GET /runs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /runs/{id}", s.handleCancel)
-	return mux
+	return s.instrument(mux)
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// statusWriter records the response code for instrumentation while
+// passing Flush through to streaming handlers.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// instrument wraps the mux with request counting and latency recording,
+// labelled by the matched route pattern.
+func (s *Server) instrument(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		mux.ServeHTTP(sw, r)
+		path := r.Pattern
+		if i := strings.IndexByte(path, ' '); i >= 0 {
+			path = path[i+1:]
+		}
+		if path == "" {
+			path = "unmatched"
+		}
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.met.requests.Inc(r.Method, path, strconv.Itoa(code))
+		s.met.latency.Observe(time.Since(start).Seconds(), r.Method, path)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) error {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	return enc.Encode(v)
 }
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
@@ -180,6 +381,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		total = len(experiments.All())
 	}
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		writeErr(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
 	s.seq++
 	run := &serverRun{
 		id:      fmt.Sprintf("run-%d", s.seq),
@@ -191,7 +398,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		running: map[string]bool{},
 	}
 	s.runs[run.id] = run
+	s.active.Add(1)
+	s.met.runsKept.Set(float64(len(s.runs)))
 	s.mu.Unlock()
+	s.met.runs.Inc("submitted")
+	s.met.runsActive.Add(1)
 
 	go s.execute(ctx, cancel, run)
 	writeJSON(w, http.StatusAccepted, map[string]any{"id": run.id, "state": StateRunning, "total": total})
@@ -199,6 +410,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 // execute drives the run to completion on its own goroutine.
 func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, run *serverRun) {
+	defer s.active.Done()
 	defer cancel()
 	results, err := s.eng.Run(ctx, run.spec.Experiments, RunOptions{
 		Samples:  run.spec.Samples,
@@ -220,10 +432,13 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, run *se
 		run.state = StateFailed
 		run.err = err.Error()
 	}
+	state := run.state
 	ev := event{Event: "end", State: run.state, Completed: len(run.results), Total: run.total}
 	subs := run.subs
 	run.subs = nil
 	run.mu.Unlock()
+	s.met.runs.Inc(state)
+	s.met.runsActive.Add(-1)
 
 	for _, ch := range subs {
 		select {
@@ -283,6 +498,11 @@ func (r *serverRun) broadcast(mutate func() event) {
 func (r *serverRun) status(includeResults bool) RunStatus {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.statusLocked(includeResults)
+}
+
+// statusLocked builds the snapshot; r.mu must be held.
+func (r *serverRun) statusLocked(includeResults bool) RunStatus {
 	st := RunStatus{
 		ID:        r.id,
 		State:     r.state,
@@ -293,6 +513,16 @@ func (r *serverRun) status(includeResults bool) RunStatus {
 	}
 	for name := range r.running {
 		st.Running = append(st.Running, name)
+	}
+	counted := r.results
+	if r.final != nil {
+		counted = r.final
+	}
+	for _, res := range counted {
+		if res != nil {
+			st.Measurements += res.Measurements
+			st.Samples += res.Samples
+		}
 	}
 	end := r.finished
 	if end.IsZero() {
@@ -308,6 +538,34 @@ func (r *serverRun) status(includeResults bool) RunStatus {
 		}
 	}
 	return st
+}
+
+// subscribe atomically snapshots the run and, if it is still running,
+// registers ch for subsequent events.  Taking the snapshot under the
+// same lock that appends the subscriber is what makes the stream
+// exactly-once: an event is either reflected in the snapshot or
+// delivered on ch, never both and never neither.
+func (r *serverRun) subscribe(ch chan event) (snapshot RunStatus, subscribed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snapshot = r.statusLocked(false)
+	if r.state == StateRunning {
+		r.subs = append(r.subs, ch)
+		return snapshot, true
+	}
+	return snapshot, false
+}
+
+// unsubscribe removes ch from the run's subscriber list, if present.
+func (r *serverRun) unsubscribe(ch chan event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, sub := range r.subs {
+		if sub == ch {
+			r.subs = append(r.subs[:i], r.subs[i+1:]...)
+			return
+		}
+	}
 }
 
 func (s *Server) lookup(r *http.Request) (*serverRun, string) {
@@ -353,7 +611,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 // streamStatus serves NDJSON progress: one snapshot line, then an event
-// line per experiment start/finish, then an "end" line.
+// line per experiment start/finish, then an "end" line.  The snapshot
+// and the subscription are taken atomically, so each progress event
+// appears exactly once — either folded into the snapshot or streamed.
+// Encode errors (a client that went away mid-write) end the stream.
 func (s *Server) streamStatus(w http.ResponseWriter, r *http.Request, run *serverRun) {
 	flusher, _ := w.(http.Flusher)
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -361,19 +622,19 @@ func (s *Server) streamStatus(w http.ResponseWriter, r *http.Request, run *serve
 	enc := json.NewEncoder(w)
 
 	ch := make(chan event, 64)
-	run.mu.Lock()
-	snapshot := run.state
-	if snapshot == StateRunning {
-		run.subs = append(run.subs, ch)
-	}
-	run.mu.Unlock()
+	snapshot, subscribed := run.subscribe(ch)
 
-	enc.Encode(run.status(false))
+	if err := enc.Encode(snapshot); err != nil {
+		if subscribed {
+			run.unsubscribe(ch)
+		}
+		return
+	}
 	if flusher != nil {
 		flusher.Flush()
 	}
-	if snapshot != StateRunning {
-		enc.Encode(event{Event: "end", State: snapshot, Completed: run.status(false).Completed, Total: run.total})
+	if !subscribed {
+		enc.Encode(event{Event: "end", State: snapshot.State, Completed: snapshot.Completed, Total: snapshot.Total})
 		return
 	}
 	for {
@@ -382,7 +643,10 @@ func (s *Server) streamStatus(w http.ResponseWriter, r *http.Request, run *serve
 			if !ok {
 				return
 			}
-			enc.Encode(ev)
+			if err := enc.Encode(ev); err != nil {
+				run.unsubscribe(ch)
+				return
+			}
 			if flusher != nil {
 				flusher.Flush()
 			}
@@ -390,19 +654,15 @@ func (s *Server) streamStatus(w http.ResponseWriter, r *http.Request, run *serve
 				return
 			}
 		case <-r.Context().Done():
-			run.mu.Lock()
-			for i, sub := range run.subs {
-				if sub == ch {
-					run.subs = append(run.subs[:i], run.subs[i+1:]...)
-					break
-				}
-			}
-			run.mu.Unlock()
+			run.unsubscribe(ch)
 			return
 		}
 	}
 }
 
+// handleCancel cancels a running run.  On a finished run it acts as a
+// removal: the run is deleted from the catalogue (the manual counterpart
+// of the retention sweep).
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	run, id := s.lookup(r)
 	if run == nil {
@@ -410,12 +670,22 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	run.cancel()
-	// A finished run keeps its final state; cancelling it is a no-op.
 	run.mu.Lock()
 	state := run.state
 	run.mu.Unlock()
-	if state == StateRunning {
-		state = "cancelling"
+	if state != StateRunning {
+		s.mu.Lock()
+		// Re-check under s.mu: a concurrent DELETE may have removed it.
+		if _, ok := s.runs[id]; ok {
+			delete(s.runs, id)
+			s.met.runsKept.Set(float64(len(s.runs)))
+			s.mu.Unlock()
+			s.met.runsSwept.Inc()
+		} else {
+			s.mu.Unlock()
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"id": run.id, "state": state, "deleted": true})
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"id": run.id, "state": state})
+	writeJSON(w, http.StatusOK, map[string]string{"id": run.id, "state": "cancelling"})
 }

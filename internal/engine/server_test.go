@@ -3,8 +3,10 @@ package engine
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -13,12 +15,27 @@ import (
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *Engine) {
+	ts, _, eng := newTestServerOpts(t, ServerOptions{Parallel: 2})
+	return ts, eng
+}
+
+func newTestServerOpts(t *testing.T, o ServerOptions) (*httptest.Server, *Server, *Engine) {
 	t.Helper()
 	eng := New(Options{Workers: 2})
 	t.Cleanup(eng.Close)
-	ts := httptest.NewServer(NewServer(eng, 2).Handler())
+	api := NewServer(eng, o)
+	// Cleanups run LIFO: drain HTTP, cancel + wait for runs, close the
+	// engine — the same ordering cmd/wmmd uses.
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := api.Shutdown(ctx); err != nil {
+			t.Errorf("server shutdown: %v", err)
+		}
+	})
+	ts := httptest.NewServer(api.Handler())
 	t.Cleanup(ts.Close)
-	return ts, eng
+	return ts, api, eng
 }
 
 func getJSON(t *testing.T, url string, out any) *http.Response {
@@ -211,4 +228,231 @@ func TestRunStreaming(t *testing.T) {
 	if !sawEnd {
 		t.Errorf("stream closed without an end event (%d lines)", lines)
 	}
+}
+
+// TestMetricsEndpoint verifies GET /metrics serves Prometheus text
+// exposition covering the engine, calibration cache, and HTTP series
+// after a run has executed.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// ext-c11 drives pooled Measure calls (fig4 is calibration-only,
+	// txt3 times sequences outside the pool).
+	id := postRun(t, ts, `{"experiments": ["ext-c11"], "short": true, "samples": 1, "seed": 3}`)
+	waitState(t, ts, id, 2*time.Minute)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+
+	for _, want := range []string{
+		// Engine series.
+		"# TYPE wmm_engine_jobs_executed_total counter",
+		"# TYPE wmm_engine_job_queue_wait_seconds histogram",
+		"wmm_engine_sample_run_seconds_bucket{le=",
+		"wmm_engine_workers 2",
+		// Calibration cache series.
+		"# TYPE wmm_engine_calibration_cache_hits_total counter",
+		"# TYPE wmm_engine_calibration_cache_misses_total counter",
+		// HTTP series.
+		`wmm_http_requests_total{method="POST",path="/runs",code="202"} 1`,
+		`wmm_http_request_seconds_count{method="POST",path="/runs"} 1`,
+		// Run lifecycle series.
+		`wmm_runs_total{state="submitted"} 1`,
+		`wmm_runs_total{state="done"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+	// The run executed samples, so the jobs counter must be positive.
+	var jobs float64
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "wmm_engine_jobs_executed_total ") {
+			fmt.Sscanf(line, "wmm_engine_jobs_executed_total %f", &jobs)
+		}
+	}
+	if jobs <= 0 {
+		t.Errorf("wmm_engine_jobs_executed_total = %v, want > 0", jobs)
+	}
+	// Per-run sample counters surface in RunStatus.
+	var st RunStatus
+	getJSON(t, ts.URL+"/runs/"+id, &st)
+	if st.Samples <= 0 || st.Measurements <= 0 {
+		t.Errorf("RunStatus counters: samples=%d measurements=%d, want > 0", st.Samples, st.Measurements)
+	}
+}
+
+// TestServerShutdown verifies the shutdown ordering fix: Shutdown
+// cancels an in-flight run, waits for its executor, and afterwards
+// closing the engine does not panic with a send on a closed channel.
+func TestServerShutdown(t *testing.T) {
+	ts, api, eng := newTestServerOpts(t, ServerOptions{Parallel: 2})
+	// txt1 at full size is minutes of work; shutdown must not wait for it.
+	id := postRun(t, ts, `{"experiments": ["txt1"], "seed": 3}`)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	start := time.Now()
+	if err := api.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Errorf("shutdown took %v", d)
+	}
+
+	// The engine can now close safely: no Measure is mid-send.
+	eng.Close()
+
+	// The run was cancelled, not abandoned.
+	var st RunStatus
+	getJSON(t, ts.URL+"/runs/"+id, &st)
+	if st.State != StateCancelled {
+		t.Errorf("run state after shutdown = %q, want %q", st.State, StateCancelled)
+	}
+
+	// New submissions are refused.
+	resp, err := http.Post(ts.URL+"/runs", "application/json",
+		strings.NewReader(`{"experiments": ["fig4"], "short": true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit after shutdown = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestDeleteFinishedRun verifies DELETE on a finished run removes it
+// from the catalogue instead of being a silent no-op.
+func TestDeleteFinishedRun(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id := postRun(t, ts, `{"experiments": ["fig4"], "short": true, "samples": 2, "seed": 3}`)
+	waitState(t, ts, id, 2*time.Minute)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/runs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		State   string `json:"state"`
+		Deleted bool   `json:"deleted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if out.State != StateDone || !out.Deleted {
+		t.Errorf("DELETE finished run = %+v, want done/deleted", out)
+	}
+
+	if resp := getJSON(t, ts.URL+"/runs/"+id, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("deleted run still served: %d", resp.StatusCode)
+	}
+	var list []RunStatus
+	getJSON(t, ts.URL+"/runs", &list)
+	if len(list) != 0 {
+		t.Errorf("deleted run still listed: %+v", list)
+	}
+}
+
+// TestRetentionGC verifies the retention sweep removes finished runs so
+// a long-lived server does not accumulate them forever.
+func TestRetentionGC(t *testing.T) {
+	ts, _, _ := newTestServerOpts(t, ServerOptions{
+		Parallel: 2, Retain: 50 * time.Millisecond, SweepEvery: 20 * time.Millisecond,
+	})
+	id := postRun(t, ts, `{"experiments": ["fig4"], "short": true, "samples": 2, "seed": 3}`)
+	waitState(t, ts, id, 2*time.Minute)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp := getJSON(t, ts.URL+"/runs/"+id, nil)
+		if resp.StatusCode == http.StatusNotFound {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("finished run still present %v after retention lapsed", 10*time.Second)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestGCKeepsRunningRuns verifies the sweep never removes a run that is
+// still executing, however old it is.
+func TestGCKeepsRunningRuns(t *testing.T) {
+	ts, api, _ := newTestServerOpts(t, ServerOptions{
+		Parallel: 2, Retain: time.Nanosecond, SweepEvery: time.Hour,
+	})
+	id := postRun(t, ts, `{"experiments": ["txt1"], "seed": 3}`)
+	if n := api.gc(time.Now().Add(time.Hour)); n != 0 {
+		t.Errorf("gc removed %d running runs", n)
+	}
+	if resp := getJSON(t, ts.URL+"/runs/"+id, nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("running run gone after gc: %d", resp.StatusCode)
+	}
+	// Cleanup (api.Shutdown) cancels the long run.
+}
+
+// TestStreamExactlyOnce verifies the subscribe/snapshot race fix: a
+// stream opened at any point during a run sees every experiment's
+// "done" exactly once — either folded into the snapshot's completed
+// count or streamed as an event, never both.
+func TestStreamExactlyOnce(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id := postRun(t, ts,
+		`{"experiments": ["fig4", "txt3", "counters", "ablations"], "short": true, "samples": 1, "seed": 3, "parallel": 2}`)
+
+	// Several staggered streams probe different interleavings of
+	// subscription vs. progress.
+	for attempt := 0; attempt < 3; attempt++ {
+		resp, err := http.Get(fmt.Sprintf("%s/runs/%s?stream=1", ts.URL, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		if !sc.Scan() {
+			resp.Body.Close()
+			t.Fatal("stream had no snapshot line")
+		}
+		var snap RunStatus
+		if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
+			resp.Body.Close()
+			t.Fatalf("bad snapshot %q: %v", sc.Text(), err)
+		}
+		doneSeen := map[string]int{}
+		endCompleted := -1
+		for sc.Scan() {
+			var ev event
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				resp.Body.Close()
+				t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+			}
+			switch ev.Event {
+			case "done":
+				doneSeen[ev.Experiment]++
+			case "end":
+				endCompleted = ev.Completed
+			}
+		}
+		resp.Body.Close()
+		for exp, n := range doneSeen {
+			if n > 1 {
+				t.Errorf("stream %d: experiment %s done %d times", attempt, exp, n)
+			}
+		}
+		if endCompleted >= 0 && snap.Completed+len(doneSeen) != endCompleted {
+			t.Errorf("stream %d: snapshot completed %d + %d done events != end completed %d",
+				attempt, snap.Completed, len(doneSeen), endCompleted)
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+	waitState(t, ts, id, 2*time.Minute)
 }

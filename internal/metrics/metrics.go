@@ -1,0 +1,382 @@
+// Package metrics is a dependency-free metrics registry with Prometheus
+// text exposition (version 0.0.4).  It exists because the engine needs
+// first-class observability — queue waits, sample durations, cache hit
+// rates, run lifecycles — without pulling a client library into a
+// reproduction repo: the paper's own methodology is measurement-first,
+// and so is the service built on it.
+//
+// Three instrument kinds are supported, each optionally labelled:
+//
+//   - Counter: a monotonically increasing float64;
+//   - Gauge: a float64 that can go up and down;
+//   - Histogram: cumulative buckets plus sum and count.
+//
+// Registration is idempotent: asking a Registry for a metric that
+// already exists with the same type and label names returns the existing
+// one; a name collision with a different shape panics (programmer
+// error).  All instruments are safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// kind discriminates instrument types within a registry.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// DefBuckets are the default histogram buckets, in seconds.  They span
+// the engine's realistic latencies: a sample run is microseconds to
+// seconds, a full experiment minutes.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// series is one (label values → state) cell of a metric family.
+type series struct {
+	value float64 // counter/gauge
+
+	buckets []uint64 // histogram: cumulative is computed at exposition
+	sum     float64
+	count   uint64
+}
+
+// family is one named metric and all its labelled series.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	labels  []string
+	bounds  []float64 // histogram upper bounds, ascending
+	mu      sync.Mutex
+	cells   map[string]*series
+	ordered []string // label keys in first-use order (sorted at exposition)
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format.  The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // registration order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+var nameRe = func() func(string) bool {
+	ok := func(r rune, first bool) bool {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == ':' {
+			return true
+		}
+		return !first && r >= '0' && r <= '9'
+	}
+	return func(s string) bool {
+		for i, r := range s {
+			if !ok(r, i == 0) {
+				return false
+			}
+		}
+		return s != ""
+	}
+}()
+
+// register returns the family for name, creating it on first use and
+// panicking on a shape mismatch.
+func (r *Registry) register(name, help string, k kind, bounds []float64, labels []string) *family {
+	if !nameRe(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != k || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s with %d labels (was %s with %d)",
+				name, k, len(labels), f.kind, len(f.labels)))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("metrics: %s re-registered with labels %v (was %v)", name, labels, f.labels))
+			}
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: k, labels: labels, bounds: bounds, cells: map[string]*series{}}
+	if len(labels) == 0 {
+		// A label-less metric exposes its zero value immediately, so
+		// scrapes see the series before the first increment.
+		f.cell(nil)
+	}
+	r.families[name] = f
+	r.names = append(r.names, name)
+	return f
+}
+
+// Counter registers (or fetches) a counter family.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return &Counter{r.register(name, help, kindCounter, nil, labels)}
+}
+
+// Gauge registers (or fetches) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return &Gauge{r.register(name, help, kindGauge, nil, labels)}
+}
+
+// Histogram registers (or fetches) a histogram family with the given
+// upper bounds (nil = DefBuckets).  Bounds must be strictly ascending;
+// the +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: %s buckets not ascending: %v", name, bounds))
+		}
+	}
+	return &Histogram{r.register(name, help, kindHistogram, bounds, labels)}
+}
+
+// cell returns the series for the given label values, creating it on
+// first use.  The caller must hold f.mu.
+func (f *family) cell(labelValues []string) *series {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s called with %d label values, want %d (%v)",
+			f.name, len(labelValues), len(f.labels), f.labels))
+	}
+	key := strings.Join(labelValues, "\x00")
+	s, ok := f.cells[key]
+	if !ok {
+		s = &series{}
+		if f.kind == kindHistogram {
+			s.buckets = make([]uint64, len(f.bounds))
+		}
+		f.cells[key] = s
+		f.ordered = append(f.ordered, key)
+	}
+	return s
+}
+
+// Counter is a monotonically increasing metric.  Label values, if the
+// family was registered with label names, are passed on each call.
+type Counter struct{ f *family }
+
+// Inc adds 1.
+func (c *Counter) Inc(labelValues ...string) { c.Add(1, labelValues...) }
+
+// Add adds v, which must be non-negative.
+func (c *Counter) Add(v float64, labelValues ...string) {
+	if v < 0 {
+		panic(fmt.Sprintf("metrics: counter %s decreased by %v", c.f.name, v))
+	}
+	c.f.mu.Lock()
+	c.f.cell(labelValues).value += v
+	c.f.mu.Unlock()
+}
+
+// Value reads the counter (0 if the series was never touched).
+func (c *Counter) Value(labelValues ...string) float64 {
+	c.f.mu.Lock()
+	defer c.f.mu.Unlock()
+	return c.f.cell(labelValues).value
+}
+
+// Gauge is a metric that can rise and fall.
+type Gauge struct{ f *family }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64, labelValues ...string) {
+	g.f.mu.Lock()
+	g.f.cell(labelValues).value = v
+	g.f.mu.Unlock()
+}
+
+// Add shifts the value by v (negative allowed).
+func (g *Gauge) Add(v float64, labelValues ...string) {
+	g.f.mu.Lock()
+	g.f.cell(labelValues).value += v
+	g.f.mu.Unlock()
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value(labelValues ...string) float64 {
+	g.f.mu.Lock()
+	defer g.f.mu.Unlock()
+	return g.f.cell(labelValues).value
+}
+
+// Histogram accumulates observations into cumulative buckets.
+type Histogram struct{ f *family }
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64, labelValues ...string) {
+	h.f.mu.Lock()
+	s := h.f.cell(labelValues)
+	// Store per-bucket counts; exposition accumulates them so Observe
+	// touches exactly one bucket.
+	i := sort.SearchFloat64s(h.f.bounds, v)
+	if i < len(s.buckets) {
+		s.buckets[i]++
+	}
+	s.sum += v
+	s.count++
+	h.f.mu.Unlock()
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count(labelValues ...string) uint64 {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	return h.f.cell(labelValues).count
+}
+
+// Sum reports the sum of observations.
+func (h *Histogram) Sum(labelValues ...string) float64 {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	return h.f.cell(labelValues).sum
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes HELP text per the exposition format.
+func escapeHelp(v string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(v, `\`, `\\`), "\n", `\n`)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// labelString renders {a="x",b="y"}; extra appends one more pair (used
+// for histogram le).  Empty when there are no pairs.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `%s="%s"`, n, escapeLabel(values[i]))
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `%s="%s"`, extraName, escapeLabel(extraValue))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// WriteText renders every family in Prometheus text exposition format.
+// Families appear in registration order; series within a family are
+// sorted by label values, so output is deterministic.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string{}, r.names...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := append([]string{}, f.ordered...)
+		sort.Strings(keys)
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.kind)
+		for _, key := range keys {
+			s := f.cells[key]
+			var values []string
+			if len(f.labels) > 0 {
+				values = strings.Split(key, "\x00")
+			}
+			switch f.kind {
+			case kindCounter, kindGauge:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, labelString(f.labels, values, "", ""), formatValue(s.value))
+			case kindHistogram:
+				var cum uint64
+				for i, bound := range f.bounds {
+					cum += s.buckets[i]
+					fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name,
+						labelString(f.labels, values, "le", formatValue(bound)), cum)
+				}
+				fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, values, "le", "+Inf"), s.count)
+				fmt.Fprintf(&sb, "%s_sum%s %s\n", f.name, labelString(f.labels, values, "", ""), formatValue(s.sum))
+				fmt.Fprintf(&sb, "%s_count%s %d\n", f.name, labelString(f.labels, values, "", ""), s.count)
+			}
+		}
+		f.mu.Unlock()
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry at GET /metrics (or wherever it is
+// mounted) in text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs executed.")
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Errorf("counter = %v, want 3", got)
+	}
+
+	g := r.Gauge("busy", "Busy workers.")
+	g.Set(4)
+	g.Add(-1)
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge = %v, want 3", got)
+	}
+}
+
+func TestLabelledCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("http_requests_total", "Requests.", "method", "code")
+	c.Inc("GET", "200")
+	c.Inc("GET", "200")
+	c.Inc("POST", "202")
+	if got := c.Value("GET", "200"); got != 2 {
+		t.Errorf(`GET/200 = %v, want 2`, got)
+	}
+	if got := c.Value("POST", "202"); got != 1 {
+		t.Errorf(`POST/202 = %v, want 1`, got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 56.05 {
+		t.Errorf("sum = %v, want 56.05", h.Sum())
+	}
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		"latency_seconds_sum 56.05",
+		"latency_seconds_count 5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("runs_total", "Run lifecycle\ntransitions.", "state")
+	c.Inc("done")
+	c.Add(2, `we"ird\state`)
+	g := r.Gauge("workers", "Pool size.")
+	g.Set(8)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`# HELP runs_total Run lifecycle\ntransitions.`,
+		"# TYPE runs_total counter",
+		`runs_total{state="done"} 1`,
+		`runs_total{state="we\"ird\\state"} 2`,
+		"# TYPE workers gauge",
+		"workers 8",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Registration order: runs_total family before workers.
+	if strings.Index(text, "runs_total") > strings.Index(text, "workers") {
+		t.Errorf("families out of registration order:\n%s", text)
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "X.", "k")
+	b := r.Counter("x_total", "X.", "k")
+	a.Inc("v")
+	if got := b.Value("v"); got != 1 {
+		t.Errorf("re-registration returned a distinct counter (value %v)", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "X.")
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "N.", "w")
+	h := r.Histogram("d_seconds", "D.", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc(string(rune('a' + i%2)))
+				h.Observe(float64(j) / 1000)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.Value("a") + c.Value("b"); got != 8000 {
+		t.Errorf("concurrent counter = %v, want 8000", got)
+	}
+	if h.Count() != 8000 {
+		t.Errorf("concurrent histogram count = %d, want 8000", h.Count())
+	}
+}
