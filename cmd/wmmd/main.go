@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	wmmd [-addr :8347] [-workers N] [-parallel N] [-retain 24h] [-debug]
+//	wmmd [-addr :8347] [-workers N] [-parallel N] [-retain 24h]
+//	     [-data DIR] [-sample-timeout 5m] [-sample-retries 2] [-debug]
 //
 // API:
 //
 //	GET    /healthz          liveness and worker count
+//	GET    /readyz           readiness: engine accepting work, store writable
 //	GET    /experiments      the experiment catalogue
 //	GET    /metrics          Prometheus text exposition (engine + HTTP)
 //	POST   /runs             submit {"experiments": ["fig5"], "short": true,
@@ -21,6 +23,13 @@
 //
 // Finished runs are garbage-collected after -retain (0 keeps them
 // forever).  Every request is access-logged as one JSON line on stderr.
+//
+// With -data DIR, runs are durable: specs and completed experiment
+// results are checkpointed to append-only JSON files under DIR, and on
+// startup finished runs are restored into the catalogue while
+// interrupted runs resume from their last checkpoint.  Positional seed
+// derivation makes a resumed run's results identical to an
+// uninterrupted one (see docs/ROBUSTNESS.md).
 //
 // On SIGINT/SIGTERM the server shuts down in order: stop accepting
 // runs, cancel in-flight runs and wait for their executors, drain HTTP,
@@ -42,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/runstore"
 )
 
 // accessLog wraps a handler with one-line JSON access logging.
@@ -108,11 +118,52 @@ func main() {
 	workers := flag.Int("workers", 0, "sample worker-pool size (0 = GOMAXPROCS)")
 	parallel := flag.Int("parallel", 0, "default concurrent experiments per run (0 = worker count)")
 	retain := flag.Duration("retain", 24*time.Hour, "garbage-collect finished runs after this long (0 = keep forever)")
+	dataDir := flag.String("data", "", "directory for durable run state (empty = in-memory only)")
+	sampleTimeout := flag.Duration("sample-timeout", 5*time.Minute, "per-sample watchdog deadline (0 = none)")
+	sampleRetries := flag.Int("sample-retries", 2, "retries per failed sample batch before the experiment degrades")
 	debug := flag.Bool("debug", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	eng := engine.New(engine.Options{Workers: *workers})
-	api := engine.NewServer(eng, engine.ServerOptions{Parallel: *parallel, Retain: *retain})
+	// Validate flags up front with actionable errors, instead of letting
+	// a bad value surface later as a confusing runtime failure.
+	if *workers < 0 {
+		log.Fatalf("wmmd: -workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
+	if *parallel < 0 {
+		log.Fatalf("wmmd: -parallel must be >= 0 (0 = worker count), got %d", *parallel)
+	}
+	if *retain < 0 {
+		log.Fatalf("wmmd: -retain must be >= 0 (0 = keep forever), got %v", *retain)
+	}
+	if *sampleTimeout < 0 {
+		log.Fatalf("wmmd: -sample-timeout must be >= 0 (0 = no deadline), got %v", *sampleTimeout)
+	}
+	if *sampleRetries < 0 {
+		log.Fatalf("wmmd: -sample-retries must be >= 0, got %d", *sampleRetries)
+	}
+
+	var store *runstore.Store
+	if *dataDir != "" {
+		var err error
+		store, err = runstore.Open(*dataDir)
+		if err != nil {
+			log.Fatalf("wmmd: -data %s: %v", *dataDir, err)
+		}
+	}
+
+	eng := engine.New(engine.Options{
+		Workers:       *workers,
+		SampleTimeout: *sampleTimeout,
+		Retry:         engine.RetryPolicy{Max: *sampleRetries},
+	})
+	api := engine.NewServer(eng, engine.ServerOptions{Parallel: *parallel, Retain: *retain, Store: store})
+	if store != nil {
+		resumed, restored, err := api.Restore()
+		if err != nil {
+			log.Fatalf("wmmd: restoring runs from %s: %v", *dataDir, err)
+		}
+		log.Printf("wmmd: run store %s: %d finished runs restored, %d interrupted runs resumed", *dataDir, restored, resumed)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", api.Handler())
@@ -151,7 +202,11 @@ func main() {
 		}
 	}()
 
-	log.Printf("wmmd: serving on %s (%d workers, retain %v, debug %v)", *addr, eng.Workers(), *retain, *debug)
+	dataDesc := *dataDir
+	if dataDesc == "" {
+		dataDesc = "none"
+	}
+	log.Printf("wmmd: serving on %s (%d workers, retain %v, data %s, debug %v)", *addr, eng.Workers(), *retain, dataDesc, *debug)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("wmmd: %v", err)
 	}

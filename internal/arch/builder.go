@@ -249,9 +249,11 @@ func (b *Builder) Build() (Program, error) {
 	return Program{Code: code}, nil
 }
 
-// MustBuild is Build, panicking on error.  It is intended for statically
-// known-correct generators (litmus shapes, cost functions) where an error is
-// a programming bug.
+// MustBuild is Build, panicking on error.  It is intended for tests and
+// examples over statically known-correct programs; production call paths
+// use Build and propagate the error (a panic here would otherwise ride a
+// goroutine stack into the engine's recovery machinery instead of a
+// plain error return).
 func (b *Builder) MustBuild() Program {
 	p, err := b.Build()
 	if err != nil {

@@ -19,7 +19,7 @@ import (
 func TimeSequence(prof *arch.Profile, emit func(*arch.Builder), seed int64) (float64, error) {
 	const iters = 600
 
-	build := func(body func(*arch.Builder)) (arch.Program, int) {
+	build := func(body func(*arch.Builder)) (arch.Program, int, error) {
 		b := arch.NewBuilder()
 		b.MovImm(20, iters)
 		b.Label("timing")
@@ -29,7 +29,11 @@ func TimeSequence(prof *arch.Profile, emit func(*arch.Builder), seed int64) (flo
 		b.SubsImm(20, 20, 1)
 		b.Bne("timing")
 		b.Halt()
-		return b.MustBuild(), n
+		p, err := b.Build()
+		if err != nil {
+			return arch.Program{}, 0, fmt.Errorf("costfn: building timing loop: %w", err)
+		}
+		return p, n, nil
 	}
 
 	run := func(p arch.Program) (int64, error) {
@@ -51,8 +55,14 @@ func TimeSequence(prof *arch.Profile, emit func(*arch.Builder), seed int64) (flo
 		return res.Cycles, nil
 	}
 
-	withSeq, n := build(emit)
-	withNops, _ := build(func(b *arch.Builder) { b.Nops(n) })
+	withSeq, n, err := build(emit)
+	if err != nil {
+		return 0, err
+	}
+	withNops, _, err := build(func(b *arch.Builder) { b.Nops(n) })
+	if err != nil {
+		return 0, err
+	}
 
 	seqCycles, err := run(withSeq)
 	if err != nil {

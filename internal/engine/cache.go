@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 )
 
 // calEntry computes one calibration at most once; concurrent requesters
@@ -57,7 +58,22 @@ func (e *Engine) Calibration(ctx context.Context, prof *arch.Profile, sizes []in
 	}
 
 	if !ok {
-		ent.cal, ent.err = core.Calibrate(prof, append([]int64{}, sizes...), seed)
+		// The computation is guarded: a panicking calibration (or an
+		// injected fault) becomes this entry's error — and the entry is
+		// evicted below — instead of leaving concurrent waiters blocked
+		// on a once that never closes.
+		ent.err = func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("calibration %s panicked: %v", k, r)
+				}
+			}()
+			if ferr := e.fault.Fire(faultinject.PointCalibration, k, seed); ferr != nil {
+				return ferr
+			}
+			ent.cal, err = core.Calibrate(prof, append([]int64{}, sizes...), seed)
+			return err
+		}()
 		close(ent.once)
 	} else {
 		select {

@@ -15,19 +15,58 @@
 //     sensitivities, measurement counts, wall time) serialized to JSON
 //     alongside the existing ASCII tables;
 //
-//   - the Server in this package exposes runs over HTTP for cmd/wmmd.
+//   - faults are contained at the sample boundary: a panicking sample
+//     becomes a per-job error instead of a process crash, a hung sample
+//     is abandoned by a watchdog after Options.SampleTimeout, and
+//     transient failures are retried with capped exponential backoff
+//     before an experiment degrades to a partial Result;
+//
+//   - the Server in this package exposes runs over HTTP for cmd/wmmd and
+//     checkpoints them through internal/runstore so an interrupted run
+//     resumes after a restart.
 package engine
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
+
+// RetryPolicy bounds the engine's per-sample retries of transient
+// failures (recovered panics, watchdog timeouts, injected faults, any
+// error that is not a cancellation).  The zero value disables retries.
+type RetryPolicy struct {
+	// Max is the number of retry rounds per measurement (0 = none).
+	Max int
+	// Base is the first backoff delay (25ms if <= 0 when Max > 0).
+	Base time.Duration
+	// Cap bounds the exponential backoff (1s if <= 0 when Max > 0).
+	Cap time.Duration
+}
+
+// backoff returns the jittered delay before retry round `attempt`
+// (1-based): an exponential from Base capped at Cap, with ±50% jitter so
+// concurrent measurements retrying together do not stampede in phase.
+// Jitter affects only timing, never sample values, so determinism of
+// results is preserved.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.Base << (attempt - 1)
+	if d > p.Cap || d <= 0 {
+		d = p.Cap
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
 
 // Options configures an Engine.
 type Options struct {
@@ -36,7 +75,27 @@ type Options struct {
 	// Registry receives the engine's metrics; a private registry is
 	// created if nil.
 	Registry *metrics.Registry
+	// SampleTimeout is the per-sample watchdog deadline.  A sample still
+	// running after this long is marked failed (ErrSampleTimeout) and its
+	// goroutine abandoned, so one runaway simulation cannot wedge a
+	// worker forever.  0 disables the watchdog.
+	SampleTimeout time.Duration
+	// Retry bounds per-sample retries of transient failures.
+	Retry RetryPolicy
+	// Fault, when non-nil, injects deterministic faults at the sample
+	// and calibration boundaries (tests; see internal/faultinject).
+	Fault *faultinject.Injector
 }
+
+// Sentinel errors for contained sample faults.  They reach callers
+// wrapped with the sample's seed, so use errors.Is.
+var (
+	// ErrSamplePanic marks a sample that panicked and was recovered by
+	// its worker.
+	ErrSamplePanic = errors.New("sample panicked")
+	// ErrSampleTimeout marks a sample abandoned by the watchdog.
+	ErrSampleTimeout = errors.New("sample deadline exceeded")
+)
 
 // engineMetrics are the engine's instruments: what the worker pool and
 // calibration cache record about themselves.
@@ -52,6 +111,12 @@ type engineMetrics struct {
 	calMisses     *metrics.Counter   // calibration cache computations
 	experiments   *metrics.Counter   // experiments finished, by outcome
 	experimentDur *metrics.Histogram // wall time of one experiment
+
+	panicsRecovered *metrics.Counter // sample panics recovered into job errors
+	sampleTimeouts  *metrics.Counter // samples abandoned by the watchdog
+	sampleRetries   *metrics.Counter // sample retry attempts
+	abandoned       *metrics.Gauge   // abandoned sample goroutines still running
+	expPanics       *metrics.Counter // experiment driver panics recovered
 }
 
 func newEngineMetrics(r *metrics.Registry) *engineMetrics {
@@ -67,6 +132,12 @@ func newEngineMetrics(r *metrics.Registry) *engineMetrics {
 		calMisses:     r.Counter("wmm_engine_calibration_cache_misses_total", "Calibration curves computed (cache misses)."),
 		experiments:   r.Counter("wmm_engine_experiments_total", "Experiments finished, by outcome.", "outcome"),
 		experimentDur: r.Histogram("wmm_engine_experiment_seconds", "Wall time of one experiment driver.", nil),
+
+		panicsRecovered: r.Counter("wmm_engine_sample_panics_recovered_total", "Sample panics recovered into per-job errors by workers."),
+		sampleTimeouts:  r.Counter("wmm_engine_sample_timeouts_total", "Samples abandoned by the per-sample watchdog."),
+		sampleRetries:   r.Counter("wmm_engine_sample_retries_total", "Sample retry attempts after transient failures."),
+		abandoned:       r.Gauge("wmm_engine_samples_abandoned", "Abandoned (timed-out) sample goroutines still running."),
+		expPanics:       r.Counter("wmm_engine_experiment_panics_recovered_total", "Experiment driver panics recovered into failed Results."),
 	}
 }
 
@@ -75,16 +146,20 @@ func newEngineMetrics(r *metrics.Registry) *engineMetrics {
 // against it without knowing they are pooled.  An Engine is safe for
 // concurrent use; Close releases its workers.
 type Engine struct {
-	workers int
-	jobs    chan job
-	reg     *metrics.Registry
-	met     *engineMetrics
+	workers       int
+	jobs          chan job
+	reg           *metrics.Registry
+	met           *engineMetrics
+	sampleTimeout time.Duration
+	retry         RetryPolicy
+	fault         *faultinject.Injector
 
 	calMu  sync.Mutex
 	cals   map[string]*calEntry
 	hits   int
 	misses int
 
+	closed    atomic.Bool
 	closeOnce sync.Once
 }
 
@@ -112,12 +187,24 @@ func New(o Options) *Engine {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	retry := o.Retry
+	if retry.Max > 0 {
+		if retry.Base <= 0 {
+			retry.Base = 25 * time.Millisecond
+		}
+		if retry.Cap <= 0 {
+			retry.Cap = time.Second
+		}
+	}
 	e := &Engine{
-		workers: w,
-		jobs:    make(chan job),
-		reg:     reg,
-		met:     newEngineMetrics(reg),
-		cals:    map[string]*calEntry{},
+		workers:       w,
+		jobs:          make(chan job),
+		reg:           reg,
+		met:           newEngineMetrics(reg),
+		sampleTimeout: o.SampleTimeout,
+		retry:         retry,
+		fault:         o.Fault.Instrument(reg),
+		cals:          map[string]*calEntry{},
 	}
 	e.met.workers.Set(float64(w))
 	for i := 0; i < w; i++ {
@@ -137,8 +224,15 @@ func (e *Engine) Workers() int { return e.workers }
 // Close shuts the worker pool down.  Outstanding Measure calls complete;
 // new ones panic.
 func (e *Engine) Close() {
-	e.closeOnce.Do(func() { close(e.jobs) })
+	e.closeOnce.Do(func() {
+		e.closed.Store(true)
+		close(e.jobs)
+	})
 }
+
+// Closed reports whether the engine has stopped accepting work (backs
+// wmmd's /readyz).
+func (e *Engine) Closed() bool { return e.closed.Load() }
 
 func (e *Engine) worker() {
 	for j := range e.jobs {
@@ -149,11 +243,7 @@ func (e *Engine) worker() {
 		} else {
 			e.met.workersBusy.Add(1)
 			start := time.Now()
-			if j.run != nil {
-				*j.out, *j.err = j.run()
-			} else {
-				*j.out, *j.err = workload.Run(j.b, j.env, j.seed)
-			}
+			*j.out, *j.err = e.runSample(j)
 			e.met.sampleRun.Observe(time.Since(start).Seconds())
 			e.met.workersBusy.Add(-1)
 			e.met.jobsExecuted.Inc()
@@ -162,15 +252,97 @@ func (e *Engine) worker() {
 	}
 }
 
+// runSample executes one sample with panic containment and, when the
+// engine has a SampleTimeout, a watchdog that abandons a hung sample so
+// the worker can move on.  An abandoned goroutine keeps running (the
+// simulator has no preemption point) but writes only to its own locals;
+// the wmm_engine_samples_abandoned gauge tracks how many are still
+// alive.
+func (e *Engine) runSample(j job) (float64, error) {
+	if e.sampleTimeout <= 0 {
+		return e.guardedRun(j)
+	}
+	ch := make(chan sampleOutcome, 1)
+	go func() {
+		v, err := e.guardedRun(j)
+		ch <- sampleOutcome{v, err}
+	}()
+	timer := time.NewTimer(e.sampleTimeout)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.v, out.err
+	case <-j.ctx.Done():
+		e.abandon(ch)
+		return 0, j.ctx.Err()
+	case <-timer.C:
+		e.met.sampleTimeouts.Inc()
+		e.abandon(ch)
+		return 0, fmt.Errorf("sample (seed %d): %w after %v", j.seed, ErrSampleTimeout, e.sampleTimeout)
+	}
+}
+
+// sampleOutcome carries a watchdogged sample's result to its worker.
+type sampleOutcome struct {
+	v   float64
+	err error
+}
+
+// abandon accounts for a sample goroutine left running behind a timeout
+// or cancellation, decrementing the gauge when it eventually finishes.
+func (e *Engine) abandon(ch <-chan sampleOutcome) {
+	e.met.abandoned.Add(1)
+	go func() {
+		<-ch
+		e.met.abandoned.Add(-1)
+	}()
+}
+
+// guardedRun is the recovered region around one simulator execution: a
+// panic anywhere below (an out-of-range sim.Machine access, a builder
+// bug, an injected fault) becomes this job's error instead of killing
+// the process.
+func (e *Engine) guardedRun(j job) (v float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.met.panicsRecovered.Inc()
+			err = fmt.Errorf("sample (seed %d): %w: %v\n%s", j.seed, ErrSamplePanic, r, debug.Stack())
+		}
+	}()
+	name := ""
+	if j.b != nil {
+		name = j.b.Name
+	}
+	if ferr := e.fault.Fire(faultinject.PointSample, name, j.seed); ferr != nil {
+		return 0, ferr
+	}
+	if j.run != nil {
+		return j.run()
+	}
+	return workload.Run(j.b, j.env, j.seed)
+}
+
+// retryable reports whether a failed sample is worth re-running:
+// cancellations are final, everything else (panic, timeout, injected or
+// organic error) gets the policy's retries.
+func retryable(err error) bool {
+	return err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
 // Measure fans the measurement's n samples out across the pool and
 // summarises them in seed order.  The summary is bit-identical to
 // workload.Measure for the same inputs: sample i always runs with
 // workload.SampleSeed(seed, i) regardless of which worker executes it or
-// in what order samples complete.
+// in what order samples complete, and a retried sample re-runs with its
+// original positional seed.
 //
 // Enqueueing selects on ctx, so cancelling a run unblocks a Measure that
 // is waiting for busy workers: unsent samples are marked cancelled
 // locally and only the already-enqueued ones are waited for.
+//
+// Failed samples are retried up to Retry.Max rounds with capped
+// exponential backoff + jitter before the first surviving error is
+// returned to the driver.
 func (e *Engine) Measure(ctx context.Context, b *workload.Benchmark, env workload.Env, n int, seed int64) (stats.Summary, error) {
 	if err := ctx.Err(); err != nil {
 		return stats.Summary{}, err
@@ -178,28 +350,74 @@ func (e *Engine) Measure(ctx context.Context, b *workload.Benchmark, env workloa
 	e.met.measurements.Inc()
 	xs := make([]float64, n)
 	errs := make([]error, n)
-	var wg sync.WaitGroup
-	wg.Add(n)
-enqueue:
-	for i := 0; i < n; i++ {
-		j := job{ctx: ctx, b: b, env: env, seed: workload.SampleSeed(seed, i),
-			out: &xs[i], err: &errs[i], wg: &wg, enqueued: time.Now()}
-		select {
-		case e.jobs <- j:
-		case <-ctx.Done():
-			for k := i; k < n; k++ {
-				errs[k] = ctx.Err()
-				wg.Done()
-			}
-			e.met.jobsCancelled.Add(float64(n - i))
-			break enqueue
-		}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
 	}
-	wg.Wait()
+	e.runBatch(ctx, b, env, seed, all, xs, errs)
+
+	for attempt := 1; attempt <= e.retry.Max; attempt++ {
+		var retry []int
+		for i, err := range errs {
+			if retryable(err) {
+				retry = append(retry, i)
+			}
+		}
+		if len(retry) == 0 {
+			break
+		}
+		if err := sleepCtx(ctx, e.retry.backoff(attempt)); err != nil {
+			break // cancelled mid-backoff; surface the original errors
+		}
+		e.met.sampleRetries.Add(float64(len(retry)))
+		for _, i := range retry {
+			errs[i] = nil
+		}
+		e.runBatch(ctx, b, env, seed, retry, xs, errs)
+	}
+
 	for _, err := range errs {
 		if err != nil {
 			return stats.Summary{}, err
 		}
 	}
 	return stats.Summarise(xs), nil
+}
+
+// runBatch enqueues the samples at the given indices and waits for them,
+// honouring cancellation while blocked on busy workers.
+func (e *Engine) runBatch(ctx context.Context, b *workload.Benchmark, env workload.Env, seed int64, indices []int, xs []float64, errs []error) {
+	var wg sync.WaitGroup
+	wg.Add(len(indices))
+enqueue:
+	for k, i := range indices {
+		j := job{ctx: ctx, b: b, env: env, seed: workload.SampleSeed(seed, i),
+			out: &xs[i], err: &errs[i], wg: &wg, enqueued: time.Now()}
+		select {
+		case e.jobs <- j:
+		case <-ctx.Done():
+			for _, m := range indices[k:] {
+				errs[m] = ctx.Err()
+				wg.Done()
+			}
+			e.met.jobsCancelled.Add(float64(len(indices) - k))
+			break enqueue
+		}
+	}
+	wg.Wait()
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

@@ -1,0 +1,275 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/faultinject"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/workload/javabench"
+)
+
+// TestSamplePanicContained verifies the worker-level recover: an injected
+// panic inside one sample becomes that measurement's error — wrapping
+// ErrSamplePanic, counted by the recovery metric — instead of crashing
+// the process.
+func TestSamplePanicContained(t *testing.T) {
+	e := New(Options{Workers: 2, Fault: faultinject.New(faultinject.Rule{
+		Point: faultinject.PointSample, Times: 1,
+		Action: faultinject.Action{Panic: true},
+	})})
+	defer e.Close()
+
+	b := javabench.Tomcat()
+	env := workload.DefaultEnv(arch.ARMv8())
+	_, err := e.Measure(context.Background(), b, env, 3, 42)
+	if !errors.Is(err, ErrSamplePanic) {
+		t.Fatalf("Measure returned %v, want ErrSamplePanic", err)
+	}
+	if got := e.met.panicsRecovered.Value(); got != 1 {
+		t.Errorf("panics recovered = %v, want 1", got)
+	}
+	// The pool survived: the same engine still measures cleanly.
+	want, _ := workload.Measure(b, env, 3, 42)
+	got, err := e.Measure(context.Background(), b, env, 3, 42)
+	if err != nil {
+		t.Fatalf("engine dead after recovered panic: %v", err)
+	}
+	if got != want {
+		t.Errorf("post-panic summary %+v != sequential %+v", got, want)
+	}
+}
+
+// TestSimPanicSurfacesAsJobError is the regression test for the
+// sim.Machine out-of-range panics (WriteMem/PreTouch): routed through a
+// worker, they surface as a contained job error carrying the panic
+// message, not a process crash.
+func TestSimPanicSurfacesAsJobError(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+
+	boom := func() (float64, error) {
+		m, err := sim.New(arch.ARMv8(), sim.Config{Cores: 1, MemWords: 64, Seed: 1})
+		if err != nil {
+			return 0, err
+		}
+		m.WriteMem(64, 1) // one past the end: panics
+		return 0, nil
+	}
+	var out float64
+	var errv error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	e.jobs <- job{ctx: context.Background(), out: &out, err: &errv, wg: &wg,
+		enqueued: time.Now(), run: boom}
+	wg.Wait()
+	if !errors.Is(errv, ErrSamplePanic) {
+		t.Fatalf("sim panic returned %v, want ErrSamplePanic", errv)
+	}
+	if !strings.Contains(errv.Error(), "WriteMem address 64 out of range") {
+		t.Errorf("panic message lost: %v", errv)
+	}
+}
+
+// TestSampleTimeoutWatchdog verifies a hung sample is abandoned after
+// SampleTimeout: the measurement fails with ErrSampleTimeout, the worker
+// moves on, and the abandoned-goroutine gauge tracks the runaway until
+// it finishes.
+func TestSampleTimeoutWatchdog(t *testing.T) {
+	e := New(Options{Workers: 1, SampleTimeout: 50 * time.Millisecond})
+	defer e.Close()
+
+	release := make(chan struct{})
+	hang := func() (float64, error) { <-release; return 0, nil }
+	var out float64
+	var errv error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	e.jobs <- job{ctx: context.Background(), out: &out, err: &errv, wg: &wg,
+		enqueued: time.Now(), run: hang}
+	wg.Wait()
+	if !errors.Is(errv, ErrSampleTimeout) {
+		t.Fatalf("hung sample returned %v, want ErrSampleTimeout", errv)
+	}
+	if got := e.met.sampleTimeouts.Value(); got != 1 {
+		t.Errorf("sample timeouts = %v, want 1", got)
+	}
+	if got := e.met.abandoned.Value(); got != 1 {
+		t.Errorf("abandoned gauge = %v, want 1 while hung", got)
+	}
+
+	// The worker is free despite the runaway: a fast sample completes
+	// well inside the watchdog deadline.
+	var out2 float64
+	var errv2 error
+	wg.Add(1)
+	e.jobs <- job{ctx: context.Background(), out: &out2, err: &errv2, wg: &wg,
+		enqueued: time.Now(), run: func() (float64, error) { return 7, nil }}
+	wg.Wait()
+	if errv2 != nil || out2 != 7 {
+		t.Fatalf("worker wedged after abandonment: out=%v err=%v", out2, errv2)
+	}
+
+	// Releasing the runaway drains the gauge.
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for e.met.abandoned.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned gauge never drained")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSampleRetryRecovers verifies transient failures are retried with
+// the original positional seed: a fault injected once makes the first
+// attempt fail, the retry succeeds, and the summary is bit-identical to
+// an unfaulted sequential measurement.
+func TestSampleRetryRecovers(t *testing.T) {
+	e := New(Options{
+		Workers: 2,
+		Retry:   RetryPolicy{Max: 2, Base: time.Millisecond, Cap: 5 * time.Millisecond},
+		Fault: faultinject.New(faultinject.Rule{
+			Point: faultinject.PointSample, Times: 1,
+			Action: faultinject.Action{Err: errors.New("transient")},
+		}),
+	})
+	defer e.Close()
+
+	b := javabench.Tomcat()
+	env := workload.DefaultEnv(arch.ARMv8())
+	want, err := workload.Measure(b, env, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Measure(context.Background(), b, env, 3, 42)
+	if err != nil {
+		t.Fatalf("Measure failed despite retries: %v", err)
+	}
+	if got != want {
+		t.Errorf("retried summary %+v != sequential %+v (positional seed lost?)", got, want)
+	}
+	if got := e.met.sampleRetries.Value(); got < 1 {
+		t.Errorf("sample retries = %v, want >= 1", got)
+	}
+}
+
+// TestSampleRetryExhaustion verifies a persistent failure is bounded by
+// the policy: Retry.Max rounds, then the error surfaces to the driver.
+func TestSampleRetryExhaustion(t *testing.T) {
+	e := New(Options{
+		Workers: 2,
+		Retry:   RetryPolicy{Max: 2, Base: time.Millisecond, Cap: 5 * time.Millisecond},
+		Fault: faultinject.New(faultinject.Rule{
+			Point:  faultinject.PointSample, // no Times cap: always fails
+			Action: faultinject.Action{Err: errors.New("persistent")},
+		}),
+	})
+	defer e.Close()
+
+	b := javabench.Tomcat()
+	env := workload.DefaultEnv(arch.ARMv8())
+	_, err := e.Measure(context.Background(), b, env, 2, 42)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Measure returned %v, want ErrInjected", err)
+	}
+	// 2 samples failed twice more each: exactly Max * n retries.
+	if got := e.met.sampleRetries.Value(); got != 4 {
+		t.Errorf("sample retries = %v, want 4", got)
+	}
+}
+
+// TestCalibrationPanicContained verifies a panicking calibration becomes
+// that request's error, never a wedged cache: concurrent waiters all get
+// the error, the entry is evicted, and the next request recomputes.
+func TestCalibrationPanicContained(t *testing.T) {
+	e := New(Options{Workers: 2, Fault: faultinject.New(faultinject.Rule{
+		Point: faultinject.PointCalibration, Times: 1,
+		Action: faultinject.Action{Panic: true},
+	})})
+	defer e.Close()
+
+	ctx := context.Background()
+	sizes := []int64{1, 8}
+	if _, err := e.Calibration(ctx, arch.ARMv8(), sizes, 1); err == nil {
+		t.Fatal("panicking calibration reported success")
+	}
+	// The rule is exhausted; the evicted entry recomputes cleanly.
+	if _, err := e.Calibration(ctx, arch.ARMv8(), sizes, 1); err != nil {
+		t.Fatalf("calibration cache wedged after panic: %v", err)
+	}
+}
+
+// TestExperimentFaultIsolation verifies containment at the run level: a
+// sample fault sinks one experiment (explicit non-ok status) while its
+// siblings complete, instead of poisoning the whole run.
+func TestExperimentFaultIsolation(t *testing.T) {
+	// fig4 is calibration-only; ext-c11 drives pooled samples, so the
+	// sample-point rule fails exactly one of the two.
+	e := New(Options{Workers: 2, Fault: faultinject.New(faultinject.Rule{
+		Point:  faultinject.PointSample,
+		Action: faultinject.Action{Err: errors.New("broken rig")},
+	})})
+	defer e.Close()
+
+	results, err := e.Run(context.Background(), []string{"fig4", "ext-c11"},
+		RunOptions{Short: true, Samples: 1, Seed: 3, Parallel: 2}, nil)
+	if err == nil {
+		t.Fatal("run with a failing experiment reported success")
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	if results[0].Status != StatusOK {
+		t.Errorf("fig4 status = %q, want ok (sibling poisoned?)", results[0].Status)
+	}
+	if s := results[1].Status; s != StatusFailed && s != StatusIncomplete {
+		t.Errorf("ext-c11 status = %q, want failed or incomplete", s)
+	}
+	if !strings.Contains(results[1].Err, "broken rig") {
+		t.Errorf("injected error lost: %q", results[1].Err)
+	}
+}
+
+// TestFaultMetricsExposed verifies every recovery event lands in the
+// exposition: injections, recovered panics, timeouts, and retries are
+// all visible on /metrics.
+func TestFaultMetricsExposed(t *testing.T) {
+	e := New(Options{
+		Workers: 1,
+		Retry:   RetryPolicy{Max: 1, Base: time.Millisecond, Cap: time.Millisecond},
+		Fault: faultinject.New(faultinject.Rule{
+			Point: faultinject.PointSample, Times: 1,
+			Action: faultinject.Action{Panic: true},
+		}),
+	})
+	defer e.Close()
+
+	b := javabench.Tomcat()
+	env := workload.DefaultEnv(arch.ARMv8())
+	if _, err := e.Measure(context.Background(), b, env, 1, 42); err != nil {
+		t.Fatalf("retry did not absorb the single injected panic: %v", err)
+	}
+
+	var sb strings.Builder
+	if err := e.Metrics().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`wmm_fault_injections_total{point="sample"} 1`,
+		"wmm_engine_sample_panics_recovered_total 1",
+		"wmm_engine_sample_retries_total 1",
+		"# TYPE wmm_engine_samples_abandoned gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

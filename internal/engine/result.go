@@ -5,12 +5,28 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+)
+
+// Experiment result statuses.  A Result always carries one, so partial
+// outcomes are explicit instead of inferred from the error string.
+const (
+	// StatusOK: the experiment completed and all artefacts are present.
+	StatusOK = "ok"
+	// StatusCancelled: the run's context was cancelled mid-experiment.
+	StatusCancelled = "cancelled"
+	// StatusIncomplete: the experiment failed after producing partial
+	// artefacts (some tables/fits/measurements); what it did produce is
+	// retained in the Result.
+	StatusIncomplete = "incomplete"
+	// StatusFailed: the experiment failed before producing anything.
+	StatusFailed = "failed"
 )
 
 // Result is the structured outcome of one experiment: the machine-readable
@@ -20,6 +36,7 @@ type Result struct {
 	Experiment   string                  `json:"experiment"`
 	Paper        string                  `json:"paper"`
 	Desc         string                  `json:"desc"`
+	Status       string                  `json:"status"`
 	Tables       []*report.Table         `json:"tables,omitempty"`
 	Fits         []experiments.FitRecord `json:"fits,omitempty"`
 	Measurements int                     `json:"measurements"`
@@ -32,6 +49,24 @@ type Result struct {
 // JSON serializes the result.
 func (r *Result) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
+}
+
+// CanonicalRunJSON serializes a run's ordered results with the
+// nondeterministic timing fields zeroed.  Two runs of the same spec and
+// seed — including one interrupted and resumed from a checkpoint —
+// produce byte-identical canonical JSON; only wall-clock accounting can
+// ever differ, and this form strips exactly that.
+func CanonicalRunJSON(results []*Result) ([]byte, error) {
+	canon := make([]*Result, len(results))
+	for i, r := range results {
+		if r == nil {
+			continue
+		}
+		c := *r
+		c.WallNs = 0
+		canon[i] = &c
+	}
+	return json.MarshalIndent(canon, "", "  ")
 }
 
 // RunOptions parameterises one engine run.
@@ -47,6 +82,12 @@ type RunOptions struct {
 	// returned in request order and each experiment's output is
 	// buffered separately, so the bytes are identical for any value.
 	Parallel int
+	// Completed carries checkpointed results from a previous attempt of
+	// the same run (keyed by experiment name).  Experiments found here
+	// are restored verbatim — no execution, no Sink callbacks — which,
+	// combined with positional seed derivation, makes a resumed run's
+	// canonical JSON byte-identical to an uninterrupted one.
+	Completed map[string]*Result
 }
 
 // Sink observes a run's progress.  Callbacks may arrive from multiple
@@ -58,8 +99,10 @@ type Sink interface {
 
 // Run executes the named experiments (nil or empty = all, in paper order)
 // and returns one Result per experiment, in request order.  Individual
-// experiment failures are recorded in their Result and the first one (in
-// request order) is also returned as the run's error; cancellation stops
+// experiment failures are contained in their Result (with an explicit
+// Status) and the first failure (in request order) is also returned as
+// the run's error; the remaining experiments still execute — one failed
+// experiment never poisons the rest of the run.  Cancellation stops
 // scheduling and aborts in-flight experiments at their next measurement.
 func (e *Engine) Run(ctx context.Context, names []string, o RunOptions, sink Sink) ([]*Result, error) {
 	var exps []experiments.Experiment
@@ -87,6 +130,12 @@ func (e *Engine) Run(ctx context.Context, names []string, o RunOptions, sink Sin
 	sem := make(chan struct{}, parallel)
 	var wg sync.WaitGroup
 	for i, ex := range exps {
+		if prev, ok := o.Completed[ex.Name]; ok && prev != nil {
+			// Restored from a checkpoint: no execution, no sink events
+			// (the caller already accounted for it when it first ran).
+			results[i] = prev
+			continue
+		}
 		wg.Add(1)
 		go func(i int, ex experiments.Experiment) {
 			defer wg.Done()
@@ -112,7 +161,11 @@ func (e *Engine) Run(ctx context.Context, names []string, o RunOptions, sink Sin
 }
 
 // runOne executes a single experiment against the engine, buffering its
-// rendered output and collecting its structured artefacts.
+// rendered output and collecting its structured artefacts.  A panicking
+// driver (or anything it calls outside the worker pool, e.g. a
+// calibration) is recovered into a failed Result: fault containment at
+// the experiment boundary, mirroring the worker-level containment at the
+// sample boundary.
 func (e *Engine) runOne(ctx context.Context, ex experiments.Experiment, o RunOptions) *Result {
 	var buf bytes.Buffer
 	col := &experiments.Collector{}
@@ -126,7 +179,15 @@ func (e *Engine) runOne(ctx context.Context, ex experiments.Experiment, o RunOpt
 		Collect: col,
 	}
 	start := time.Now()
-	err := ex.Run(opt)
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				e.met.expPanics.Inc()
+				err = fmt.Errorf("driver panicked: %v\n%s", r, debug.Stack())
+			}
+		}()
+		return ex.Run(opt)
+	}()
 	r := &Result{
 		Experiment:   ex.Name,
 		Paper:        ex.Paper,
@@ -141,15 +202,18 @@ func (e *Engine) runOne(ctx context.Context, ex experiments.Experiment, o RunOpt
 	if err != nil {
 		r.Err = err.Error()
 	}
-	e.met.experimentDur.Observe(time.Since(start).Seconds())
 	switch {
 	case err == nil:
-		e.met.experiments.Inc("ok")
+		r.Status = StatusOK
 	case r.Canceled():
-		e.met.experiments.Inc("cancelled")
+		r.Status = StatusCancelled
+	case col.Measurements > 0 || len(col.Tables) > 0 || len(col.Fits) > 0:
+		r.Status = StatusIncomplete
 	default:
-		e.met.experiments.Inc("failed")
+		r.Status = StatusFailed
 	}
+	e.met.experimentDur.Observe(time.Since(start).Seconds())
+	e.met.experiments.Inc(r.Status)
 	return r
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/runstore"
 )
 
 // RunSpec is the body of POST /runs.
@@ -38,16 +39,23 @@ const (
 	StateDone      = "done"
 	StateFailed    = "failed"
 	StateCancelled = "cancelled"
+	// StatePartial is a run that finished with a mix of successful and
+	// failed experiments: the failures are contained in their Results
+	// (status "failed"/"incomplete") instead of poisoning the whole run.
+	StatePartial = "partial"
 )
 
 // RunStatus is the snapshot served by GET /runs/{id}.
 type RunStatus struct {
-	ID        string    `json:"id"`
-	State     string    `json:"state"`
-	Spec      RunSpec   `json:"spec"`
-	Total     int       `json:"total"`
-	Completed int       `json:"completed"`
-	Running   []string  `json:"running,omitempty"`
+	ID        string   `json:"id"`
+	State     string   `json:"state"`
+	Spec      RunSpec  `json:"spec"`
+	Total     int      `json:"total"`
+	Completed int      `json:"completed"`
+	Running   []string `json:"running,omitempty"`
+	// Resumed marks a run restarted from a runstore checkpoint after a
+	// server restart.
+	Resumed bool `json:"resumed,omitempty"`
 	// Measurements and Samples aggregate the execution accounting of
 	// the experiments completed so far — the per-run counters behind
 	// the engine-wide wmm_engine_* series.
@@ -73,9 +81,13 @@ type event struct {
 // serverRun is one submitted job.
 type serverRun struct {
 	id     string
+	srv    *Server
 	spec   RunSpec
 	total  int
 	cancel context.CancelFunc
+	// restored carries checkpointed results a resumed run must not
+	// re-execute (set once before execute starts, read-only after).
+	restored map[string]*Result
 
 	mu       sync.Mutex
 	state    string
@@ -86,6 +98,12 @@ type serverRun struct {
 	final    []*Result // full ordered set, once the run ends
 	err      string
 	subs     []chan event
+	resumed  bool
+	// userCancelled distinguishes an explicit DELETE from a
+	// shutdown-triggered cancellation: the former is a terminal outcome
+	// recorded in the store, the latter leaves the run interrupted so a
+	// restart resumes it.
+	userCancelled bool
 }
 
 // serverMetrics are the HTTP layer's instruments.
@@ -96,16 +114,26 @@ type serverMetrics struct {
 	runsActive *metrics.Gauge     // runs currently executing
 	runsKept   *metrics.Gauge     // runs retained in memory
 	runsSwept  *metrics.Counter   // runs removed by GC or DELETE
+
+	checkpoints  *metrics.Counter // experiment results durably checkpointed
+	storeErrors  *metrics.Counter // failed store operations, by op
+	runsResumed  *metrics.Counter // interrupted runs resumed on startup
+	runsRestored *metrics.Counter // finished runs replayed into the catalogue
 }
 
 func newServerMetrics(r *metrics.Registry) *serverMetrics {
 	return &serverMetrics{
 		requests:   r.Counter("wmm_http_requests_total", "HTTP requests served, by route and status code.", "method", "path", "code"),
 		latency:    r.Histogram("wmm_http_request_seconds", "HTTP request latency, by route.", nil, "method", "path"),
-		runs:       r.Counter("wmm_runs_total", "Run lifecycle transitions (submitted/done/failed/cancelled).", "state"),
+		runs:       r.Counter("wmm_runs_total", "Run lifecycle transitions (submitted/done/failed/cancelled/partial).", "state"),
 		runsActive: r.Gauge("wmm_runs_active", "Runs currently executing."),
 		runsKept:   r.Gauge("wmm_runs_retained", "Runs held in memory (running + finished awaiting retention)."),
 		runsSwept:  r.Counter("wmm_runs_swept_total", "Finished runs removed by the retention sweep or DELETE."),
+
+		checkpoints:  r.Counter("wmm_store_checkpoints_written_total", "Experiment results durably checkpointed to the run store."),
+		storeErrors:  r.Counter("wmm_store_errors_total", "Failed run-store operations, by operation.", "op"),
+		runsResumed:  r.Counter("wmm_runs_resumed_total", "Interrupted runs resumed from the store on startup."),
+		runsRestored: r.Counter("wmm_runs_restored_total", "Finished runs replayed from the store into the catalogue."),
 	}
 }
 
@@ -122,6 +150,12 @@ type ServerOptions struct {
 	Retain time.Duration
 	// SweepEvery is the GC interval; Retain/4 clamped to [1s, 1m] if 0.
 	SweepEvery time.Duration
+	// Store, when non-nil, makes runs durable: specs and completed
+	// experiment results are checkpointed as they happen, and Restore
+	// replays them after a restart — resuming interrupted runs from
+	// their last checkpoint.  A nil Store is the in-memory-only
+	// behaviour.
+	Store *runstore.Store
 }
 
 // Server exposes the engine over HTTP: a queryable catalogue of
@@ -133,6 +167,7 @@ type Server struct {
 	eng             *Engine
 	defaultParallel int
 	retain          time.Duration
+	store           *runstore.Store
 	met             *serverMetrics
 
 	mu     sync.Mutex
@@ -154,9 +189,15 @@ func NewServer(eng *Engine, o ServerOptions) *Server {
 		eng:             eng,
 		defaultParallel: o.Parallel,
 		retain:          o.Retain,
+		store:           o.Store,
 		met:             newServerMetrics(eng.Metrics()),
 		runs:            map[string]*serverRun{},
 		stop:            make(chan struct{}),
+	}
+	if s.store != nil {
+		// Continue the run-N sequence past anything already on disk so
+		// a restarted server never reuses an ID.
+		s.seq = s.store.MaxSeq()
 	}
 	if o.Retain > 0 {
 		every := o.SweepEvery
@@ -172,6 +213,156 @@ func NewServer(eng *Engine, o ServerOptions) *Server {
 		go s.sweep(every)
 	}
 	return s
+}
+
+// specOrder is the request order of a spec's experiments: the names it
+// listed, or the full catalogue in paper order.
+func specOrder(spec RunSpec) []string {
+	if len(spec.Experiments) > 0 {
+		return spec.Experiments
+	}
+	var names []string
+	for _, e := range experiments.All() {
+		names = append(names, e.Name)
+	}
+	return names
+}
+
+// Restore replays the run store into the server.  Finished runs (those
+// with a terminal record) become queryable catalogue entries again;
+// interrupted runs — a spec with no terminal record, meaning the process
+// died or was shut down mid-run — are resumed from their last checkpoint.
+// Positional seed derivation makes the resumed portion produce the same
+// numbers it would have produced uninterrupted, so the final canonical
+// JSON is byte-identical.  Call Restore once, after NewServer and before
+// serving traffic.
+func (s *Server) Restore() (resumed, restored int, err error) {
+	if s.store == nil {
+		return 0, 0, nil
+	}
+	recs, err := s.store.Load()
+	if err != nil {
+		s.met.storeErrors.Inc("load")
+		return 0, 0, err
+	}
+	for _, rec := range recs {
+		var spec RunSpec
+		if derr := json.Unmarshal(rec.Spec, &spec); derr != nil {
+			s.met.storeErrors.Inc("decode")
+			continue
+		}
+		order := specOrder(spec)
+
+		// Decode every checkpoint; an undecodable one is dropped
+		// (counted), which for an interrupted run just means that
+		// experiment re-executes.
+		byName := make(map[string]*Result, len(rec.Experiments))
+		var inOrder []*Result // checkpoint (completion) order
+		for _, exp := range rec.Experiments {
+			var res Result
+			if derr := json.Unmarshal(exp.Result, &res); derr != nil {
+				s.met.storeErrors.Inc("decode")
+				continue
+			}
+			byName[exp.Name] = &res
+			inOrder = append(inOrder, &res)
+		}
+
+		if rec.EndState != "" {
+			// Finished: replay into the catalogue, read-only.
+			run := &serverRun{
+				id:       rec.ID,
+				srv:      s,
+				spec:     spec,
+				total:    len(order),
+				cancel:   func() {},
+				state:    rec.EndState,
+				started:  rec.Started,
+				finished: rec.Finished,
+				running:  map[string]bool{},
+				err:      rec.EndError,
+				results:  inOrder,
+			}
+			if run.finished.IsZero() {
+				run.finished = run.started
+			}
+			// With the complete set on disk, final carries the results in
+			// request order, exactly as the live run returned them.
+			if len(byName) == len(order) {
+				final := make([]*Result, len(order))
+				complete := true
+				for i, name := range order {
+					if final[i] = byName[name]; final[i] == nil {
+						complete = false
+						break
+					}
+				}
+				if complete {
+					run.final = final
+				}
+			}
+			s.mu.Lock()
+			if _, ok := s.runs[rec.ID]; !ok {
+				s.runs[rec.ID] = run
+				restored++
+				s.met.runsKept.Set(float64(len(s.runs)))
+				s.mu.Unlock()
+				s.met.runsRestored.Inc()
+			} else {
+				s.mu.Unlock()
+			}
+			continue
+		}
+
+		// Interrupted: resume.  Only StatusOK checkpoints are reused;
+		// failed/cancelled/incomplete experiments get a fresh attempt.
+		completed := make(map[string]*Result, len(byName))
+		var kept []*Result
+		for _, res := range inOrder {
+			if res.Status == StatusOK {
+				completed[res.Experiment] = res
+				kept = append(kept, res)
+			}
+		}
+		ctx := context.Background()
+		var cancel context.CancelFunc
+		if spec.TimeoutMs > 0 {
+			// The deadline restarts from now: the original budget cannot
+			// be reconstructed across a crash, and a fresh one errs on
+			// the side of letting the run finish.
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(spec.TimeoutMs)*time.Millisecond)
+		} else {
+			ctx, cancel = context.WithCancel(ctx)
+		}
+		run := &serverRun{
+			id:       rec.ID,
+			srv:      s,
+			spec:     spec,
+			total:    len(order),
+			cancel:   cancel,
+			restored: completed,
+			state:    StateRunning,
+			started:  rec.Started,
+			running:  map[string]bool{},
+			results:  kept,
+			resumed:  true,
+		}
+		s.mu.Lock()
+		if _, ok := s.runs[rec.ID]; ok || s.closed {
+			s.mu.Unlock()
+			cancel()
+			continue
+		}
+		s.runs[rec.ID] = run
+		s.active.Add(1)
+		s.met.runsKept.Set(float64(len(s.runs)))
+		s.mu.Unlock()
+		s.met.runsActive.Add(1)
+		s.met.runsResumed.Inc()
+		resumed++
+		go s.execute(ctx, cancel, run)
+	}
+	return resumed, restored, nil
 }
 
 // sweep periodically garbage-collects finished runs past retention.
@@ -213,6 +404,15 @@ func (s *Server) gc(now time.Time) int {
 	if len(victims) > 0 {
 		s.met.runsSwept.Add(float64(len(victims)))
 	}
+	// Expired runs leave the store too, or they would resurrect at the
+	// next restart.
+	if s.store != nil {
+		for _, id := range victims {
+			if err := s.store.Delete(id); err != nil {
+				s.met.storeErrors.Inc("delete")
+			}
+		}
+	}
 	return len(victims)
 }
 
@@ -247,6 +447,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Handler returns the wmmd API:
 //
 //	GET    /healthz          liveness
+//	GET    /readyz           readiness: engine accepting work, store writable
 //	GET    /experiments      the experiment catalogue
 //	GET    /metrics          Prometheus text exposition
 //	POST   /runs             submit a run (RunSpec), returns {"id": ...}
@@ -261,6 +462,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /experiments", s.handleExperiments)
 	mux.Handle("GET /metrics", s.eng.Metrics().Handler())
 	mux.HandleFunc("POST /runs", s.handleSubmit)
@@ -339,6 +541,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "workers": s.eng.Workers()})
 }
 
+// handleReadyz is readiness, distinct from liveness: the process can be
+// alive (healthz 200) while unable to take useful work — mid-shutdown,
+// or with an unwritable run store.  Load balancers and operators gate
+// traffic on this.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	out := map[string]any{"engine": "ok", "store": "ok"}
+	ready := true
+	if closed || s.eng.Closed() {
+		ready = false
+		out["engine"] = "shutting down"
+	}
+	if s.store == nil {
+		out["store"] = "disabled"
+	} else if err := s.store.Ping(); err != nil {
+		ready = false
+		out["store"] = err.Error()
+	}
+	out["ready"] = ready
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, out)
+}
+
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	type exp struct {
 		Name  string `json:"name"`
@@ -390,6 +620,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.seq++
 	run := &serverRun{
 		id:      fmt.Sprintf("run-%d", s.seq),
+		srv:     s,
 		spec:    spec,
 		total:   total,
 		cancel:  cancel,
@@ -404,6 +635,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.met.runs.Inc("submitted")
 	s.met.runsActive.Add(1)
 
+	// Persist the spec before any work happens, so a crash at any later
+	// point leaves a resumable record.  Durability is best-effort: a
+	// store failure degrades to the in-memory behaviour and is counted.
+	if s.store != nil {
+		raw, err := json.Marshal(spec)
+		if err == nil {
+			err = s.store.Begin(run.id, raw, run.started)
+		}
+		if err != nil {
+			s.met.storeErrors.Inc("begin")
+		}
+	}
+
 	go s.execute(ctx, cancel, run)
 	writeJSON(w, http.StatusAccepted, map[string]any{"id": run.id, "state": StateRunning, "total": total})
 }
@@ -413,10 +657,11 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, run *se
 	defer s.active.Done()
 	defer cancel()
 	results, err := s.eng.Run(ctx, run.spec.Experiments, RunOptions{
-		Samples:  run.spec.Samples,
-		Seed:     run.spec.Seed,
-		Short:    run.spec.Short,
-		Parallel: run.spec.Parallel,
+		Samples:   run.spec.Samples,
+		Seed:      run.spec.Seed,
+		Short:     run.spec.Short,
+		Parallel:  run.spec.Parallel,
+		Completed: run.restored,
 	}, (*runSink)(run))
 
 	run.mu.Lock()
@@ -428,17 +673,35 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, run *se
 	case ctx.Err() != nil || anyCanceled(results):
 		run.state = StateCancelled
 		run.err = err.Error()
+	case anyOK(results):
+		run.state = StatePartial
+		run.err = err.Error()
 	default:
 		run.state = StateFailed
 		run.err = err.Error()
 	}
-	state := run.state
+	state, errMsg, userCancelled := run.state, run.err, run.userCancelled
 	ev := event{Event: "end", State: run.state, Completed: len(run.results), Total: run.total}
 	subs := run.subs
 	run.subs = nil
 	run.mu.Unlock()
 	s.met.runs.Inc(state)
 	s.met.runsActive.Add(-1)
+
+	// Record the terminal state — except for a shutdown-triggered
+	// cancellation, which deliberately leaves the run interrupted in the
+	// store so the next startup resumes it from its checkpoints.  An
+	// explicit DELETE is a user decision and stays terminal.
+	if s.store != nil {
+		s.mu.Lock()
+		closing := s.closed
+		s.mu.Unlock()
+		if state != StateCancelled || userCancelled || !closing {
+			if err := s.store.End(run.id, state, errMsg); err != nil {
+				s.met.storeErrors.Inc("end")
+			}
+		}
+	}
 
 	for _, ch := range subs {
 		select {
@@ -452,6 +715,15 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, run *se
 func anyCanceled(rs []*Result) bool {
 	for _, r := range rs {
 		if r != nil && r.Canceled() {
+			return true
+		}
+	}
+	return false
+}
+
+func anyOK(rs []*Result) bool {
+	for _, r := range rs {
+		if r != nil && r.Status == StatusOK {
 			return true
 		}
 	}
@@ -477,6 +749,28 @@ func (rs *runSink) ExperimentDone(res *Result) {
 		return event{Event: "done", Experiment: res.Experiment, Error: res.Err,
 			WallMs: res.WallNs / int64(time.Millisecond), Completed: len(r.results), Total: r.total}
 	})
+	r.checkpoint(res)
+}
+
+// checkpoint durably records a completed experiment.  Results of any
+// status are written (so a restored finished run is complete), but only
+// StatusOK checkpoints are reused on resume — failed and cancelled
+// experiments get a fresh attempt.  Store failures degrade durability,
+// never the run.
+func (r *serverRun) checkpoint(res *Result) {
+	s := r.srv
+	if s == nil || s.store == nil {
+		return
+	}
+	raw, err := json.Marshal(res)
+	if err == nil {
+		err = s.store.Checkpoint(r.id, res.Experiment, raw)
+	}
+	if err != nil {
+		s.met.storeErrors.Inc("checkpoint")
+		return
+	}
+	s.met.checkpoints.Inc()
 }
 
 // broadcast applies a state mutation under the run's lock and fans the
@@ -509,6 +803,7 @@ func (r *serverRun) statusLocked(includeResults bool) RunStatus {
 		Spec:      r.spec,
 		Total:     r.total,
 		Completed: len(r.results),
+		Resumed:   r.resumed,
 		StartedAt: r.started,
 	}
 	for name := range r.running {
@@ -669,10 +964,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "unknown run %q", id)
 		return
 	}
-	run.cancel()
+	// Mark the cancellation as a user decision before it takes effect, so
+	// execute records it as terminal rather than resumable.
 	run.mu.Lock()
+	run.userCancelled = true
 	state := run.state
 	run.mu.Unlock()
+	run.cancel()
 	if state != StateRunning {
 		s.mu.Lock()
 		// Re-check under s.mu: a concurrent DELETE may have removed it.
@@ -681,6 +979,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 			s.met.runsKept.Set(float64(len(s.runs)))
 			s.mu.Unlock()
 			s.met.runsSwept.Inc()
+			if s.store != nil {
+				if err := s.store.Delete(id); err != nil {
+					s.met.storeErrors.Inc("delete")
+				}
+			}
 		} else {
 			s.mu.Unlock()
 		}

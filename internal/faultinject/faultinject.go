@@ -1,0 +1,176 @@
+// Package faultinject deterministically injects faults — panics, delays,
+// and errors — at well-known boundaries of the experiment engine and the
+// run store, so that tests can prove each recovery path instead of hoping
+// it works.  The paper's methodology assumes hours-long unattended sweeps
+// (§4.1); the only way to trust that a sweep survives a worker panic or a
+// hung sample is to inject exactly that fault under -race and watch the
+// system degrade gracefully.
+//
+// Injection is option-gated: production code paths carry a nil *Injector
+// and pay one pointer comparison.  An Injector is armed with Rules that
+// match an injection point plus an optional sample seed and key, so a
+// fault lands on a deterministic unit of work regardless of worker
+// scheduling:
+//
+//	inj := faultinject.New(
+//	    faultinject.Rule{Point: faultinject.PointSample, Seed: workload.SampleSeed(3, 1),
+//	        Times: 1, Action: faultinject.Action{Panic: true}},
+//	)
+//	eng := engine.New(engine.Options{Fault: inj})
+//
+// Every fault fired is counted (Injector.Fired, and the
+// wmm_fault_injections_total metric when a registry is attached), so a
+// test can assert the fault actually happened before asserting that the
+// system recovered from it.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Injection points.  The string value appears in error messages and the
+// wmm_fault_injections_total point label.
+const (
+	// PointSample fires inside a worker's recovered region, immediately
+	// before one simulator sample executes.  Key is the benchmark name;
+	// Seed is the sample's derived seed.
+	PointSample = "sample"
+	// PointCalibration fires at the top of a calibration computation.
+	// Key is the calibration cache key.
+	PointCalibration = "calibration"
+	// PointStoreAppend fires before a run-store record is appended.  Key
+	// is "<runID>/<record type>".
+	PointStoreAppend = "store.append"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error, so tests
+// and retry policies can tell an injected fault from an organic failure.
+var ErrInjected = errors.New("injected fault")
+
+// Action is what happens when a rule fires.  Exactly one of Panic, Err
+// and Delay-only should be meaningful; Delay composes with the others
+// (sleep, then panic/error).
+type Action struct {
+	// Delay sleeps before returning (or before panicking/erroring).
+	Delay time.Duration
+	// Panic panics with a recognisable message.
+	Panic bool
+	// Err, if non-nil, is returned wrapped in ErrInjected.
+	Err error
+}
+
+// Rule arms one fault.  Zero-valued match fields are wildcards.
+type Rule struct {
+	// Point selects the injection boundary (required).
+	Point string
+	// Seed, if non-zero, matches only the unit of work with this derived
+	// seed (sample point).
+	Seed int64
+	// Key, if non-empty, matches sites whose key contains it.
+	Key string
+	// Times caps how often the rule fires; 0 = every match.
+	Times int
+	// Action is applied when the rule matches.
+	Action Action
+}
+
+// Injector evaluates rules at injection points.  A nil *Injector is
+// inert and free to call into.  An Injector is safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	rules []*armedRule
+	fired map[string]int
+
+	counter *metrics.Counter
+}
+
+type armedRule struct {
+	Rule
+	remaining int // <0 = unlimited
+}
+
+// New returns an Injector armed with the given rules.
+func New(rules ...Rule) *Injector {
+	in := &Injector{fired: map[string]int{}}
+	for _, r := range rules {
+		ar := &armedRule{Rule: r, remaining: -1}
+		if r.Times > 0 {
+			ar.remaining = r.Times
+		}
+		in.rules = append(in.rules, ar)
+	}
+	return in
+}
+
+// Instrument records every fired fault into reg as
+// wmm_fault_injections_total{point}.
+func (in *Injector) Instrument(reg *metrics.Registry) *Injector {
+	if in != nil {
+		in.counter = reg.Counter("wmm_fault_injections_total",
+			"Faults fired by the injection harness, by point.", "point")
+	}
+	return in
+}
+
+// Fire evaluates the rules for one unit of work at the given point.  It
+// sleeps for a matching Delay, panics for a matching Panic, and returns
+// a matching Err wrapped in ErrInjected.  A nil receiver, or no matching
+// rule, returns nil without side effects.
+func (in *Injector) Fire(point, key string, seed int64) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	var act *Action
+	for _, r := range in.rules {
+		if r.Point != point || r.remaining == 0 {
+			continue
+		}
+		if r.Seed != 0 && r.Seed != seed {
+			continue
+		}
+		if r.Key != "" && !strings.Contains(key, r.Key) {
+			continue
+		}
+		if r.remaining > 0 {
+			r.remaining--
+		}
+		in.fired[point]++
+		act = &r.Action
+		break
+	}
+	counter := in.counter
+	in.mu.Unlock()
+	if act == nil {
+		return nil
+	}
+	if counter != nil {
+		counter.Inc(point)
+	}
+	if act.Delay > 0 {
+		time.Sleep(act.Delay)
+	}
+	if act.Panic {
+		panic(fmt.Sprintf("faultinject: %s %q (seed %d)", point, key, seed))
+	}
+	if act.Err != nil {
+		return fmt.Errorf("%s %q (seed %d): %w: %w", point, key, seed, ErrInjected, act.Err)
+	}
+	return nil
+}
+
+// Fired reports how many faults have fired at the given point.
+func (in *Injector) Fired(point string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[point]
+}

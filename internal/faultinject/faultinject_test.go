@@ -1,0 +1,111 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Fire(PointSample, "bench", 42); err != nil {
+		t.Errorf("nil injector fired: %v", err)
+	}
+	if in.Fired(PointSample) != 0 {
+		t.Error("nil injector counted a fault")
+	}
+}
+
+func TestSeedAndKeyMatching(t *testing.T) {
+	boom := errors.New("boom")
+	in := New(
+		Rule{Point: PointSample, Seed: 7, Action: Action{Err: boom}},
+		Rule{Point: PointCalibration, Key: "ARMv8", Action: Action{Err: boom}},
+	)
+
+	if err := in.Fire(PointSample, "bench", 8); err != nil {
+		t.Errorf("non-matching seed fired: %v", err)
+	}
+	err := in.Fire(PointSample, "bench", 7)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, boom) {
+		t.Errorf("matching seed: err = %v, want ErrInjected wrapping boom", err)
+	}
+
+	if err := in.Fire(PointCalibration, "POWER7|1|", 0); err != nil {
+		t.Errorf("non-matching key fired: %v", err)
+	}
+	if err := in.Fire(PointCalibration, "ARMv8|1|1,8,", 0); !errors.Is(err, ErrInjected) {
+		t.Errorf("matching key did not fire: %v", err)
+	}
+	if got := in.Fired(PointSample); got != 1 {
+		t.Errorf("sample faults fired = %d, want 1", got)
+	}
+}
+
+func TestTimesCap(t *testing.T) {
+	in := New(Rule{Point: PointStoreAppend, Times: 2, Action: Action{Err: errors.New("disk")}})
+	var fired int
+	for i := 0; i < 5; i++ {
+		if in.Fire(PointStoreAppend, "run-1/experiment", 0) != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Errorf("capped rule fired %d times, want 2", fired)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	in := New(Rule{Point: PointSample, Action: Action{Panic: true}})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic action did not panic")
+		}
+		if !strings.Contains(r.(string), "faultinject: sample") {
+			t.Errorf("panic message %q not recognisable", r)
+		}
+	}()
+	in.Fire(PointSample, "bench", 1)
+}
+
+func TestDelayAction(t *testing.T) {
+	in := New(Rule{Point: PointSample, Action: Action{Delay: 30 * time.Millisecond}})
+	start := time.Now()
+	if err := in.Fire(PointSample, "bench", 1); err != nil {
+		t.Errorf("delay-only rule returned %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("delay action slept %v, want >= 30ms", d)
+	}
+}
+
+func TestConcurrentFiringAndMetric(t *testing.T) {
+	reg := metrics.NewRegistry()
+	in := New(Rule{Point: PointSample, Times: 10, Action: Action{Err: errors.New("x")}}).Instrument(reg)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 5; k++ {
+				in.Fire(PointSample, "bench", int64(k))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Fired(PointSample); got != 10 {
+		t.Errorf("fired = %d, want exactly 10 under concurrency", got)
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `wmm_fault_injections_total{point="sample"} 10`) {
+		t.Errorf("metric exposition missing injection counter:\n%s", sb.String())
+	}
+}

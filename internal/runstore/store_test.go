@@ -1,0 +1,208 @@
+package runstore
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+func TestBeginCheckpointEndRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	if err := s.Begin("run-1", json.RawMessage(`{"short":true}`), started); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint("run-1", "fig4", json.RawMessage(`{"experiment":"fig4"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint("run-1", "txt3", json.RawMessage(`{"experiment":"txt3"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.End("run-1", "done", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	runs, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("replayed %d runs, want 1", len(runs))
+	}
+	r := runs[0]
+	if r.ID != "run-1" || !r.Started.Equal(started) {
+		t.Errorf("identity = %q @ %v", r.ID, r.Started)
+	}
+	if string(r.Spec) != `{"short":true}` {
+		t.Errorf("spec = %s", r.Spec)
+	}
+	if len(r.Experiments) != 2 || r.Experiments[0].Name != "fig4" || r.Experiments[1].Name != "txt3" {
+		t.Errorf("experiments = %+v", r.Experiments)
+	}
+	if r.EndState != "done" || r.EndError != "" {
+		t.Errorf("end = %q/%q", r.EndState, r.EndError)
+	}
+	if got := r.Experiment("txt3"); string(got) != `{"experiment":"txt3"}` {
+		t.Errorf("Experiment(txt3) = %s", got)
+	}
+	if r.Experiment("nope") != nil {
+		t.Error("Experiment(nope) found something")
+	}
+}
+
+func TestInterruptedRunHasNoEndState(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin("run-3", json.RawMessage(`{}`), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint("run-3", "fig4", json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].EndState != "" {
+		t.Fatalf("interrupted run replayed as %+v", runs)
+	}
+}
+
+// TestTornTailTolerated simulates a crash mid-append: the last line is
+// truncated garbage.  Replay must keep the durable prefix.
+func TestTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin("run-1", json.RawMessage(`{}`), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint("run-1", "fig4", json.RawMessage(`{"ok":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "run-1.jsonl"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"rec":"experiment","name":"txt3","result":{"trunc`)
+	f.Close()
+
+	runs, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("replayed %d runs, want 1", len(runs))
+	}
+	if len(runs[0].Experiments) != 1 || runs[0].Experiments[0].Name != "fig4" {
+		t.Errorf("torn tail corrupted replay: %+v", runs[0].Experiments)
+	}
+}
+
+func TestRecheckpointKeepsLast(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Begin("run-1", json.RawMessage(`{}`), time.Now())
+	s.Checkpoint("run-1", "fig5", json.RawMessage(`{"attempt":1}`))
+	s.Checkpoint("run-1", "fig5", json.RawMessage(`{"attempt":2}`))
+	runs, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs[0].Experiments) != 1 || string(runs[0].Experiment("fig5")) != `{"attempt":2}` {
+		t.Errorf("re-checkpoint not folded to last: %+v", runs[0].Experiments)
+	}
+}
+
+func TestDeleteAndMaxSeq(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"run-1", "run-2", "run-10"} {
+		if err := s.Begin(id, json.RawMessage(`{}`), time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.MaxSeq(); got != 10 {
+		t.Errorf("MaxSeq = %d, want 10", got)
+	}
+	if err := s.Delete("run-10"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxSeq(); got != 2 {
+		t.Errorf("MaxSeq after delete = %d, want 2", got)
+	}
+	if err := s.Delete("run-10"); err != nil {
+		t.Errorf("deleting a missing run: %v", err)
+	}
+	runs, _ := s.Load()
+	if len(runs) != 2 {
+		t.Errorf("%d runs after delete, want 2", len(runs))
+	}
+	// Load returns numeric ID order.
+	if runs[0].ID != "run-1" || runs[1].ID != "run-2" {
+		t.Errorf("order = %s, %s", runs[0].ID, runs[1].ID)
+	}
+}
+
+func TestInvalidRunIDRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "../evil", "a/b", `a\b`} {
+		if err := s.Begin(id, json.RawMessage(`{}`), time.Now()); err == nil {
+			t.Errorf("id %q accepted", id)
+		}
+	}
+}
+
+func TestFaultInjectionAtAppend(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Fault = faultinject.New(faultinject.Rule{
+		Point: faultinject.PointStoreAppend, Key: "run-1/experiment", Times: 1,
+		Action: faultinject.Action{Err: errors.New("disk full")},
+	})
+	if err := s.Begin("run-1", json.RawMessage(`{}`), time.Now()); err != nil {
+		t.Fatalf("spec append hit the experiment-only rule: %v", err)
+	}
+	if err := s.Checkpoint("run-1", "fig4", json.RawMessage(`{}`)); !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("injected append error lost: %v", err)
+	}
+	// The rule is exhausted; the retryed checkpoint lands.
+	if err := s.Checkpoint("run-1", "fig4", json.RawMessage(`{}`)); err != nil {
+		t.Errorf("second checkpoint failed: %v", err)
+	}
+}
+
+func TestOpenRejectsUnwritableDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root; permission bits do not bind")
+	}
+	dir := t.TempDir()
+	ro := filepath.Join(dir, "ro")
+	if err := os.Mkdir(ro, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(ro); err == nil {
+		t.Error("read-only directory accepted")
+	}
+}
