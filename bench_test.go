@@ -10,6 +10,7 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/perfbench"
 	"repro/wmm"
 )
 
@@ -195,3 +196,14 @@ func BenchmarkJITExtension(b *testing.B) { runExperiment(b, "ext-jit") }
 // BenchmarkC11Extension prices memory_order strength on lock-free
 // structures (§6 future work).
 func BenchmarkC11Extension(b *testing.B) { runExperiment(b, "ext-c11") }
+
+// BenchmarkSim* are the simulator hot-path microbenchmarks shared with
+// cmd/wmmperf (internal/perfbench): raw cycle-loop throughput, the cost of
+// Machine.Reset, and a full workload sample through the machine cache.
+// The cycle-loop and reset bodies must stay at 0 allocs/op — wmmperf gates
+// allocation counts exactly against the checked-in BENCH_4.json baseline.
+func BenchmarkSim(b *testing.B) {
+	for _, pb := range perfbench.Benchmarks(testing.Short()) {
+		b.Run(pb.Name, pb.Fn)
+	}
+}

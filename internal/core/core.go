@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/arch"
 	"repro/internal/costfn"
@@ -26,6 +27,17 @@ import (
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
+
+// checkSummary rejects a measurement whose geometric mean is poisoned
+// (stats.GeoMean returns NaN when any sample is non-positive).  Such a
+// summary would silently corrupt the normalised performance p and the fit
+// layer, so the instruments fail loudly instead.
+func checkSummary(label string, s stats.Summary) error {
+	if math.IsNaN(s.GeoMean) {
+		return fmt.Errorf("core: %s has non-positive samples (geometric mean undefined)", label)
+	}
+	return nil
+}
 
 // DefaultSizes is the cost-function size sweep used by the scans, in loop
 // iterations (the paper sweeps 2^0..2^8 ns; loop iterations are converted
@@ -143,6 +155,9 @@ func (s Session) SensitivityScan(cfg ScanConfig) (ScanResult, error) {
 	if err != nil {
 		return ScanResult{}, fmt.Errorf("core: base case of %s: %w", cfg.Bench.Name, err)
 	}
+	if err := checkSummary(fmt.Sprintf("base case of %s", cfg.Bench.Name), base); err != nil {
+		return ScanResult{}, err
+	}
 	res := ScanResult{Bench: cfg.Bench.Name, Base: base}
 	pts := make([]fit.Point, 0, len(sizes))
 	for _, n := range sizes {
@@ -150,6 +165,9 @@ func (s Session) SensitivityScan(cfg ScanConfig) (ScanResult, error) {
 		sum, err := cfg.Meas.measure(cfg.Bench, env, samples, cfg.Seed)
 		if err != nil {
 			return ScanResult{}, fmt.Errorf("core: %s at size %d: %w", cfg.Bench.Name, n, err)
+		}
+		if err := checkSummary(fmt.Sprintf("%s at size %d", cfg.Bench.Name, n), sum); err != nil {
+			return ScanResult{}, err
 		}
 		cmp := stats.Compare(sum, base)
 		sp := ScanPoint{
@@ -200,6 +218,12 @@ func (s Session) FixedProbe(bench *workload.Benchmark, env workload.Env, path ar
 	if err != nil {
 		return ProbeResult{}, fmt.Errorf("core: probe of %s path %d: %w", bench.Name, path, err)
 	}
+	if err := checkSummary(fmt.Sprintf("probe of %s", bench.Name), base); err != nil {
+		return ProbeResult{}, err
+	}
+	if err := checkSummary(fmt.Sprintf("probe of %s path %d", bench.Name, path), test); err != nil {
+		return ProbeResult{}, err
+	}
 	return ProbeResult{Bench: bench.Name, Path: path, Rel: stats.Compare(test, base)}, nil
 }
 
@@ -224,10 +248,16 @@ func (s Session) Survey(benches []*workload.Benchmark, env workload.Env, paths [
 		if err != nil {
 			return nil, fmt.Errorf("core: survey base of %s: %w", b.Name, err)
 		}
+		if err := checkSummary(fmt.Sprintf("survey base of %s", b.Name), base); err != nil {
+			return nil, err
+		}
 		for _, p := range paths {
 			test, err := s.Meas.measure(b, env.WithCost([]arch.PathID{p}, paths, size), samples, seed)
 			if err != nil {
 				return nil, fmt.Errorf("core: survey of %s path %d: %w", b.Name, p, err)
+			}
+			if err := checkSummary(fmt.Sprintf("survey of %s path %d", b.Name, p), test); err != nil {
+				return nil, err
 			}
 			out = append(out, ProbeResult{Bench: b.Name, Path: p, Rel: stats.Compare(test, base)})
 		}
@@ -277,6 +307,12 @@ func (s Session) CompareStrategies(bench *workload.Benchmark, envBase, envTest w
 	test, err := s.Meas.measure(bench, envTest.NopBase(allPaths), samples, seed)
 	if err != nil {
 		return stats.Comparative{}, fmt.Errorf("core: strategy test of %s: %w", bench.Name, err)
+	}
+	if err := checkSummary(fmt.Sprintf("strategy base of %s", bench.Name), base); err != nil {
+		return stats.Comparative{}, err
+	}
+	if err := checkSummary(fmt.Sprintf("strategy test of %s", bench.Name), test); err != nil {
+		return stats.Comparative{}, err
 	}
 	return stats.Compare(test, base), nil
 }

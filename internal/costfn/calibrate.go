@@ -17,6 +17,39 @@ import (
 //
 // The same facility times barrier instructions for EXPERIMENTS.md TXT3.
 func TimeSequence(prof *arch.Profile, emit func(*arch.Builder), seed int64) (float64, error) {
+	return NewTimer(prof).TimeSequence(emit, seed)
+}
+
+// Timer runs timing loops for one profile on a single reused 1-core
+// machine (seed restored per run via sim.Machine.Reset), so sweeps like
+// Calibrate avoid rebuilding the simulator for every measurement.  Results
+// are bit-identical to fresh construction.  Not safe for concurrent use.
+type Timer struct {
+	prof *arch.Profile
+	m    *sim.Machine
+}
+
+// NewTimer returns a Timer for the profile.  The machine is built lazily
+// on first use.
+func NewTimer(prof *arch.Profile) *Timer { return &Timer{prof: prof} }
+
+// machine returns the reused machine reset to seed.
+func (t *Timer) machine(seed int64) (*sim.Machine, error) {
+	if t.m == nil {
+		m, err := sim.New(t.prof, sim.Config{Cores: 1, MemWords: 4096, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		t.m = m
+		return m, nil
+	}
+	t.m.Reset(seed)
+	return t.m, nil
+}
+
+// TimeSequence is the package-level TimeSequence on the Timer's reused
+// machine.
+func (t *Timer) TimeSequence(emit func(*arch.Builder), seed int64) (float64, error) {
 	const iters = 600
 
 	build := func(body func(*arch.Builder)) (arch.Program, int, error) {
@@ -37,7 +70,7 @@ func TimeSequence(prof *arch.Profile, emit func(*arch.Builder), seed int64) (flo
 	}
 
 	run := func(p arch.Program) (int64, error) {
-		m, err := sim.New(prof, sim.Config{Cores: 1, MemWords: 4096, Seed: seed})
+		m, err := t.machine(seed)
 		if err != nil {
 			return 0, err
 		}
@@ -76,7 +109,7 @@ func TimeSequence(prof *arch.Profile, emit func(*arch.Builder), seed int64) (flo
 	if perIter < 0 {
 		perIter = 0
 	}
-	return perIter / prof.FreqGHz, nil
+	return perIter / t.prof.FreqGHz, nil
 }
 
 // CalPoint is one point of the Figure 4 calibration curve.
@@ -90,12 +123,13 @@ type CalPoint struct {
 // to smooth pipeline jitter.
 func Calibrate(prof *arch.Profile, v Variant, sizes []int64, seed int64) ([]CalPoint, error) {
 	const seeds = 3
+	t := NewTimer(prof)
 	pts := make([]CalPoint, 0, len(sizes))
 	for _, n := range sizes {
 		n := n
 		var sum float64
 		for s := int64(0); s < seeds; s++ {
-			ns, err := TimeSequence(prof, func(b *arch.Builder) { Emit(b, v, n) }, seed+s*101)
+			ns, err := t.TimeSequence(func(b *arch.Builder) { Emit(b, v, n) }, seed+s*101)
 			if err != nil {
 				return nil, fmt.Errorf("calibrate %s n=%d: %w", v, n, err)
 			}

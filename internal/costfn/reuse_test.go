@@ -1,0 +1,73 @@
+package costfn
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// TestTimerReuseDeterminism pins machine reuse at the calibration layer: a
+// Timer that recycles one machine across measurements must produce exactly
+// the numbers fresh per-call construction does, for every cost-function
+// variant (ARM with stack traffic, ARM-nostack, POWER) and both storage
+// models, across interleaved sequences and seeds.
+func TestTimerReuseDeterminism(t *testing.T) {
+	cases := []struct {
+		prof *arch.Profile
+		v    Variant
+	}{
+		{arch.ARMv8(), ARM},
+		{arch.ARMv8(), ARMNoStack},
+		{arch.POWER7(), POWER},
+	}
+	for _, tc := range cases {
+		t.Run(tc.prof.Name+"/"+tc.v.String(), func(t *testing.T) {
+			timer := NewTimer(tc.prof)
+			// Interleave sizes and seeds so the reused machine sees
+			// different programs and RNG states between measurements.
+			for _, n := range []int64{1, 64, 4, 256} {
+				for seed := int64(1); seed <= 3; seed++ {
+					emit := func(b *arch.Builder) { Emit(b, tc.v, n) }
+					fresh, err := NewTimer(tc.prof).TimeSequence(emit, seed)
+					if err != nil {
+						t.Fatalf("fresh n=%d seed=%d: %v", n, seed, err)
+					}
+					reused, err := timer.TimeSequence(emit, seed)
+					if err != nil {
+						t.Fatalf("reused n=%d seed=%d: %v", n, seed, err)
+					}
+					if fresh != reused {
+						t.Errorf("n=%d seed=%d: reused timer %v != fresh %v", n, seed, reused, fresh)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCalibrateMatchesSeedBehaviour pins that the Timer-based Calibrate
+// produces the same curve as calling the package-level TimeSequence for
+// every point, i.e. machine reuse did not change calibration output.
+func TestCalibrateMatchesSeedBehaviour(t *testing.T) {
+	prof := arch.ARMv8()
+	v := ForProfile(prof)
+	sizes := []int64{1, 16, 128}
+	curve, err := Calibrate(prof, v, sizes, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range sizes {
+		var sum float64
+		for s := int64(0); s < 3; s++ {
+			n := n
+			ns, err := TimeSequence(prof, func(b *arch.Builder) { Emit(b, v, n) }, 7+s*101)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += ns
+		}
+		if want := sum / 3; curve[i].Ns != want {
+			t.Errorf("size %d: Calibrate %v != per-call %v", n, curve[i].Ns, want)
+		}
+	}
+}

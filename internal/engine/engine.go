@@ -235,6 +235,10 @@ func (e *Engine) Close() {
 func (e *Engine) Closed() bool { return e.closed.Load() }
 
 func (e *Engine) worker() {
+	// Each worker owns a machine cache so consecutive samples of the same
+	// configuration reuse one simulator via Reset instead of rebuilding it.
+	// The cache is handed off (never shared) when a sample is abandoned.
+	ws := &workerState{mc: workload.NewMachineCache()}
 	for j := range e.jobs {
 		e.met.queueWait.Observe(time.Since(j.enqueued).Seconds())
 		if err := j.ctx.Err(); err != nil {
@@ -243,7 +247,7 @@ func (e *Engine) worker() {
 		} else {
 			e.met.workersBusy.Add(1)
 			start := time.Now()
-			*j.out, *j.err = e.runSample(j)
+			*j.out, *j.err = e.runSample(j, ws)
 			e.met.sampleRun.Observe(time.Since(start).Seconds())
 			e.met.workersBusy.Add(-1)
 			e.met.jobsExecuted.Inc()
@@ -252,19 +256,26 @@ func (e *Engine) worker() {
 	}
 }
 
+// workerState is per-worker mutable state; only its owning worker
+// goroutine touches it.
+type workerState struct {
+	mc *workload.MachineCache
+}
+
 // runSample executes one sample with panic containment and, when the
 // engine has a SampleTimeout, a watchdog that abandons a hung sample so
 // the worker can move on.  An abandoned goroutine keeps running (the
 // simulator has no preemption point) but writes only to its own locals;
 // the wmm_engine_samples_abandoned gauge tracks how many are still
 // alive.
-func (e *Engine) runSample(j job) (float64, error) {
+func (e *Engine) runSample(j job, ws *workerState) (float64, error) {
 	if e.sampleTimeout <= 0 {
-		return e.guardedRun(j)
+		return e.guardedRun(j, ws.mc)
 	}
+	mc := ws.mc
 	ch := make(chan sampleOutcome, 1)
 	go func() {
-		v, err := e.guardedRun(j)
+		v, err := e.guardedRun(j, mc)
 		ch <- sampleOutcome{v, err}
 	}()
 	timer := time.NewTimer(e.sampleTimeout)
@@ -273,10 +284,14 @@ func (e *Engine) runSample(j job) (float64, error) {
 	case out := <-ch:
 		return out.v, out.err
 	case <-j.ctx.Done():
+		// The abandoned goroutine keeps running inside mc's machines;
+		// the worker must not touch that cache again.
+		ws.mc = workload.NewMachineCache()
 		e.abandon(ch)
 		return 0, j.ctx.Err()
 	case <-timer.C:
 		e.met.sampleTimeouts.Inc()
+		ws.mc = workload.NewMachineCache()
 		e.abandon(ch)
 		return 0, fmt.Errorf("sample (seed %d): %w after %v", j.seed, ErrSampleTimeout, e.sampleTimeout)
 	}
@@ -302,7 +317,7 @@ func (e *Engine) abandon(ch <-chan sampleOutcome) {
 // panic anywhere below (an out-of-range sim.Machine access, a builder
 // bug, an injected fault) becomes this job's error instead of killing
 // the process.
-func (e *Engine) guardedRun(j job) (v float64, err error) {
+func (e *Engine) guardedRun(j job, mc *workload.MachineCache) (v float64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			e.met.panicsRecovered.Inc()
@@ -319,7 +334,7 @@ func (e *Engine) guardedRun(j job) (v float64, err error) {
 	if j.run != nil {
 		return j.run()
 	}
-	return workload.Run(j.b, j.env, j.seed)
+	return workload.RunWith(mc, j.b, j.env, j.seed)
 }
 
 // retryable reports whether a failed sample is worth re-running:

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/workload"
+	"repro/internal/workload/javabench"
+	"repro/internal/workload/linuxbench"
+)
+
+// TestWorkerMachineCacheDeterminism drives many concurrent measurements of
+// different configurations (profiles, benchmarks, metrics) through a small
+// worker pool, so each worker's machine cache is reused and re-keyed across
+// jobs.  Every pooled summary must be bit-identical to direct sequential
+// execution.  Run under -race this also proves the caches are confined to
+// their workers.
+func TestWorkerMachineCacheDeterminism(t *testing.T) {
+	e := New(Options{Workers: 3})
+	defer e.Close()
+
+	type study struct {
+		b   *workload.Benchmark
+		env workload.Env
+	}
+	studies := []study{
+		{javabench.Tomcat(), workload.DefaultEnv(arch.ARMv8())},
+		{javabench.Spark(), workload.DefaultEnv(arch.POWER7())},
+		{linuxbench.Ebizzy(), workload.DefaultEnv(arch.ARMv8())},
+		{javabench.Tomcat(), workload.DefaultEnv(arch.POWER7())},
+	}
+
+	var wg sync.WaitGroup
+	for i, st := range studies {
+		wg.Add(1)
+		go func(i int, st study) {
+			defer wg.Done()
+			want, err := workload.Measure(st.b, st.env, 3, int64(40+i))
+			if err != nil {
+				t.Errorf("%s: sequential: %v", st.b.Name, err)
+				return
+			}
+			got, err := e.Measure(context.Background(), st.b, st.env, 3, int64(40+i))
+			if err != nil {
+				t.Errorf("%s: pooled: %v", st.b.Name, err)
+				return
+			}
+			if got != want {
+				t.Errorf("%s: pooled summary %+v != sequential %+v", st.b.Name, got, want)
+			}
+		}(i, st)
+	}
+	wg.Wait()
+}
+
+// TestWorkerMachineCacheHandoffOnTimeout forces the sample watchdog to
+// abandon a real simulator run mid-flight and then reuses the same worker
+// for further samples.  The abandoned goroutine keeps simulating inside the
+// old cache's machine while the worker measures with a fresh cache; under
+// -race any sharing between the two would be reported.
+func TestWorkerMachineCacheHandoffOnTimeout(t *testing.T) {
+	// The generous SampleTimeout never fires for healthy benchmarks (even
+	// under -race on a loaded host); it only enables the watchdog path, so
+	// a cancelled context abandons the in-flight sample.
+	e := New(Options{Workers: 1, SampleTimeout: 30 * time.Second})
+	defer e.Close()
+
+	slow := &workload.Benchmark{
+		Name:      "slow-spin",
+		Platform:  workload.JVMPlatform,
+		Metric:    workload.Throughput,
+		Cores:     2,
+		MaxCycles: 2_000_000, // simulates for seconds: far past the watchdog
+		Build: func(ctx *workload.BuildCtx) error {
+			for c := 0; c < 2; c++ {
+				b := arch.NewBuilder()
+				b.Label("loop")
+				b.Work(1)
+				b.AddImm(0, 0, 1)
+				b.B("loop")
+				p, err := b.Build()
+				if err != nil {
+					return err
+				}
+				if err := ctx.M.LoadProgram(c, p); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	env := workload.DefaultEnv(arch.ARMv8())
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := e.Measure(ctx, slow, env, 1, 9)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected context deadline, got %v", err)
+	}
+
+	// The worker moved on to a fresh cache; subsequent measurements stay
+	// bit-identical to sequential execution while the abandoned goroutine
+	// still runs in the old one.
+	fast := javabench.Tomcat()
+	want, err := workload.Measure(fast, env, 2, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Measure(context.Background(), fast, env, 2, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("post-timeout pooled summary %+v != sequential %+v", got, want)
+	}
+}

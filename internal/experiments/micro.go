@@ -46,10 +46,11 @@ func Txt3(o Options) error {
 		}
 		t := report.New(fmt.Sprintf("TXT3 (%s): barrier instruction microbenchmarks", prof.Name),
 			"sequence", "marginal time (ns)")
+		timer := costfn.NewTimer(prof)
 		for _, p := range probes {
 			var sum float64
 			for s := int64(0); s < seeds; s++ {
-				ns, err := costfn.TimeSequence(prof, p.emit, o.seed()+s*31)
+				ns, err := timer.TimeSequence(p.emit, o.seed()+s*31)
 				if err != nil {
 					return err
 				}

@@ -158,14 +158,24 @@ func (r *Runner) Run(t *Test) (Outcome, error) {
 		stressed.Lat.PropMax = prof.Lat.PropMax + 32
 		prof = &stressed
 	}
+	// One machine serves every trial: the configuration is constant across
+	// trials, so Reset (bit-identical to fresh construction) replaces the
+	// per-trial rebuild that used to dominate campaign time.
+	var m *sim.Machine
 	for trial := 0; trial < trials; trial++ {
-		m, err := sim.New(prof, sim.Config{
-			Cores:    len(t.Threads),
-			MemWords: 4096,
-			Seed:     seed + int64(trial)*7919,
-		})
-		if err != nil {
-			return out, err
+		trialSeed := seed + int64(trial)*7919
+		if m == nil {
+			var err error
+			m, err = sim.New(prof, sim.Config{
+				Cores:    len(t.Threads),
+				MemWords: 4096,
+				Seed:     trialSeed,
+			})
+			if err != nil {
+				return out, err
+			}
+		} else {
+			m.Reset(trialSeed)
 		}
 		for addr, val := range t.Init {
 			m.WriteMem(addr, val)

@@ -66,9 +66,10 @@ func (c *l1) invalidate(addr int64) {
 	}
 }
 
-// reset empties the cache.
+// reset empties the cache and zeroes its counters, as after newL1.
 func (c *l1) reset() {
 	for i := range c.tags {
 		c.tags[i] = -1
 	}
+	c.hits, c.misses, c.invalidations = 0, 0, 0
 }

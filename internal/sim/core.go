@@ -15,13 +15,56 @@ const (
 
 const noProd = int64(-1)
 
+// Instruction-class bits, computed once at fetch so the per-cycle window
+// scan tests a byte instead of re-deriving opcode predicates.
+const (
+	clsMem     uint8 = 1 << iota // op.IsMem()
+	clsLoad                      // op.IsLoad()
+	clsStore                     // op.IsStore()
+	clsBarrier                   // op == Barrier
+	clsFullBar                   // Barrier kind dmb ish / hwsync / isb
+	clsLdBar                     // Barrier kind ordering load-load
+	clsLoadAcq                   // op == LoadAcq
+	clsCondBr                    // op.IsCondBranch()
+)
+
+func classify(in arch.Instr) uint8 {
+	var cls uint8
+	op := in.Op
+	if op.IsMem() {
+		cls |= clsMem
+	}
+	switch {
+	case op.IsLoad():
+		cls |= clsLoad
+		if op == arch.LoadAcq {
+			cls |= clsLoadAcq
+		}
+	case op.IsStore():
+		cls |= clsStore
+	case op == arch.Barrier:
+		cls |= clsBarrier
+		k := in.Kind
+		if k == arch.DMBIsh || k == arch.HwSync || k == arch.ISB {
+			cls |= clsFullBar
+		}
+		if k.OrdersLoadLoad() {
+			cls |= clsLdBar
+		}
+	case op.IsCondBranch():
+		cls |= clsCondBr
+	}
+	return cls
+}
+
 // wentry is one in-flight instruction in a core's reorder window.
 type wentry struct {
 	in      arch.Instr
 	pc      int32
 	state   uint8
-	predTak bool // fetch-time prediction for conditional branches
-	fwd     bool // load satisfied by store forwarding
+	cls     uint8 // instruction-class bits (classify)
+	predTak bool  // fetch-time prediction for conditional branches
+	fwd     bool  // load satisfied by store forwarding
 
 	readyAt int64
 	val     int64 // result value (loads: value read; stxr: 0/1)
@@ -103,8 +146,20 @@ type core struct {
 	nFetched  int   // window entries in stFetched
 	minReady  int64 // earliest pending completion seen by the last scan
 	idleUntil int64
-	stats     CoreStats
-	lastRet   int64 // cycle of the most recent retirement (watchdog)
+	// scanAllHard reports that the last window scan issued nothing, drew
+	// no randomness, and left every fetched entry blocked on one of this
+	// core's own timed events (producer or barrier completion).  Such a
+	// core may idle even with fetched entries in the window: no skipped
+	// cycle would have consumed RNG or changed state.
+	scanAllHard bool
+	// idleFullStall marks a hard-block idle whose skipped cycles each
+	// count a full-window fetch stall; StallFull for them is credited up
+	// front, and re-credited if the warmup boundary zeroes the counters
+	// mid-idle.
+	idleFullStall bool
+	stats       CoreStats
+	lastRet     int64  // cycle of the most recent retirement (watchdog)
+	retiredEver uint64 // monotonic retirement count; survives warmup reset
 
 	monArmed bool
 	monAddr  int64
@@ -132,6 +187,38 @@ func newCore(id int, m *Machine, seed uint64) *core {
 		c.regProd[i] = noProd
 	}
 	return c
+}
+
+// reset returns the core to its just-constructed state, keeping every
+// allocation (window, store buffer, predictor table, cache tags, recorded
+// work-time capacity).  Mirrors newCore field for field; stale window
+// entries need no clearing because ids in [retireID, nextID) are the only
+// ones ever read and fetch overwrites a slot wholesale.
+func (c *core) reset(seed uint64) {
+	c.prog = nil
+	for i := range c.regs {
+		c.regs[i] = 0
+	}
+	c.flagV = 0
+	c.retireID, c.nextID = 0, 0
+	for i := range c.regProd {
+		c.regProd[i] = noProd
+	}
+	c.flagProd = noProd
+	c.fetchPC, c.fetchStallUntil, c.fetchHalted = 0, 0, false
+	c.sb = c.sb[:0]
+	c.nextCommitAt = 0
+	c.pred.reset()
+	c.cache.reset()
+	c.rnd = newRNG(seed)
+	c.halted = false
+	c.nFetched, c.minReady, c.idleUntil = 0, 0, 0
+	c.scanAllHard, c.idleFullStall = false, false
+	wt := c.stats.WorkTimes[:0]
+	c.stats = CoreStats{WorkTimes: wt}
+	c.lastRet = 0
+	c.retiredEver = 0
+	c.monArmed, c.monAddr, c.monSeq = false, 0, 0
 }
 
 func (c *core) slot(id int64) *wentry { return &c.entries[id&c.mask] }
@@ -177,11 +264,28 @@ func (c *core) step(now int64) {
 	c.maybeIdle(now)
 }
 
-// maybeIdle computes how long the core can safely skip cycles: only when
-// no instruction is waiting to issue and fetch cannot add one.  All
-// remaining state transitions are then timed events.
+// debugForceSlowScan disables the hard-block idle fast path and the
+// machine-level cycle jump, leaving only the original nFetched==0 idle
+// heuristic.  Equivalence tests flip it to prove the fast paths do not
+// change a single observable bit.
+var debugForceSlowScan = false
+
+// maybeIdle computes how long the core can safely skip cycles.  Two cases:
+//
+//   - nFetched == 0: nothing is waiting to issue; if fetch cannot add
+//     anything, all remaining transitions are timed events.  This is the
+//     original heuristic and is kept bit-for-bit (including its choice of
+//     store-buffer wake time) because skipped cycles define which RNG draw
+//     opportunities exist.
+//
+//   - nFetched > 0 but the last scan proved every fetched entry is
+//     hard-blocked (scanAllHard): no skipped cycle would draw RNG or issue.
+//     Here the wake time must be exact — in particular it must include the
+//     first cycle at which the store buffer could draw its out-of-order
+//     commit probability (sbWake), or skipping would desynchronise the RNG
+//     stream relative to a non-idling run.
 func (c *core) maybeIdle(now int64) {
-	if c.nFetched != 0 || c.halted {
+	if c.halted {
 		return
 	}
 	canFetch := !c.fetchHalted && now >= c.fetchStallUntil &&
@@ -189,19 +293,49 @@ func (c *core) maybeIdle(now int64) {
 	if canFetch {
 		return
 	}
+	if c.nFetched == 0 {
+		wake := int64(1) << 62
+		if c.minReady > now && c.minReady < wake {
+			wake = c.minReady
+		}
+		if len(c.sb) > 0 {
+			w := c.nextCommitAt
+			if !c.sb[0].fence && c.sb[0].ready > w {
+				w = c.sb[0].ready
+			}
+			if w <= now {
+				w = now + 1
+			}
+			if w < wake {
+				wake = w
+			}
+		}
+		if !c.fetchHalted && c.fetchStallUntil > now && c.fetchStallUntil < wake {
+			wake = c.fetchStallUntil
+		}
+		if wake > now+1 && wake < int64(1)<<62 {
+			c.idleUntil = wake
+			c.idleFullStall = false
+		}
+		return
+	}
+	if debugForceSlowScan || !c.scanAllHard {
+		return
+	}
+	// Hard-blocked window: entries unblock only via completions (covered
+	// by minReady — hard blocks clear when a producer or barrier
+	// completes, and any completion enables at most one issue attempt at
+	// exactly that cycle).  Retirement must not be pending: a retirable
+	// head could free window slots or drain stores mid-idle.
+	if c.live() > 0 && c.slot(c.retireID).state == stDone {
+		return
+	}
 	wake := int64(1) << 62
 	if c.minReady > now && c.minReady < wake {
 		wake = c.minReady
 	}
 	if len(c.sb) > 0 {
-		w := c.nextCommitAt
-		if !c.sb[0].fence && c.sb[0].ready > w {
-			w = c.sb[0].ready
-		}
-		if w <= now {
-			w = now + 1
-		}
-		if w < wake {
+		if w := c.sbWake(now); w < wake {
 			wake = w
 		}
 	}
@@ -210,7 +344,54 @@ func (c *core) maybeIdle(now int64) {
 	}
 	if wake > now+1 && wake < int64(1)<<62 {
 		c.idleUntil = wake
+		// A non-idling run calls fetch on every skipped cycle; with a full
+		// window each fetch-eligible cycle records one StallFull.  Those
+		// conditions cannot change mid-idle (no fetch, no retirement), so
+		// credit the skipped cycles' stalls up front.  The flag lets the
+		// warmup-boundary reset re-credit the post-boundary remainder.
+		c.idleFullStall = !c.fetchHalted && c.live() >= int64(c.m.prof.Pipe.Window)
+		if c.idleFullStall {
+			from := now + 1
+			if c.fetchStallUntil > from {
+				from = c.fetchStallUntil
+			}
+			if wake > from {
+				c.stats.StallFull += uint64(wake - from)
+			}
+		}
 	}
+}
+
+// sbWake returns the next cycle at which drainSB would act — pop a fence,
+// commit the head store, or (crucially for determinism) draw the
+// out-of-order combine probability.  Exact, not conservative: the relaxed
+// idle path may not skip a cycle in which drainSB would have consumed RNG.
+func (c *core) sbWake(now int64) int64 {
+	t0 := c.nextCommitAt
+	if t0 <= now {
+		t0 = now + 1
+	}
+	if c.sb[0].fence {
+		return t0
+	}
+	// Head commit: first cycle past the commit gap with line ownership.
+	th := t0
+	if c.sb[0].ready > th {
+		th = c.sb[0].ready
+	}
+	// Out-of-order combine: from max(t0, sb[1].ready) on, every cycle with
+	// the head still stuck draws storeCombinePermille.
+	if len(c.sb) > 1 && !c.sb[0].release && !c.sb[1].release && !c.sb[1].fence &&
+		c.sb[0].addr>>c.cache.lineShift != c.sb[1].addr>>c.cache.lineShift {
+		tc := t0
+		if c.sb[1].ready > tc {
+			tc = c.sb[1].ready
+		}
+		if tc < th {
+			return tc
+		}
+	}
+	return th
 }
 
 // ---------------------------------------------------------------- fetch --
@@ -231,8 +412,12 @@ func (c *core) fetch(now int64) {
 		id := c.nextID
 		c.nextID++
 		c.nFetched++
+		// The window now holds an entry the last scan never saw (fetch runs
+		// after completeAndIssue in step); the hard-block proof no longer
+		// covers the window, so the relaxed idle path must not use it.
+		c.scanAllHard = false
 		e := c.slot(id)
-		*e = wentry{in: in, pc: c.fetchPC, state: stFetched, fprod: noProd}
+		*e = wentry{in: in, pc: c.fetchPC, state: stFetched, cls: classify(in), fprod: noProd}
 		e.prod[0], e.prod[1] = noProd, noProd
 
 		// Record operand producers (rename-lite).
@@ -291,20 +476,29 @@ func (c *core) completeAndIssue(now int64) {
 	olderLoadPending := false   // an older load has not yet satisfied
 	olderStoreAddrUnknown := false
 	noSpec := c.m.prof.Pipe.NoLoadSpeculation
+	issued := false  // any entry issued this scan
+	sawSoft := false // any entry blocked after consuming RNG
+	c.scanAllHard = false
 
+	entries, mask := c.entries, c.mask
 	for id := c.retireID; id < c.nextID; id++ {
-		e := c.slot(id)
+		e := &entries[id&mask]
 
 		if e.state == stIssued && e.readyAt <= now {
 			c.complete(id, e, now)
 		}
 
 		if e.state == stFetched && issueBudget > 0 {
-			blocked := c.tryIssue(id, e, now,
-				barrierPending, fullBarrierPending, loadBarrierPending, olderLoadPending, olderStoreAddrUnknown)
-			if !blocked && e.state != stFetched {
-				issueBudget--
-				c.nFetched--
+			switch c.tryIssue(id, e, now,
+				barrierPending, fullBarrierPending, loadBarrierPending, olderLoadPending, olderStoreAddrUnknown) {
+			case issueOK:
+				if e.state != stFetched {
+					issued = true
+					issueBudget--
+					c.nFetched--
+				}
+			case blockSoft:
+				sawSoft = true
 			}
 			// A mispredicted branch squashes everything younger; the
 			// window beyond this point is gone.
@@ -317,10 +511,14 @@ func (c *core) completeAndIssue(now int64) {
 			c.minReady = e.readyAt
 		}
 
-		// Update ordering state for younger entries.
-		op := e.in.Op
+		// Update ordering state for younger entries, from the class bits
+		// computed at fetch.
+		cls := e.cls
+		if cls == 0 {
+			continue
+		}
 		switch {
-		case op == arch.Barrier:
+		case cls&clsBarrier != 0:
 			if e.state != stDone {
 				// Barriers serialize against each other (at most one in
 				// flight), which is what gives them a measurable cost
@@ -329,37 +527,33 @@ func (c *core) completeAndIssue(now int64) {
 				// younger work, so a dmb ishld overlaps with stores and
 				// computation in vivo (the §4.3.1 divergence).
 				barrierPending = true
-				k := e.in.Kind
-				if k == arch.DMBIsh || k == arch.HwSync || k == arch.ISB {
+				if cls&clsFullBar != 0 {
 					fullBarrierPending = true
 				}
-				if k.OrdersLoadLoad() {
+				if cls&clsLdBar != 0 {
 					loadBarrierPending = true
 				}
 			}
-		case op == arch.LoadAcq:
-			if e.state != stDone {
-				loadBarrierPending = true
-			}
+		case cls&clsLoad != 0:
 			if e.state != stDone {
 				olderLoadPending = true
+				if cls&clsLoadAcq != 0 {
+					loadBarrierPending = true
+				}
 			}
-		case op.IsLoad():
-			if e.state != stDone {
-				olderLoadPending = true
-			}
-		case op.IsStore():
+		case cls&clsStore != 0:
 			if !e.addrOK {
 				olderStoreAddrUnknown = true
 			}
-		case noSpec && op.IsCondBranch():
-			if e.state == stFetched {
+		case cls&clsCondBr != 0:
+			if noSpec && e.state == stFetched {
 				// Speculation ablation: unresolved branches order
 				// younger loads like a load barrier would.
 				loadBarrierPending = true
 			}
 		}
 	}
+	c.scanAllHard = !issued && !sawSoft
 }
 
 // complete finishes an issued instruction whose latency has elapsed.
@@ -402,31 +596,43 @@ func (c *core) readLoadValue(e *wentry, now int64) {
 
 // ---------------------------------------------------------------- issue --
 
-// tryIssue attempts to issue entry e.  It returns true if the entry was
-// blocked by an ordering constraint or unready operand (so it did not
-// consume an issue slot).
+// Issue outcomes.  The hard/soft distinction powers the idle fast path: a
+// hard block happened before any randomness was drawn and can only clear
+// through one of this core's own timed events (a producer or barrier
+// completing), so a cycle in which every fetched entry hard-blocks is
+// exactly reproducible when skipped.  A soft block consumed RNG (or depends
+// on state the scan cannot time), so the core must step every cycle.
+const (
+	issueOK   uint8 = iota // issued (or the machine failed)
+	blockHard              // blocked before consuming RNG
+	blockSoft              // blocked at or after the issue-jitter draw
+)
+
+// tryIssue attempts to issue entry e.  It returns issueOK if the entry
+// issued, otherwise whether the block was hard or soft (a blocked entry
+// does not consume an issue slot).
 func (c *core) tryIssue(id int64, e *wentry, now int64,
-	barrier, fullBarrier, loadBarrier, olderLoadPending, olderStoreAddrUnknown bool) bool {
+	barrier, fullBarrier, loadBarrier, olderLoadPending, olderStoreAddrUnknown bool) uint8 {
 
 	prof := c.m.prof
 	in := e.in
 
 	// A full barrier (dmb ish / hwsync / isb) stalls younger memory
 	// accesses; any barrier stalls younger barriers (serialization).
-	if fullBarrier && in.Op.IsMem() {
-		return true
+	if fullBarrier && e.cls&clsMem != 0 {
+		return blockHard
 	}
-	if barrier && in.Op == arch.Barrier {
-		return true
+	if barrier && e.cls&clsBarrier != 0 {
+		return blockHard
 	}
 	if !c.prodReady(e.prod[0]) || !c.prodReady(e.prod[1]) {
-		return true
+		return blockHard
 	}
 	if in.ReadsFlags() && !c.prodReady(e.fprod) {
-		return true
+		return blockHard
 	}
 	if c.rnd.permille(prof.Pipe.IssueJitter) {
-		return true
+		return blockSoft
 	}
 
 	switch in.Op {
@@ -509,11 +715,11 @@ func (c *core) tryIssue(id int64, e *wentry, now int64,
 		// Stores are "done" once address and data are known; the memory
 		// effect happens at retire, through the store buffer.
 		if !c.prodReady(e.prod[1]) {
-			return true
+			return blockSoft
 		}
 		e.addr = c.operandVal(id, in.Rn, e.prod[0]) + in.Imm
 		if !c.checkAddr(e.addr) {
-			return true
+			return blockSoft
 		}
 		e.addrOK = true
 		e.val = c.operandVal(id, in.Rd, e.prod[1])
@@ -528,7 +734,7 @@ func (c *core) tryIssue(id int64, e *wentry, now int64,
 	default:
 		c.m.fail(fmt.Errorf("core %d: unknown opcode %v at pc %d", c.id, in.Op, e.pc))
 	}
-	return false
+	return issueOK
 }
 
 func (c *core) resolveBranch(id int64, e *wentry, now int64) {
@@ -615,19 +821,19 @@ func (c *core) checkAddr(addr int64) bool {
 	return addr >= 0 && addr < int64(c.m.memWords)
 }
 
-func (c *core) issueLoad(id int64, e *wentry, now int64, loadBarrier, olderStoreAddrUnknown bool) bool {
+func (c *core) issueLoad(id int64, e *wentry, now int64, loadBarrier, olderStoreAddrUnknown bool) uint8 {
 	prof := c.m.prof
 	if loadBarrier {
-		return true
+		return blockSoft
 	}
 	if olderStoreAddrUnknown {
 		// No speculative memory disambiguation: wait until all older
 		// store addresses are known.
-		return true
+		return blockSoft
 	}
 	addr := c.operandVal(id, e.in.Rn, e.prod[0]) + e.in.Imm
 	if !c.checkAddr(addr) {
-		return true
+		return blockSoft
 	}
 	e.addr = addr
 	e.addrOK = true
@@ -637,7 +843,7 @@ func (c *core) issueLoad(id int64, e *wentry, now int64, loadBarrier, olderStore
 		// store from this core is still buffered.
 		for i := range c.sb {
 			if c.sb[i].release {
-				return true
+				return blockSoft
 			}
 		}
 	}
@@ -648,18 +854,18 @@ func (c *core) issueLoad(id int64, e *wentry, now int64, loadBarrier, olderStore
 	// on load-load disambiguation.
 	for i := c.retireID; i < id; i++ {
 		o := c.slot(i)
-		if !o.in.Op.IsLoad() || o.state == stDone {
+		if o.cls&clsLoad == 0 || o.state == stDone {
 			continue
 		}
 		oaddr := o.addr
 		if !o.addrOK {
 			if !c.prodReady(o.prod[0]) {
-				return true
+				return blockSoft
 			}
 			oaddr = c.operandVal(i, o.in.Rn, o.prod[0]) + o.in.Imm
 		}
 		if oaddr == addr {
-			return true
+			return blockSoft
 		}
 	}
 
@@ -669,13 +875,13 @@ func (c *core) issueLoad(id int64, e *wentry, now int64, loadBarrier, olderStore
 		// buffered store to the same address to drain first.
 		for i := id - 1; i >= c.retireID; i-- {
 			o := c.slot(i)
-			if o.in.Op.IsStore() && o.addrOK && o.addr == addr {
-				return true
+			if o.cls&clsStore != 0 && o.addrOK && o.addr == addr {
+				return blockSoft
 			}
 		}
 		for i := range c.sb {
 			if !c.sb[i].fence && c.sb[i].addr == addr {
-				return true
+				return blockSoft
 			}
 		}
 	} else {
@@ -683,21 +889,21 @@ func (c *core) issueLoad(id int64, e *wentry, now int64, loadBarrier, olderStore
 		// address, in the window or the store buffer.
 		for i := id - 1; i >= c.retireID; i-- {
 			o := c.slot(i)
-			if !o.in.Op.IsStore() || !o.addrOK || o.addr != addr {
+			if o.cls&clsStore == 0 || !o.addrOK || o.addr != addr {
 				continue
 			}
 			if o.in.Op == arch.StoreEx {
 				break // already committed to storage; read it from there
 			}
 			if o.state != stDone {
-				return true // value not ready yet
+				return blockSoft // value not ready yet
 			}
 			e.val = o.val
 			e.fwd = true
 			e.tok = 0
 			e.state, e.readyAt, e.latCl = stIssued, now+1, latFwd
 			c.stats.Loads++
-			return false
+			return issueOK
 		}
 		for i := len(c.sb) - 1; i >= 0; i-- {
 			s := &c.sb[i]
@@ -706,7 +912,7 @@ func (c *core) issueLoad(id int64, e *wentry, now int64, loadBarrier, olderStore
 				e.fwd = true
 				e.state, e.readyAt, e.latCl = stIssued, now+1, latFwd
 				c.stats.Loads++
-				return false
+				return issueOK
 			}
 		}
 	}
@@ -739,14 +945,14 @@ func (c *core) issueLoad(id int64, e *wentry, now int64, loadBarrier, olderStore
 	}
 	e.state, e.readyAt = stIssued, now+lat
 	c.stats.Loads++
-	return false
+	return issueOK
 }
 
-func (c *core) issueStoreEx(id int64, e *wentry, now int64) bool {
+func (c *core) issueStoreEx(id int64, e *wentry, now int64) uint8 {
 	// Store-exclusives serialize: they perform their check-and-commit
 	// atomically when they are the oldest un-retired instruction.
 	if id != c.retireID {
-		return true
+		return blockSoft
 	}
 	// The exclusive commits to the coherent point directly, bypassing the
 	// store buffer; it therefore may not run ahead of an ordering marker
@@ -756,15 +962,15 @@ func (c *core) issueStoreEx(id int64, e *wentry, now int64) bool {
 	// store-store reordering.
 	for i := range c.sb {
 		if c.sb[i].fence || c.sb[i].release {
-			return true
+			return blockSoft
 		}
 	}
 	if !c.prodReady(e.prod[1]) {
-		return true
+		return blockSoft
 	}
 	addr := c.operandVal(id, e.in.Rn, e.prod[0]) + e.in.Imm
 	if !c.checkAddr(addr) {
-		return true
+		return blockSoft
 	}
 	e.addr, e.addrOK = addr, true
 	val := c.operandVal(id, e.in.Rm, e.prod[1])
@@ -779,33 +985,33 @@ func (c *core) issueStoreEx(id int64, e *wentry, now int64) bool {
 	}
 	c.monArmed = false
 	e.state, e.readyAt = stIssued, now+c.m.prof.Lat.L1Hit+1
-	return false
+	return issueOK
 }
 
-func (c *core) issueBarrier(id int64, e *wentry, now int64, olderLoadPending bool) bool {
+func (c *core) issueBarrier(id int64, e *wentry, now int64, olderLoadPending bool) uint8 {
 	prof := c.m.prof
 	cost := prof.Lat.BarrierIssue[e.in.Kind]
 	switch e.in.Kind {
 	case arch.DMBIsh, arch.HwSync:
 		if id != c.retireID || len(c.sb) != 0 {
-			return true
+			return blockSoft
 		}
 		if e.in.Kind == arch.HwSync {
 			if ack := c.m.store.visibleAllBy(c.id); ack > now {
-				return true
+				return blockSoft
 			}
 		}
 		e.state, e.readyAt = stIssued, now+cost
 
 	case arch.DMBIshLd:
 		if olderLoadPending {
-			return true
+			return blockSoft
 		}
 		e.state, e.readyAt = stIssued, now+cost
 
 	case arch.LwSync:
 		if olderLoadPending {
-			return true
+			return blockSoft
 		}
 		e.state, e.readyAt = stIssued, now+cost
 
@@ -814,14 +1020,14 @@ func (c *core) issueBarrier(id int64, e *wentry, now int64, olderLoadPending boo
 
 	case arch.ISB:
 		if id != c.retireID {
-			return true
+			return blockSoft
 		}
 		e.state, e.readyAt = stIssued, now+cost
 
 	default:
 		c.m.fail(fmt.Errorf("core %d: bad barrier kind %v", c.id, e.in.Kind))
 	}
-	return false
+	return issueOK
 }
 
 // --------------------------------------------------------------- retire --
@@ -881,6 +1087,7 @@ func (c *core) retire(now int64) {
 			c.halted = true
 			c.retireID++
 			c.stats.Retired++
+			c.retiredEver++
 			c.lastRet = now
 			return
 		}
@@ -903,6 +1110,7 @@ func (c *core) retire(now int64) {
 		}
 		c.retireID++
 		c.stats.Retired++
+		c.retiredEver++
 		c.lastRet = now
 	}
 }

@@ -15,8 +15,12 @@ type Config struct {
 	MemWords int
 	// Seed drives all nondeterminism in the run.
 	Seed int64
-	// WarmupCycles, when positive, resets the work counters at that
-	// cycle so throughput is measured over the steady state only.
+	// WarmupCycles, when positive, resets every per-core counter at that
+	// cycle so throughput is measured over the steady state only.  All
+	// CoreStats fields therefore cover the measurement window
+	// [WarmupCycles, Cycles), matching EffectiveCycles.  SiteCounts is the
+	// exception: it accumulates over the whole run, because invocation
+	// counting (the §3 counters experiment) wants totals, not rates.
 	WarmupCycles int64
 	// RecordWork retains per-core retirement timestamps of Work
 	// instructions (bounded), for response-time benchmarks.
@@ -24,6 +28,12 @@ type Config struct {
 }
 
 // Result reports the outcome of a run.
+//
+// Cores and SiteCounts alias machine-owned storage so that repeated runs of
+// a reused machine allocate nothing: they are valid until the machine's next
+// Run or Reset.  Callers that need the data beyond that must copy it.
+// CoreStats counters cover the measurement window (after WarmupCycles);
+// SiteCounts covers the whole run.
 type Result struct {
 	Cycles          int64 // total cycles simulated
 	EffectiveCycles int64 // cycles after the warmup boundary
@@ -42,7 +52,9 @@ func (r Result) WorkPerNs(p *arch.Profile) float64 {
 }
 
 // Machine is a multicore weak-memory simulator instance.  A Machine is used
-// for a single run: construct, load programs, run, inspect.
+// for one run at a time: construct (or Reset), load programs, run, inspect.
+// Reset returns it to the exact state New produces, so drivers can reuse
+// one machine per (profile, config) across samples instead of reallocating.
 type Machine struct {
 	prof     *arch.Profile
 	cfg      Config
@@ -53,6 +65,7 @@ type Machine struct {
 	err      error
 
 	siteCounts []uint64
+	resCores   []CoreStats // reused backing for Result.Cores
 	warmStart  int64
 	tracer     Tracer
 }
@@ -92,6 +105,32 @@ func New(prof *arch.Profile, cfg Config) (*Machine, error) {
 
 // Prof returns the machine's architecture profile.
 func (m *Machine) Prof() *arch.Profile { return m.prof }
+
+// Reset returns the machine to the state New would produce for the same
+// profile and config with the given seed, retaining every allocation
+// (window entries, store buffers, propagation heaps, views, site counts).
+// Programs are unloaded, exactly as after New; callers reload with
+// LoadProgram.  A run on a Reset machine is bit-identical to a run on a
+// fresh one: the RNG re-derivation below mirrors New's draw order (base,
+// then one draw per core, then — on non-MCA profiles only — one draw for
+// the storage subsystem).  Any Result obtained from the machine earlier
+// aliases machine-owned memory and is invalidated.
+func (m *Machine) Reset(seed int64) {
+	m.cfg.Seed = seed
+	m.now, m.err, m.warmStart = 0, nil, 0
+	for i := range m.siteCounts {
+		m.siteCounts[i] = 0
+	}
+	base := newRNG(uint64(seed))
+	for _, c := range m.cores {
+		c.reset(base.next())
+	}
+	if m.prof.Flavor == arch.MCA {
+		m.store.reset(0)
+	} else {
+		m.store.reset(base.next())
+	}
+}
 
 // LoadProgram installs prog on the given core.  Branch targets must lie
 // within the program.
@@ -150,7 +189,13 @@ func (m *Machine) countSite(_ int, site arch.PathID) {
 		return
 	}
 	if int(site) >= len(m.siteCounts) {
-		grown := make([]uint64, int(site)+16)
+		// Grow geometrically: interleaved accesses to high and low site
+		// ids must not re-copy the table on every high-site retirement.
+		newLen := 2 * len(m.siteCounts)
+		if newLen < int(site)+16 {
+			newLen = int(site) + 16
+		}
+		grown := make([]uint64, newLen)
 		copy(grown, m.siteCounts)
 		m.siteCounts = grown
 	}
@@ -172,12 +217,19 @@ func (m *Machine) Run(maxCycles int64) (Result, error) {
 			m.resetWorkCounters()
 		}
 		allHalted := true
+		skipTo := int64(1) << 62
 		start := int(m.now) % n
 		for i := 0; i < n; i++ {
 			c := m.cores[(start+i)%n]
 			if !c.halted {
 				allHalted = false
 				c.step(m.now)
+				// A core that stepped without re-idling has idleUntil <=
+				// now (step returns early otherwise), which blocks the
+				// jump below, as it must.
+				if c.idleUntil < skipTo {
+					skipTo = c.idleUntil
+				}
 			}
 		}
 		if m.err != nil {
@@ -190,7 +242,7 @@ func (m *Machine) Run(maxCycles int64) (Result, error) {
 		if m.now-lastProgressCheck >= watchdogCycles {
 			var sum uint64
 			for _, c := range m.cores {
-				sum += c.stats.Retired
+				sum += c.retiredEver
 			}
 			if sum == lastRetiredSum {
 				return m.result(false), fmt.Errorf("%w at cycle %d", ErrDeadlock, m.now)
@@ -198,23 +250,63 @@ func (m *Machine) Run(maxCycles int64) (Result, error) {
 			lastRetiredSum = sum
 			lastProgressCheck = m.now
 		}
+		// When every live core is idle past the next cycle, nothing can
+		// happen until the earliest wake time: jump straight there.  The
+		// jump is exact — skipped cycles are ones in which every core's
+		// step() would have returned immediately — but may not cross the
+		// warmup boundary or a watchdog checkpoint, which act at specific
+		// cycles, and stays within maxCycles.
+		if skipTo > m.now+1 && !debugForceSlowScan {
+			if m.cfg.WarmupCycles > 0 && m.now < m.cfg.WarmupCycles && skipTo > m.cfg.WarmupCycles {
+				skipTo = m.cfg.WarmupCycles
+			}
+			if next := lastProgressCheck + watchdogCycles; skipTo > next {
+				skipTo = next
+			}
+			if skipTo > maxCycles {
+				skipTo = maxCycles
+			}
+			if skipTo > m.now+1 {
+				m.now = skipTo - 1
+			}
+		}
 	}
 	return m.result(false), nil
 }
 
+// resetWorkCounters zeroes every per-core counter at the warmup boundary,
+// so all of CoreStats covers the measurement window only (retiredEver, the
+// watchdog's progress counter, deliberately survives).  SiteCounts is not
+// touched: it accumulates over the whole run.
 func (m *Machine) resetWorkCounters() {
 	m.warmStart = m.now
 	for _, c := range m.cores {
-		c.stats.Work = 0
-		c.stats.WorkTimes = c.stats.WorkTimes[:0]
+		wt := c.stats.WorkTimes[:0]
+		c.stats = CoreStats{WorkTimes: wt}
+		// A core idling through the boundary had its skipped full-window
+		// stalls credited before the zeroing; re-credit the cycles that
+		// fall inside the measurement window ([m.now, idleUntil)), which is
+		// what a non-idling run would count after the reset.
+		if c.idleFullStall && c.idleUntil > m.now {
+			from := m.now
+			if c.fetchStallUntil > from {
+				from = c.fetchStallUntil
+			}
+			if c.idleUntil > from {
+				c.stats.StallFull = uint64(c.idleUntil - from)
+			}
+		}
 	}
 }
 
 func (m *Machine) result(halted bool) Result {
+	if m.resCores == nil {
+		m.resCores = make([]CoreStats, len(m.cores))
+	}
 	res := Result{
 		Cycles:          m.now,
 		EffectiveCycles: m.now - m.warmStart,
-		Cores:           make([]CoreStats, len(m.cores)),
+		Cores:           m.resCores,
 		SiteCounts:      m.siteCounts,
 		AllHalted:       halted,
 	}

@@ -27,6 +27,13 @@ func newPredictor(bits uint) *predictor {
 	return &predictor{table: t, mask: size - 1}
 }
 
+// reset restores the weakly-not-taken initial state of every counter.
+func (p *predictor) reset() {
+	for i := range p.table {
+		p.table[i] = 1
+	}
+}
+
 func (p *predictor) index(pc int32) uint32 {
 	h := uint32(pc) * 2654435761
 	return (h >> 4) & p.mask

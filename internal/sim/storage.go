@@ -56,6 +56,10 @@ type storage interface {
 	write(addr, val int64)
 	// read returns the final coherent value (post-run inspection).
 	read(addr int64) int64
+	// reset restores the just-constructed state, retaining allocations.
+	// seed re-derives the propagation RNG on non-MCA storage (ignored by
+	// MCA storage, which consumes no randomness).
+	reset(seed uint64)
 }
 
 // touchSet tracks first-touch state per cache line.
@@ -81,6 +85,12 @@ func (t *touchSet) touched(line int64) bool {
 func (t *touchSet) touch(line int64) {
 	i := uint64(line)
 	t.bits[i/64] |= 1 << (i % 64)
+}
+
+func (t *touchSet) reset() {
+	for i := range t.bits {
+		t.bits[i] = 0
+	}
 }
 
 // mcaStorage is the other-multi-copy-atomic storage subsystem.
@@ -143,6 +153,17 @@ func (s *mcaStorage) touchLine(line int64)        { s.touch.touch(line) }
 
 func (s *mcaStorage) write(addr, val int64) { s.mem[addr] = val }
 func (s *mcaStorage) read(addr int64) int64 { return s.mem[addr] }
+
+func (s *mcaStorage) reset(uint64) {
+	for i := range s.mem {
+		s.mem[i] = 0
+	}
+	for i := range s.seq {
+		s.seq[i] = 0
+	}
+	s.commit = 0
+	s.touch.reset()
+}
 
 // propEvent is a store propagating towards one destination core.
 type propEvent struct {
@@ -426,3 +447,39 @@ func (s *nonMCAStorage) write(addr, val int64) {
 }
 
 func (s *nonMCAStorage) read(addr int64) int64 { return s.master[addr] }
+
+func (s *nonMCAStorage) reset(seed uint64) {
+	for i := range s.master {
+		s.master[i] = 0
+	}
+	for i := range s.seq {
+		s.seq[i] = 0
+	}
+	for i := range s.masterVis {
+		s.masterVis[i] = 0
+	}
+	s.commit = 0
+	for c := 0; c < s.cores; c++ {
+		v, vs, vv := s.views[c], s.viewSeq[c], s.viewVis[c]
+		for i := range v {
+			v[i] = 0
+		}
+		for i := range vs {
+			vs[i] = 0
+		}
+		for i := range vv {
+			vv[i] = 0
+		}
+		s.queues[c].ev = s.queues[c].ev[:0]
+		f, cu := s.floor[c], s.cur[c]
+		for i := range f {
+			f[i] = 0
+		}
+		for i := range cu {
+			cu[i] = 0
+		}
+		s.readAck[c], s.ownAck[c] = 0, 0
+	}
+	s.touch.reset()
+	s.rnd = newRNG(seed ^ 0xabcdef12345)
+}

@@ -24,8 +24,10 @@ func Mean(xs []float64) float64 {
 }
 
 // GeoMean returns the geometric mean of xs, which the paper uses to reduce
-// the impact of outliers when aggregating samples.  All values must be
-// positive; it returns 0 for empty input.
+// the impact of outliers when aggregating samples.  It returns 0 for empty
+// input.  The geometric mean is undefined when any sample is non-positive:
+// that case returns NaN so it propagates visibly through ratios and reports
+// instead of masquerading as 0 (which call sites read as "infinitely slow").
 func GeoMean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -33,7 +35,7 @@ func GeoMean(xs []float64) float64 {
 	var s float64
 	for _, x := range xs {
 		if x <= 0 {
-			return 0
+			return math.NaN()
 		}
 		s += math.Log(x)
 	}
@@ -86,13 +88,30 @@ func Max(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0-100) using linear
-// interpolation between closest ranks.
+// interpolation between closest ranks.  xs is not mutated.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+// PercentileScratch is Percentile using *scratch as the sorting buffer so
+// hot paths avoid the per-call copy allocation.  The buffer is grown as
+// needed and left in *scratch for reuse; xs is never mutated.
+func PercentileScratch(xs []float64, p float64, scratch *[]float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append((*scratch)[:0], xs...)
+	*scratch = s
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+func percentileSorted(s []float64, p float64) float64 {
 	if p <= 0 {
 		return s[0]
 	}

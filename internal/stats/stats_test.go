@@ -19,8 +19,47 @@ func TestMeans(t *testing.T) {
 	if Mean(nil) != 0 || GeoMean(nil) != 0 {
 		t.Error("empty input should give 0")
 	}
-	if GeoMean([]float64{1, -1}) != 0 {
-		t.Error("non-positive input should give 0")
+	// Regression: a non-positive sample used to silently return 0, which
+	// call sites read as "infinitely slow".  It must poison the aggregate
+	// visibly instead.
+	for _, xs := range [][]float64{{1, -1}, {0}, {2, 0, 4}, {-3}} {
+		if got := GeoMean(xs); !math.IsNaN(got) {
+			t.Errorf("GeoMean(%v) = %v, want NaN", xs, got)
+		}
+	}
+	// And the NaN must survive summarising and comparing rather than being
+	// folded back into a finite ratio.
+	bad := Summarise([]float64{1, 0, 4})
+	if !math.IsNaN(bad.GeoMean) {
+		t.Errorf("Summarise GeoMean = %v, want NaN", bad.GeoMean)
+	}
+	good := Summarise([]float64{1, 2, 4})
+	if c := Compare(bad, good); !math.IsNaN(c.Ratio) {
+		t.Errorf("Compare with poisoned test case: Ratio = %v, want NaN", c.Ratio)
+	}
+	if c := Compare(good, bad); !math.IsNaN(c.Ratio) {
+		t.Errorf("Compare with poisoned base case: Ratio = %v, want NaN", c.Ratio)
+	}
+}
+
+func TestPercentileScratchMatchesPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4, 9, 7}
+	var scratch []float64
+	for _, p := range []float64{0, 12.5, 25, 50, 75, 95, 100} {
+		want := Percentile(xs, p)
+		if got := PercentileScratch(xs, p, &scratch); got != want {
+			t.Errorf("PercentileScratch(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if xs[0] != 5 || xs[6] != 7 {
+		t.Errorf("input mutated: %v", xs)
+	}
+	// Steady state: reusing the scratch buffer allocates nothing.
+	allocs := testing.AllocsPerRun(100, func() {
+		PercentileScratch(xs, 95, &scratch)
+	})
+	if allocs != 0 {
+		t.Errorf("PercentileScratch allocs/op = %v, want 0", allocs)
 	}
 }
 

@@ -142,9 +142,64 @@ func (e Env) WithCost(costPaths, allPaths []arch.PathID, n int64) Env {
 	return e
 }
 
+// machineKey identifies a simulator configuration for reuse purposes:
+// machines of equal key differ only by seed, which Reset restores.
+type machineKey struct {
+	prof     *arch.Profile
+	cores    int
+	memWords int
+	warmup   int64
+	record   bool
+}
+
+// MachineCache reuses simulator machines across runs of identical
+// configuration via sim.Machine.Reset, eliminating the dominant per-sample
+// allocation cost (machine construction).  Reset-reuse is bit-identical to
+// fresh construction (proven by the sim package's equivalence tests), so
+// cached and uncached runs produce the same samples.
+//
+// A cache is NOT safe for concurrent use: give each worker goroutine its
+// own (see Samples and the engine's worker pool).
+type MachineCache struct {
+	machines map[machineKey]*sim.Machine
+	gaps     []float64 // response-gap staging buffer
+	scratch  []float64 // stats.PercentileScratch sort buffer
+}
+
+// NewMachineCache returns an empty cache.
+func NewMachineCache() *MachineCache { return &MachineCache{} }
+
+// acquire returns a machine for the profile and config, reusing a cached
+// one when the configuration (everything but the seed) matches.
+func (mc *MachineCache) acquire(prof *arch.Profile, cfg sim.Config) (*sim.Machine, error) {
+	if mc == nil {
+		return sim.New(prof, cfg)
+	}
+	key := machineKey{prof, cfg.Cores, cfg.MemWords, cfg.WarmupCycles, cfg.RecordWork}
+	if m := mc.machines[key]; m != nil {
+		m.Reset(cfg.Seed)
+		return m, nil
+	}
+	m, err := sim.New(prof, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if mc.machines == nil {
+		mc.machines = make(map[machineKey]*sim.Machine)
+	}
+	mc.machines[key] = m
+	return m, nil
+}
+
 // Run executes the benchmark once under env with the given seed and
 // returns the performance value for the benchmark's metric.
 func Run(b *Benchmark, env Env, seed int64) (float64, error) {
+	return RunWith(nil, b, env, seed)
+}
+
+// RunWith is Run reusing machines and scratch buffers from mc (which may be
+// nil for uncached one-shot execution).  Results are bit-identical to Run.
+func RunWith(mc *MachineCache, b *Benchmark, env Env, seed int64) (float64, error) {
 	cores := b.Cores
 	if cores <= 0 {
 		cores = 4
@@ -161,7 +216,7 @@ func Run(b *Benchmark, env Env, seed int64) (float64, error) {
 	if warmup <= 0 {
 		warmup = maxCycles / 5
 	}
-	m, err := sim.New(env.Prof, sim.Config{
+	m, err := mc.acquire(env.Prof, sim.Config{
 		Cores:        cores,
 		MemWords:     memWords,
 		Seed:         seed,
@@ -194,7 +249,7 @@ func Run(b *Benchmark, env Env, seed int64) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("%s: %w", b.Name, err)
 	}
-	perf, err := metricValue(b, env.Prof, res)
+	perf, err := metricValue(b, env.Prof, res, mc)
 	if err != nil {
 		return 0, fmt.Errorf("%s: %w", b.Name, err)
 	}
@@ -258,7 +313,7 @@ func envHash(env Env) uint64 {
 	return h
 }
 
-func metricValue(b *Benchmark, prof *arch.Profile, res sim.Result) (float64, error) {
+func metricValue(b *Benchmark, prof *arch.Profile, res sim.Result, mc *MachineCache) (float64, error) {
 	switch b.Metric {
 	case Throughput:
 		if res.TotalWork == 0 {
@@ -267,17 +322,26 @@ func metricValue(b *Benchmark, prof *arch.Profile, res sim.Result) (float64, err
 		return res.WorkPerNs(prof), nil
 	case InvMeanResponse, InvMaxResponse:
 		var gaps []float64
+		if mc != nil {
+			gaps = mc.gaps[:0]
+		}
 		for _, c := range res.Cores {
 			ts := c.WorkTimes
 			for i := 1; i < len(ts); i++ {
 				gaps = append(gaps, prof.CyclesToNs(ts[i]-ts[i-1]))
 			}
 		}
+		if mc != nil {
+			mc.gaps = gaps
+		}
 		if len(gaps) == 0 {
 			return 0, fmt.Errorf("no response gaps recorded")
 		}
 		if b.Metric == InvMeanResponse {
 			return 1 / stats.Mean(gaps), nil
+		}
+		if mc != nil {
+			return 1 / stats.PercentileScratch(gaps, 95, &mc.scratch), nil
 		}
 		return 1 / stats.Percentile(gaps, 95), nil
 	}
@@ -304,8 +368,9 @@ func Samples(b *Benchmark, env Env, n int, baseSeed int64) ([]float64, error) {
 		workers = n
 	}
 	if workers <= 1 {
+		mc := NewMachineCache()
 		for i := 0; i < n; i++ {
-			out[i], errs[i] = Run(b, env, SampleSeed(baseSeed, i))
+			out[i], errs[i] = RunWith(mc, b, env, SampleSeed(baseSeed, i))
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -314,8 +379,9 @@ func Samples(b *Benchmark, env Env, n int, baseSeed int64) ([]float64, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				mc := NewMachineCache()
 				for i := range next {
-					out[i], errs[i] = Run(b, env, SampleSeed(baseSeed, i))
+					out[i], errs[i] = RunWith(mc, b, env, SampleSeed(baseSeed, i))
 				}
 			}()
 		}
