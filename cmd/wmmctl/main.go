@@ -1,0 +1,180 @@
+// Command wmmctl is a thin CLI over the wmmd v1 API, built on
+// wmm/client.  It exists for scripts (resume and distributed smoke
+// tests, CI) and for poking a server by hand without hand-rolling curl
+// against the JSON surface.
+//
+// Usage:
+//
+//	wmmctl -server http://host:8347 <command> [args]
+//
+// Commands:
+//
+//	experiments              list the experiment catalogue
+//	submit <spec-json>       submit a run (spec on the command line or
+//	                         "-" to read stdin); prints the run id
+//	status <id>              print a run's status JSON
+//	wait <id>                poll until the run finishes; prints final
+//	                         state, exits non-zero unless "done"
+//	canonical <id>           print a finished run's canonical JSON
+//	cancel <id>              cancel or remove a run
+//	ready                    wait (up to -timeout) for /readyz
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"repro/wmm/client"
+)
+
+// unmarshalStrict decodes JSON rejecting unknown fields, so a typo'd
+// spec key fails loudly instead of silently running the default sweep.
+func unmarshalStrict(raw []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func printJSON(v any) error {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	server := flag.String("server", "http://127.0.0.1:8347", "wmmd base URL")
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall command deadline")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		log.Fatal("wmmctl: usage: wmmctl [-server URL] <experiments|submit|status|wait|canonical|cancel|ready> [args]")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	cl := client.New(*server)
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	if err := run(ctx, cl, cmd, args); err != nil {
+		log.Fatalf("wmmctl: %s: %v", cmd, err)
+	}
+}
+
+func run(ctx context.Context, cl *client.Client, cmd string, args []string) error {
+	switch cmd {
+	case "experiments":
+		// Walk every page so scripts see the full catalogue regardless
+		// of the server's default page size.
+		page := client.Page{}
+		for {
+			p, err := cl.Experiments(ctx, page)
+			if err != nil {
+				return err
+			}
+			for _, e := range p.Items {
+				fmt.Printf("%s\t%s\t%s\n", e.Name, e.Paper, e.Desc)
+			}
+			if p.NextAfter == "" {
+				return nil
+			}
+			page.After = p.NextAfter
+		}
+
+	case "submit":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: submit <spec-json|->")
+		}
+		raw := []byte(args[0])
+		if args[0] == "-" {
+			var err error
+			if raw, err = io.ReadAll(os.Stdin); err != nil {
+				return err
+			}
+		}
+		var spec client.RunSpec
+		if err := unmarshalStrict(raw, &spec); err != nil {
+			return fmt.Errorf("bad spec: %w", err)
+		}
+		sub, err := cl.SubmitRun(ctx, spec)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sub.ID)
+		return nil
+
+	case "status":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: status <id>")
+		}
+		st, err := cl.Run(ctx, args[0], true)
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+
+	case "wait":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: wait <id>")
+		}
+		st, err := cl.WaitRun(ctx, args[0], 250*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		fmt.Println(st.State)
+		if st.State != client.StateDone {
+			return fmt.Errorf("run %s finished %s: %s", st.ID, st.State, st.Error)
+		}
+		return nil
+
+	case "canonical":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: canonical <id>")
+		}
+		raw, err := cl.CanonicalRun(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(raw)
+		return err
+
+	case "cancel":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: cancel <id>")
+		}
+		resp, err := cl.CancelRun(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		return printJSON(resp)
+
+	case "ready":
+		// Retry until the server answers /readyz or the deadline ends —
+		// the startup barrier for smoke scripts.
+		for {
+			err := cl.GetJSON(ctx, "/readyz", nil)
+			if err == nil {
+				return nil
+			}
+			t := time.NewTimer(200 * time.Millisecond)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return fmt.Errorf("server not ready: %w", err)
+			}
+		}
+
+	default:
+		return fmt.Errorf("unknown command (want experiments|submit|status|wait|canonical|cancel|ready)")
+	}
+}

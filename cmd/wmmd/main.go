@@ -5,21 +5,40 @@
 // Usage:
 //
 //	wmmd [-addr :8347] [-workers N] [-parallel N] [-retain 24h]
-//	     [-data DIR] [-sample-timeout 5m] [-sample-retries 2] [-debug]
+//	     [-data DIR] [-sample-timeout 5m] [-sample-retries 2]
+//	     [-local-slots N] [-lease-ttl 15s] [-max-batch 4]
+//	     [-max-queue 1024] [-debug]
 //
-// API:
+// API (versioned surface; see docs/API.md for the full contract):
 //
-//	GET    /healthz          liveness and worker count
-//	GET    /readyz           readiness: engine accepting work, store writable
-//	GET    /experiments      the experiment catalogue
-//	GET    /metrics          Prometheus text exposition (engine + HTTP)
-//	POST   /runs             submit {"experiments": ["fig5"], "short": true,
-//	                         "seed": 1, "samples": 6, "timeout_ms": 600000}
-//	GET    /runs             all run statuses
-//	GET    /runs/{id}        one run's status; ?results=1 includes partial
-//	                         results, ?stream=1 streams NDJSON progress
-//	DELETE /runs/{id}        cancel a running run / remove a finished one
-//	GET    /debug/pprof/     runtime profiling (only with -debug)
+//	GET    /healthz                  liveness and worker count
+//	GET    /readyz                   readiness: engine up, store writable
+//	GET    /metrics                  Prometheus text exposition
+//	GET    /api/v1/experiments       experiment catalogue (?limit=&after=)
+//	POST   /api/v1/runs              submit {"experiments": ["fig5"],
+//	                                 "short": true, "seed": 1, ...};
+//	                                 429 + Retry-After when saturated
+//	GET    /api/v1/runs              run statuses (?limit=&after=)
+//	GET    /api/v1/runs/{id}         one run; ?results=1 partial results,
+//	                                 ?stream=1 NDJSON progress,
+//	                                 ?canonical=1 canonical result JSON
+//	DELETE /api/v1/runs/{id}         cancel / remove a run
+//	POST   /api/v1/leases            worker lease: grab a batch of jobs
+//	POST   /api/v1/leases/{id}/heartbeat   renew a lease
+//	POST   /api/v1/leases/{id}/results     upload a batch's results
+//	GET    /debug/pprof/             runtime profiling (only with -debug)
+//
+// Every non-2xx response carries the uniform JSON error envelope
+// {"error": {"code": "...", "message": "..."}}.  The original
+// unversioned routes (/experiments, /runs, ...) remain as deprecated
+// shims that answer identically plus a Deprecation header.
+//
+// Execution is sharded: each run decomposes into per-experiment jobs on
+// a shared queue, served by -local-slots in-process executors and by
+// remote wmmworker processes leasing batches over the API.  A worker
+// that stops heartbeating loses its lease and the jobs re-queue;
+// positional seed derivation keeps results byte-identical wherever a
+// job lands.  -local-slots -1 makes the server a pure coordinator.
 //
 // Finished runs are garbage-collected after -retain (0 keeps them
 // forever).  Every request is access-logged as one JSON line on stderr.
@@ -121,6 +140,10 @@ func main() {
 	dataDir := flag.String("data", "", "directory for durable run state (empty = in-memory only)")
 	sampleTimeout := flag.Duration("sample-timeout", 5*time.Minute, "per-sample watchdog deadline (0 = none)")
 	sampleRetries := flag.Int("sample-retries", 2, "retries per failed sample batch before the experiment degrades")
+	localSlots := flag.Int("local-slots", 0, "local executor slots pulling from the job queue (0 = -parallel default, -1 = coordinate only)")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "worker lease validity between heartbeats")
+	maxBatch := flag.Int("max-batch", 4, "max jobs handed out per worker lease")
+	maxQueue := flag.Int("max-queue", 1024, "max unfinished jobs admitted before submissions get 429")
 	debug := flag.Bool("debug", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
@@ -141,6 +164,18 @@ func main() {
 	if *sampleRetries < 0 {
 		log.Fatalf("wmmd: -sample-retries must be >= 0, got %d", *sampleRetries)
 	}
+	if *localSlots < -1 {
+		log.Fatalf("wmmd: -local-slots must be >= -1 (-1 = coordinate only, 0 = default), got %d", *localSlots)
+	}
+	if *leaseTTL <= 0 {
+		log.Fatalf("wmmd: -lease-ttl must be > 0, got %v", *leaseTTL)
+	}
+	if *maxBatch <= 0 {
+		log.Fatalf("wmmd: -max-batch must be > 0, got %d", *maxBatch)
+	}
+	if *maxQueue <= 0 {
+		log.Fatalf("wmmd: -max-queue must be > 0, got %d", *maxQueue)
+	}
 
 	var store *runstore.Store
 	if *dataDir != "" {
@@ -156,7 +191,17 @@ func main() {
 		SampleTimeout: *sampleTimeout,
 		Retry:         engine.RetryPolicy{Max: *sampleRetries},
 	})
-	api := engine.NewServer(eng, engine.ServerOptions{Parallel: *parallel, Retain: *retain, Store: store})
+	api := engine.NewServer(eng, engine.ServerOptions{
+		Parallel: *parallel,
+		Retain:   *retain,
+		Store:    store,
+		Dispatch: &engine.DispatchOptions{
+			LocalSlots: *localSlots,
+			LeaseTTL:   *leaseTTL,
+			MaxBatch:   *maxBatch,
+			MaxQueue:   *maxQueue,
+		},
+	})
 	if store != nil {
 		resumed, restored, err := api.Restore()
 		if err != nil {

@@ -1,0 +1,97 @@
+// Command wmmworker is a remote executor for the sharded benchmarking
+// backend: it leases batches of experiment jobs from a wmmd coordinator
+// over the v1 API, runs them on its own engine worker pool, and uploads
+// the results.
+//
+// Usage:
+//
+//	wmmworker -coordinator http://host:8347 [-id NAME] [-workers N]
+//	          [-max-batch 4] [-poll 500ms] [-sample-timeout 5m]
+//	          [-sample-retries 2]
+//
+// A worker holds no durable state.  If it crashes or is partitioned
+// mid-batch, its lease expires at the coordinator and the jobs are
+// re-queued; positional seed derivation guarantees that whichever
+// process eventually executes a job produces byte-identical results, so
+// adding, removing or killing workers never changes a run's canonical
+// output (see docs/API.md for the lease protocol).
+//
+// On SIGINT/SIGTERM the worker stops leasing, aborts in-flight jobs,
+// and exits; the coordinator re-queues whatever was left unfinished.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/worker"
+)
+
+func main() {
+	coordinator := flag.String("coordinator", "", "wmmd base URL (required), e.g. http://127.0.0.1:8347")
+	id := flag.String("id", "", "worker identity in assignment records (default worker-<hostname>-<pid>)")
+	workers := flag.Int("workers", 0, "sample worker-pool size (0 = GOMAXPROCS)")
+	maxBatch := flag.Int("max-batch", 0, "max jobs requested per lease (0 = coordinator default)")
+	poll := flag.Duration("poll", 500*time.Millisecond, "idle interval between lease attempts when the queue is empty")
+	sampleTimeout := flag.Duration("sample-timeout", 5*time.Minute, "per-sample watchdog deadline (0 = none)")
+	sampleRetries := flag.Int("sample-retries", 2, "retries per failed sample batch before the experiment degrades")
+	flag.Parse()
+
+	if *coordinator == "" {
+		log.Fatal("wmmworker: -coordinator is required")
+	}
+	if *workers < 0 {
+		log.Fatalf("wmmworker: -workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
+	if *maxBatch < 0 {
+		log.Fatalf("wmmworker: -max-batch must be >= 0 (0 = coordinator default), got %d", *maxBatch)
+	}
+	if *poll <= 0 {
+		log.Fatalf("wmmworker: -poll must be > 0, got %v", *poll)
+	}
+	if *sampleTimeout < 0 {
+		log.Fatalf("wmmworker: -sample-timeout must be >= 0 (0 = no deadline), got %v", *sampleTimeout)
+	}
+	if *sampleRetries < 0 {
+		log.Fatalf("wmmworker: -sample-retries must be >= 0, got %d", *sampleRetries)
+	}
+	if *id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "unknown"
+		}
+		*id = fmt.Sprintf("worker-%s-%d", host, os.Getpid())
+	}
+
+	eng := engine.New(engine.Options{
+		Workers:       *workers,
+		SampleTimeout: *sampleTimeout,
+		Retry:         engine.RetryPolicy{Max: *sampleRetries},
+	})
+	defer eng.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("wmmworker: %s leasing from %s (%d workers)", *id, *coordinator, eng.Workers())
+	err := worker.Run(ctx, worker.Config{
+		Coordinator: *coordinator,
+		ID:          *id,
+		MaxBatch:    *maxBatch,
+		Poll:        *poll,
+		Engine:      eng,
+		Log:         log.Default(),
+	})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		log.Fatalf("wmmworker: %v", err)
+	}
+	log.Printf("wmmworker: %s shut down", *id)
+}

@@ -1,0 +1,617 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// ErrSaturated is returned when the dispatch queue cannot admit a new
+// run's jobs.  The server maps it to 429 with a Retry-After hint.
+var ErrSaturated = errors.New("dispatch queue saturated")
+
+// DispatchOptions configures the sharded execution backend: a queue of
+// experiment jobs served by local executor slots and by remote
+// wmmworker processes leasing batches over HTTP.
+type DispatchOptions struct {
+	// LocalSlots is the number of local executor goroutines pulling from
+	// the shared queue.  0 means the server's default experiment
+	// parallelism; -1 disables local execution entirely (every job must
+	// be leased by a remote worker).
+	LocalSlots int
+	// LeaseTTL is how long a granted lease stays valid between
+	// heartbeats.  A lease not renewed within the TTL expires and its
+	// unfinished jobs are re-queued.  Default 15s.
+	LeaseTTL time.Duration
+	// MaxBatch bounds the jobs handed out per lease.  Default 4.
+	MaxBatch int
+	// MaxQueue bounds the jobs admitted but not yet finished (queued,
+	// leased, or executing locally).  A run whose jobs would exceed it
+	// is refused with ErrSaturated.  Default 1024.
+	MaxQueue int
+	// RetryAfter is the backpressure hint attached to saturation
+	// refusals.  Default 2s.
+	RetryAfter time.Duration
+	// SweepEvery is the lease-expiry reaper interval; LeaseTTL/4
+	// clamped to [10ms, 5s] if 0.
+	SweepEvery time.Duration
+	// OnAssign, when non-nil, observes every remote assignment (a job
+	// handed to a worker under a lease).  The server uses it to write
+	// assignment records to the run store.
+	OnAssign func(runID, experiment, worker string)
+}
+
+// withDefaults fills the zero values in.
+func (o DispatchOptions) withDefaults(defaultSlots int) DispatchOptions {
+	if o.LocalSlots == 0 {
+		o.LocalSlots = defaultSlots
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 15 * time.Second
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 4
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 1024
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = 2 * time.Second
+	}
+	if o.SweepEvery <= 0 {
+		o.SweepEvery = o.LeaseTTL / 4
+		if o.SweepEvery < 10*time.Millisecond {
+			o.SweepEvery = 10 * time.Millisecond
+		}
+		if o.SweepEvery > 5*time.Second {
+			o.SweepEvery = 5 * time.Second
+		}
+	}
+	return o
+}
+
+// dispatchJob is one experiment job flowing through the shared queue.
+// Its lifecycle is enqueue → (local pickup | lease) → finish, with
+// lease expiry pushing it back to enqueue.  All mutable fields are
+// guarded by the dispatcher's mutex; finish-exactly-once is enforced by
+// the done flag, so a late result upload for a job that was already
+// re-executed (or cancelled) is dropped instead of delivered twice.
+type dispatchJob struct {
+	runID string
+	name  string
+	opts  RunOptions
+	ctx   context.Context
+
+	started func(name string) // ExperimentStarted relay; fired once
+	deliver func(res *Result) // resolves the run's waiter; called once
+
+	done         bool
+	startedFired bool
+	semHeld      bool // holds one of its run's parallel slots
+	sem          chan struct{}
+}
+
+// lease is one outstanding grant to a remote worker.
+type lease struct {
+	id      string
+	worker  string
+	jobs    []*dispatchJob
+	expires time.Time
+}
+
+// dispatchMetrics are the dispatcher's instruments.
+type dispatchMetrics struct {
+	queueDepth    *metrics.Gauge   // jobs waiting for an executor
+	inflight      *metrics.Gauge   // jobs admitted, not yet finished
+	jobsDone      *metrics.Counter // jobs finished, by mode
+	leasesGranted *metrics.Counter
+	leasesExpired *metrics.Counter
+	leasesActive  *metrics.Gauge
+	requeues      *metrics.Counter // jobs returned to the queue from lost leases
+	rejected      *metrics.Counter // run submissions refused by admission control
+}
+
+func newDispatchMetrics(r *metrics.Registry) *dispatchMetrics {
+	return &dispatchMetrics{
+		queueDepth:    r.Gauge("wmm_dispatch_queue_depth", "Experiment jobs waiting for a local slot or worker lease."),
+		inflight:      r.Gauge("wmm_dispatch_jobs_inflight", "Experiment jobs admitted and not yet finished (queued, leased, or executing)."),
+		jobsDone:      r.Counter("wmm_dispatch_jobs_completed_total", "Experiment jobs finished, by execution mode.", "mode"),
+		leasesGranted: r.Counter("wmm_dispatch_leases_granted_total", "Job leases granted to workers."),
+		leasesExpired: r.Counter("wmm_dispatch_leases_expired_total", "Leases that expired without completing; their jobs were re-queued."),
+		leasesActive:  r.Gauge("wmm_dispatch_leases_active", "Leases currently outstanding."),
+		requeues:      r.Counter("wmm_dispatch_requeues_total", "Jobs re-queued from expired or partially completed leases."),
+		rejected:      r.Counter("wmm_dispatch_rejected_total", "Run submissions refused by admission control (429)."),
+	}
+}
+
+// Dispatcher shards runs' experiment jobs across local executor slots
+// and remote workers leasing batches over HTTP.  Because every job is
+// fully determined by (experiment, seed, samples, short) — positional
+// seed derivation all the way down — it does not matter which process
+// executes a job, how often it is re-executed after a lost lease, or in
+// what order jobs complete: the assembled run is byte-identical to a
+// purely local one.
+type Dispatcher struct {
+	eng *Engine
+	opt DispatchOptions
+	met *dispatchMetrics
+
+	mu       sync.Mutex
+	pending  []*dispatchJob
+	leases   map[string]*lease
+	leaseSeq int
+	admitted int // jobs admitted, not yet finished
+
+	notify   chan struct{} // wakes one blocked local slot
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewDispatcher starts a dispatcher over the engine.  defaultSlots is
+// the local-slot count used when the options leave LocalSlots zero.
+func NewDispatcher(eng *Engine, o DispatchOptions, defaultSlots int) *Dispatcher {
+	o = o.withDefaults(defaultSlots)
+	d := &Dispatcher{
+		eng:    eng,
+		opt:    o,
+		met:    newDispatchMetrics(eng.Metrics()),
+		leases: map[string]*lease{},
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+	for i := 0; i < o.LocalSlots; i++ {
+		go d.localSlot()
+	}
+	go d.reaper()
+	return d
+}
+
+// Close stops the local slots and the lease reaper.  In-flight local
+// executions finish on their own (their run contexts bound them); call
+// Close only after every run has been cancelled or completed.
+func (d *Dispatcher) Close() {
+	d.stopOnce.Do(func() { close(d.stop) })
+}
+
+// RetryAfter is the backpressure hint for saturation refusals.
+func (d *Dispatcher) RetryAfter() time.Duration { return d.opt.RetryAfter }
+
+// TryAdmit reserves queue capacity for n jobs, refusing with false when
+// the queue is saturated.  The reservation is released job by job as
+// they finish.
+func (d *Dispatcher) TryAdmit(n int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.admitted+n > d.opt.MaxQueue {
+		d.met.rejected.Inc()
+		return false
+	}
+	d.admitted += n
+	d.met.inflight.Set(float64(d.admitted))
+	return true
+}
+
+// admitForce reserves capacity unconditionally (resumed runs must never
+// be refused; a brief overshoot beats losing checkpointed work).  n may
+// be negative to release an over-reservation.
+func (d *Dispatcher) admitForce(n int) {
+	d.mu.Lock()
+	d.admitted += n
+	d.met.inflight.Set(float64(d.admitted))
+	d.mu.Unlock()
+}
+
+// Run shards the named experiments across the queue and assembles their
+// results in request order, with the same error semantics as
+// Engine.Run: the first failure in request order is returned alongside
+// the full result set.  reserved is how many jobs the caller already
+// admitted via TryAdmit (0 for resumed runs, which bypass admission).
+func (d *Dispatcher) Run(ctx context.Context, runID string, names []string, o RunOptions, sink Sink, reserved int) ([]*Result, error) {
+	var exps []experiments.Experiment
+	if len(names) == 0 {
+		exps = experiments.All()
+	} else {
+		for _, name := range names {
+			ex, err := experiments.ByName(name)
+			if err != nil {
+				d.admitForce(-reserved)
+				return nil, err
+			}
+			exps = append(exps, ex)
+		}
+	}
+
+	parallel := o.Parallel
+	if parallel <= 0 {
+		parallel = 1
+	}
+	if parallel > len(exps) {
+		parallel = len(exps)
+	}
+	sem := make(chan struct{}, parallel)
+
+	// Build every job up front so the cancellation watcher sees the full
+	// set even while the enqueue loop is still throttling.
+	results := make([]*Result, len(exps))
+	var wg sync.WaitGroup
+	var jobs []*dispatchJob
+	for i, ex := range exps {
+		if prev, ok := o.Completed[ex.Name]; ok && prev != nil {
+			// Restored from a checkpoint: no execution, no sink events.
+			results[i] = prev
+			continue
+		}
+		i := i
+		wg.Add(1)
+		j := &dispatchJob{
+			runID: runID,
+			name:  ex.Name,
+			opts:  RunOptions{Samples: o.Samples, Seed: o.Seed, Short: o.Short},
+			ctx:   ctx,
+			sem:   sem,
+		}
+		j.started = func(name string) {
+			if sink != nil {
+				sink.ExperimentStarted(name)
+			}
+		}
+		j.deliver = func(res *Result) {
+			results[i] = res
+			if sink != nil {
+				sink.ExperimentDone(res)
+			}
+			wg.Done()
+		}
+		jobs = append(jobs, j)
+	}
+
+	// Reconcile the caller's reservation with the jobs actually created
+	// (a resumed run reserves nothing; restored experiments need no slot).
+	d.admitForce(len(jobs) - reserved)
+
+	// The watcher resolves every unfinished job the moment the run's
+	// context ends: queued jobs are withdrawn, leased jobs are written
+	// off (a late upload is dropped by the done guard), and locally
+	// executing jobs are aborted by the context itself — their eventual
+	// finish is then a no-op.
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		<-ctx.Done()
+		d.cancelJobs(jobs, ctx.Err())
+	}()
+
+	// Enqueue under the run's parallelism budget: at most `parallel`
+	// jobs of this run are in flight across the whole fleet at once.
+	for _, j := range jobs {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			// The watcher resolves this job and the rest.
+			continue
+		}
+		if !d.push(j) {
+			// Already resolved (cancelled) before it could be queued;
+			// return the unused slot.
+			<-sem
+		}
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		if r.Err != "" {
+			return results, fmt.Errorf("%s: %s", r.Experiment, r.Err)
+		}
+	}
+	return results, nil
+}
+
+// push appends a job to the queue, reporting false if the job was
+// already finished (cancelled before enqueue).  Marks the job as
+// holding one of its run's parallel slots.
+func (d *Dispatcher) push(j *dispatchJob) bool {
+	d.mu.Lock()
+	if j.done {
+		d.mu.Unlock()
+		return false
+	}
+	j.semHeld = true
+	d.pending = append(d.pending, j)
+	d.met.queueDepth.Set(float64(len(d.pending)))
+	d.mu.Unlock()
+	d.wake()
+	return true
+}
+
+// requeue returns lost-lease jobs to the front of the queue so they are
+// retried before newer work.
+func (d *Dispatcher) requeue(jobs []*dispatchJob) int {
+	d.mu.Lock()
+	n := 0
+	for _, j := range jobs {
+		if j.done {
+			continue
+		}
+		d.pending = append([]*dispatchJob{j}, d.pending...)
+		n++
+	}
+	if n > 0 {
+		d.met.queueDepth.Set(float64(len(d.pending)))
+		d.met.requeues.Add(float64(n))
+	}
+	d.mu.Unlock()
+	if n > 0 {
+		d.wake()
+	}
+	return n
+}
+
+// wake nudges one blocked local slot.
+func (d *Dispatcher) wake() {
+	select {
+	case d.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pop removes the next live job, or nil if the queue is empty.
+func (d *Dispatcher) pop() *dispatchJob {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.pending) > 0 {
+		j := d.pending[0]
+		d.pending = d.pending[1:]
+		d.met.queueDepth.Set(float64(len(d.pending)))
+		if j.done {
+			continue
+		}
+		return j
+	}
+	return nil
+}
+
+// localSlot is one local executor: it pulls jobs from the shared queue
+// and runs them on the engine, exactly as a remote worker would in its
+// own process.
+func (d *Dispatcher) localSlot() {
+	for {
+		j := d.pop()
+		if j == nil {
+			select {
+			case <-d.notify:
+				continue
+			case <-d.stop:
+				return
+			}
+		}
+		d.execute(j)
+	}
+}
+
+// execute runs one job locally and finishes it.
+func (d *Dispatcher) execute(j *dispatchJob) {
+	d.fireStarted(j)
+	var res *Result
+	if err := j.ctx.Err(); err != nil {
+		res = d.cancelledResult(j, err)
+	} else {
+		var rerr error
+		res, rerr = d.eng.RunExperiment(j.ctx, j.name, j.opts)
+		if rerr != nil {
+			// Unknown experiment — validated at submission, so this is
+			// defensive; surface it as a failed result.
+			res = &Result{Experiment: j.name, Status: StatusFailed, Err: rerr.Error()}
+		}
+	}
+	d.finish(j, res, "local")
+}
+
+// fireStarted relays ExperimentStarted exactly once per job, however
+// many times the job is handed out after lost leases.
+func (d *Dispatcher) fireStarted(j *dispatchJob) {
+	d.mu.Lock()
+	fire := !j.startedFired && !j.done
+	j.startedFired = true
+	d.mu.Unlock()
+	if fire {
+		j.started(j.name)
+	}
+}
+
+// finish resolves a job exactly once, releasing its run-parallelism
+// slot and its admission reservation.  Late duplicates (an upload after
+// the lease expired and the job re-ran, or a local execution racing the
+// cancellation watcher) are dropped.
+func (d *Dispatcher) finish(j *dispatchJob, res *Result, mode string) bool {
+	d.mu.Lock()
+	if j.done {
+		d.mu.Unlock()
+		return false
+	}
+	j.done = true
+	semHeld := j.semHeld
+	d.admitted--
+	d.met.inflight.Set(float64(d.admitted))
+	d.mu.Unlock()
+	d.met.jobsDone.Inc(mode)
+	if semHeld {
+		<-j.sem
+	}
+	j.deliver(res)
+	return true
+}
+
+// cancelJobs resolves every unfinished job of a run whose context
+// ended, withdrawing queued ones so they are never handed out.
+func (d *Dispatcher) cancelJobs(jobs []*dispatchJob, cause error) {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	d.mu.Lock()
+	live := d.pending[:0]
+	doomed := map[*dispatchJob]bool{}
+	for _, j := range jobs {
+		if !j.done {
+			doomed[j] = true
+		}
+	}
+	for _, p := range d.pending {
+		if !doomed[p] {
+			live = append(live, p)
+		}
+	}
+	d.pending = live
+	d.met.queueDepth.Set(float64(len(d.pending)))
+	d.mu.Unlock()
+	for _, j := range jobs {
+		d.finish(j, d.cancelledResult(j, cause), "cancelled")
+	}
+}
+
+// cancelledResult synthesizes the result of a job written off by
+// cancellation, mirroring what runOne produces for a cancelled driver.
+func (d *Dispatcher) cancelledResult(j *dispatchJob, cause error) *Result {
+	r := &Result{Experiment: j.name, Status: StatusCancelled, Err: cause.Error()}
+	if ex, err := experiments.ByName(j.name); err == nil {
+		r.Paper, r.Desc = ex.Paper, ex.Desc
+	}
+	return r
+}
+
+// Lease hands out up to max queued jobs (bounded by MaxBatch) under a
+// new lease for the worker.  An empty grant (no lease created) means
+// the queue had no work; workers poll again after their idle interval.
+func (d *Dispatcher) Lease(worker string, max int) (id string, ttl time.Duration, jobs []*dispatchJob) {
+	if max <= 0 || max > d.opt.MaxBatch {
+		max = d.opt.MaxBatch
+	}
+	var granted []*dispatchJob
+	d.mu.Lock()
+	for len(granted) < max && len(d.pending) > 0 {
+		j := d.pending[0]
+		d.pending = d.pending[1:]
+		if j.done {
+			continue
+		}
+		granted = append(granted, j)
+	}
+	d.met.queueDepth.Set(float64(len(d.pending)))
+	if len(granted) == 0 {
+		d.mu.Unlock()
+		return "", 0, nil
+	}
+	d.leaseSeq++
+	id = fmt.Sprintf("lease-%d", d.leaseSeq)
+	d.leases[id] = &lease{id: id, worker: worker, jobs: granted, expires: time.Now().Add(d.opt.LeaseTTL)}
+	d.met.leasesActive.Set(float64(len(d.leases)))
+	d.mu.Unlock()
+	d.met.leasesGranted.Inc()
+
+	for _, j := range granted {
+		d.fireStarted(j)
+		if d.opt.OnAssign != nil {
+			d.opt.OnAssign(j.runID, j.name, worker)
+		}
+	}
+	return id, d.opt.LeaseTTL, granted
+}
+
+// Heartbeat renews a lease, reporting false if it is unknown or already
+// expired — the worker should abandon the batch (its jobs have been
+// re-queued).
+func (d *Dispatcher) Heartbeat(id string) (time.Duration, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	l, ok := d.leases[id]
+	if !ok {
+		return 0, false
+	}
+	l.expires = time.Now().Add(d.opt.LeaseTTL)
+	return d.opt.LeaseTTL, true
+}
+
+// CompletedJob is one uploaded result, matched against a lease's jobs
+// by (run, experiment).
+type CompletedJob struct {
+	RunID      string
+	Experiment string
+	Res        *Result
+}
+
+// Complete settles a lease with the worker's uploaded results.  Jobs
+// the upload does not cover are re-queued; unmatched uploads are
+// ignored.  ok=false means the lease is unknown (expired and reaped) —
+// its jobs were already re-queued and any duplicate execution is
+// absorbed by the finish-once guard, so the worker just drops the
+// batch.
+func (d *Dispatcher) Complete(id string, uploaded []CompletedJob) (accepted, requeued int, ok bool) {
+	d.mu.Lock()
+	l, found := d.leases[id]
+	if !found {
+		d.mu.Unlock()
+		return 0, 0, false
+	}
+	delete(d.leases, id)
+	d.met.leasesActive.Set(float64(len(d.leases)))
+	jobs := l.jobs
+	d.mu.Unlock()
+
+	byKey := map[string]*CompletedJob{}
+	for i := range uploaded {
+		u := &uploaded[i]
+		byKey[u.RunID+"\x00"+u.Experiment] = u
+	}
+	var missing []*dispatchJob
+	for _, j := range jobs {
+		if u := byKey[j.runID+"\x00"+j.name]; u != nil && u.Res != nil {
+			if d.finish(j, u.Res, "remote") {
+				accepted++
+			}
+			continue
+		}
+		missing = append(missing, j)
+	}
+	requeued = d.requeue(missing)
+	return accepted, requeued, true
+}
+
+// reaper expires leases whose heartbeats stopped, re-queuing their
+// unfinished jobs so lost workers never lose work.
+func (d *Dispatcher) reaper() {
+	t := time.NewTicker(d.opt.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			d.expire(time.Now())
+		case <-d.stop:
+			return
+		}
+	}
+}
+
+// expire reaps leases past their TTL, returning how many expired.
+func (d *Dispatcher) expire(now time.Time) int {
+	d.mu.Lock()
+	var dead []*lease
+	for id, l := range d.leases {
+		if now.After(l.expires) {
+			dead = append(dead, l)
+			delete(d.leases, id)
+		}
+	}
+	if len(dead) > 0 {
+		d.met.leasesActive.Set(float64(len(d.leases)))
+	}
+	d.mu.Unlock()
+	for _, l := range dead {
+		d.met.leasesExpired.Inc()
+		d.requeue(l.jobs)
+	}
+	return len(dead)
+}

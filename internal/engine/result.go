@@ -160,6 +160,21 @@ func (e *Engine) Run(ctx context.Context, names []string, o RunOptions, sink Sin
 	return results, nil
 }
 
+// RunExperiment executes one named experiment through the engine's
+// worker pool and calibration cache, returning its structured Result.
+// This is the unit of work the sharded backend distributes: a job is
+// fully determined by (name, Seed, Samples, Short) — positional seed
+// derivation makes the Result byte-identical (wall time aside) in
+// whichever process executes it, which is what makes remote execution
+// safe to verify against a local run.
+func (e *Engine) RunExperiment(ctx context.Context, name string, o RunOptions) (*Result, error) {
+	ex, err := experiments.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.runOne(ctx, ex, o), nil
+}
+
 // runOne executes a single experiment against the engine, buffering its
 // rendered output and collecting its structured artefacts.  A panicking
 // driver (or anything it calls outside the worker pool, e.g. a

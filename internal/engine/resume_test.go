@@ -22,7 +22,8 @@ import (
 const resumeSpec = `{"experiments": ["fig4", "ext-c11"], "short": true, "samples": 2, "seed": 3, "parallel": 2}`
 
 // runToCanonical executes resumeSpec uninterrupted on a store-less
-// server and returns the canonical JSON of its final results.
+// server and returns the canonical JSON of its final results, as served
+// by GET /api/v1/runs/{id}?canonical=1.
 func runToCanonical(t *testing.T) []byte {
 	t.Helper()
 	ts, _, _ := newTestServerOpts(t, ServerOptions{Parallel: 2})
@@ -31,7 +32,7 @@ func runToCanonical(t *testing.T) []byte {
 	if st.State != StateDone {
 		t.Fatalf("baseline run ended %s (err %q)", st.State, st.Error)
 	}
-	raw, err := CanonicalRunJSON(st.Results)
+	raw, err := testClient(ts).CanonicalRun(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestCrashResumeDeterminism(t *testing.T) {
 	if !st.Resumed {
 		t.Error("resumed run not marked Resumed")
 	}
-	got, err := CanonicalRunJSON(st.Results)
+	got, err := testClient(tsB).CanonicalRun(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,8 +184,10 @@ func TestRestoreFinishedRun(t *testing.T) {
 		t.Fatalf("Restore = %d resumed / %d restored, want 0/1", resumed, restored)
 	}
 
-	var st RunStatus
-	getJSON(t, tsB.URL+"/runs/"+id, &st)
+	st, err := testClient(tsB).Run(context.Background(), id, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.State != StateDone || len(st.Results) != 1 || st.Results[0].Experiment != "fig4" {
 		t.Fatalf("restored run = %s with %d results", st.State, len(st.Results))
 	}
@@ -200,12 +203,9 @@ func TestRestoreFinishedRun(t *testing.T) {
 	waitState(t, tsB, id2, 2*time.Minute)
 
 	// DELETE removes the restored run from disk too.
-	req, _ := http.NewRequest(http.MethodDelete, tsB.URL+"/runs/"+id, nil)
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
+	if _, err := testClient(tsB).CancelRun(context.Background(), id); err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
 	runs, err := storeB.Load()
 	if err != nil {
 		t.Fatal(err)

@@ -88,6 +88,9 @@ type serverRun struct {
 	// restored carries checkpointed results a resumed run must not
 	// re-execute (set once before execute starts, read-only after).
 	restored map[string]*Result
+	// admitted is the dispatch-queue reservation handleSubmit took for
+	// this run (0 for resumed runs, which bypass admission control).
+	admitted int
 
 	mu       sync.Mutex
 	state    string
@@ -119,6 +122,8 @@ type serverMetrics struct {
 	storeErrors  *metrics.Counter // failed store operations, by op
 	runsResumed  *metrics.Counter // interrupted runs resumed on startup
 	runsRestored *metrics.Counter // finished runs replayed into the catalogue
+
+	assignments *metrics.Counter // jobs assigned to remote workers
 }
 
 func newServerMetrics(r *metrics.Registry) *serverMetrics {
@@ -134,6 +139,8 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 		storeErrors:  r.Counter("wmm_store_errors_total", "Failed run-store operations, by operation.", "op"),
 		runsResumed:  r.Counter("wmm_runs_resumed_total", "Interrupted runs resumed from the store on startup."),
 		runsRestored: r.Counter("wmm_runs_restored_total", "Finished runs replayed from the store into the catalogue."),
+
+		assignments: r.Counter("wmm_dispatch_assignments_total", "Experiment jobs assigned to remote workers under leases."),
 	}
 }
 
@@ -156,6 +163,13 @@ type ServerOptions struct {
 	// their last checkpoint.  A nil Store is the in-memory-only
 	// behaviour.
 	Store *runstore.Store
+	// Dispatch, when non-nil, enables the sharded execution backend:
+	// runs are decomposed into experiment jobs on a shared queue served
+	// by local executor slots and by remote wmmworker processes leasing
+	// batches through POST /api/v1/leases.  Admission control refuses
+	// submissions that would overflow the queue with 429 + Retry-After.
+	// A nil Dispatch keeps the in-process Engine.Run path.
+	Dispatch *DispatchOptions
 }
 
 // Server exposes the engine over HTTP: a queryable catalogue of
@@ -168,6 +182,7 @@ type Server struct {
 	defaultParallel int
 	retain          time.Duration
 	store           *runstore.Store
+	disp            *Dispatcher
 	met             *serverMetrics
 
 	mu     sync.Mutex
@@ -198,6 +213,20 @@ func NewServer(eng *Engine, o ServerOptions) *Server {
 		// Continue the run-N sequence past anything already on disk so
 		// a restarted server never reuses an ID.
 		s.seq = s.store.MaxSeq()
+	}
+	if o.Dispatch != nil {
+		dopt := *o.Dispatch
+		if dopt.OnAssign == nil {
+			dopt.OnAssign = func(runID, experiment, worker string) {
+				s.met.assignments.Inc()
+				if s.store != nil {
+					if err := s.store.Assign(runID, experiment, worker); err != nil {
+						s.met.storeErrors.Inc("assign")
+					}
+				}
+			}
+		}
+		s.disp = NewDispatcher(eng, dopt, o.Parallel)
 	}
 	if o.Retain > 0 {
 		every := o.SweepEvery
@@ -431,6 +460,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for _, run := range runs {
 		run.cancel()
 	}
+	if s.disp != nil {
+		// The run cancellations above resolve every outstanding job, so
+		// the executor slots and reaper can stop.
+		s.disp.Close()
+	}
 	done := make(chan struct{})
 	go func() {
 		s.active.Wait()
@@ -444,17 +478,25 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// Handler returns the wmmd API:
+// Handler returns the wmmd API.  The versioned surface is:
 //
-//	GET    /healthz          liveness
-//	GET    /readyz           readiness: engine accepting work, store writable
-//	GET    /experiments      the experiment catalogue
-//	GET    /metrics          Prometheus text exposition
-//	POST   /runs             submit a run (RunSpec), returns {"id": ...}
-//	GET    /runs             list run statuses
-//	GET    /runs/{id}        status; ?results=1 includes results while
-//	                         running; ?stream=1 streams NDJSON progress
-//	DELETE /runs/{id}        cancel a running run / remove a finished one
+//	GET    /api/v1/experiments   the experiment catalogue (paginated)
+//	POST   /api/v1/runs          submit a run (RunSpec), returns {"id": ...};
+//	                             429 + Retry-After under saturation
+//	GET    /api/v1/runs          run statuses (paginated: ?limit=&after=)
+//	GET    /api/v1/runs/{id}     status; ?results=1 includes results while
+//	                             running; ?stream=1 streams NDJSON progress;
+//	                             ?canonical=1 serves canonical run JSON
+//	DELETE /api/v1/runs/{id}     cancel a running run / remove a finished one
+//	POST   /api/v1/leases        worker job lease (sharded backend)
+//	POST   /api/v1/leases/{id}/heartbeat   renew a lease
+//	POST   /api/v1/leases/{id}/results     upload a lease's results
+//
+// plus the unversioned operational routes (/healthz, /readyz, /metrics)
+// and the legacy unversioned API (/experiments, /runs, /runs/{id}),
+// kept as thin shims over the v1 handlers that add a Deprecation
+// header.  Every non-2xx response carries the uniform error envelope
+// {"error": {"code", "message"}}.
 //
 // Every route is instrumented: wmm_http_requests_total and
 // wmm_http_request_seconds, labelled by route pattern (not raw path, so
@@ -463,13 +505,39 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("GET /experiments", s.handleExperiments)
 	mux.Handle("GET /metrics", s.eng.Metrics().Handler())
-	mux.HandleFunc("POST /runs", s.handleSubmit)
-	mux.HandleFunc("GET /runs", s.handleList)
-	mux.HandleFunc("GET /runs/{id}", s.handleStatus)
-	mux.HandleFunc("DELETE /runs/{id}", s.handleCancel)
+
+	// v1: the versioned surface.
+	mux.HandleFunc("GET /api/v1/experiments", func(w http.ResponseWriter, r *http.Request) { s.handleExperiments(w, r, false) })
+	mux.HandleFunc("POST /api/v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/runs", func(w http.ResponseWriter, r *http.Request) { s.handleList(w, r, false) })
+	mux.HandleFunc("GET /api/v1/runs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /api/v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /api/v1/leases", s.handleLease)
+	mux.HandleFunc("POST /api/v1/leases/{id}/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /api/v1/leases/{id}/results", s.handleLeaseResults)
+
+	// Legacy unversioned routes: thin shims over the same handlers,
+	// flagged with a Deprecation header and a successor-version link.
+	// List responses keep their original bare-array shape.
+	mux.HandleFunc("GET /experiments", deprecated("/api/v1/experiments",
+		func(w http.ResponseWriter, r *http.Request) { s.handleExperiments(w, r, true) }))
+	mux.HandleFunc("POST /runs", deprecated("/api/v1/runs", s.handleSubmit))
+	mux.HandleFunc("GET /runs", deprecated("/api/v1/runs",
+		func(w http.ResponseWriter, r *http.Request) { s.handleList(w, r, true) }))
+	mux.HandleFunc("GET /runs/{id}", deprecated("/api/v1/runs/{id}", s.handleStatus))
+	mux.HandleFunc("DELETE /runs/{id}", deprecated("/api/v1/runs/{id}", s.handleCancel))
 	return s.instrument(mux)
+}
+
+// deprecated wraps a legacy shim with the deprecation headers (RFC
+// 8594-style): clients should migrate to the v1 successor.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
 }
 
 // statusWriter records the response code for instrumentation while
@@ -533,8 +601,23 @@ func writeJSON(w http.ResponseWriter, code int, v any) error {
 	return enc.Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// API error codes, the machine-readable half of the uniform error
+// envelope {"error": {"code", "message"}} carried by every non-2xx
+// response on both the v1 and legacy surfaces.
+const (
+	ErrCodeInvalidArgument = "invalid_argument" // malformed body, bad spec, bad query
+	ErrCodeNotFound        = "not_found"        // unknown run id
+	ErrCodeConflict        = "conflict"         // state precludes the request (e.g. canonical of a running run)
+	ErrCodeSaturated       = "saturated"        // admission control refused the run (429 + Retry-After)
+	ErrCodeUnavailable     = "unavailable"      // shutting down, or dispatch disabled
+	ErrCodeLeaseGone       = "lease_gone"       // lease expired or unknown; batch already re-queued
+)
+
+func writeErr(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, map[string]any{"error": map[string]string{
+		"code":    code,
+		"message": fmt.Sprintf(format, args...),
+	}})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -569,15 +652,72 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, out)
 }
 
-func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
-	type exp struct {
-		Name  string `json:"name"`
-		Paper string `json:"paper"`
-		Desc  string `json:"desc"`
+// pageParams reads the cursor-pagination query (?limit=&after=).  limit
+// defaults to 100 and is capped at 1000; after is the exclusive cursor
+// (the last item of the previous page).  ok=false means the query was
+// malformed and the envelope has been written.
+func pageParams(w http.ResponseWriter, r *http.Request) (limit int, after string, ok bool) {
+	limit = 100
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, ErrCodeInvalidArgument, "limit must be a positive integer, got %q", raw)
+			return 0, "", false
+		}
+		limit = n
 	}
-	var out []exp
+	if limit > 1000 {
+		limit = 1000
+	}
+	return limit, r.URL.Query().Get("after"), true
+}
+
+// page is the v1 list envelope: one page of items plus the cursor for
+// the next page ("" when this page is the last).
+type page[T any] struct {
+	Items     []T    `json:"items"`
+	NextAfter string `json:"next_after,omitempty"`
+}
+
+// ExperimentInfo is one catalogue entry served by GET /api/v1/experiments.
+type ExperimentInfo struct {
+	Name  string `json:"name"`
+	Paper string `json:"paper"`
+	Desc  string `json:"desc"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request, legacy bool) {
+	all := make([]ExperimentInfo, 0, len(experiments.All()))
 	for _, e := range experiments.All() {
-		out = append(out, exp{Name: e.Name, Paper: e.Paper, Desc: e.Desc})
+		all = append(all, ExperimentInfo{Name: e.Name, Paper: e.Paper, Desc: e.Desc})
+	}
+	if legacy {
+		writeJSON(w, http.StatusOK, all)
+		return
+	}
+	limit, after, ok := pageParams(w, r)
+	if !ok {
+		return
+	}
+	start := 0
+	if after != "" {
+		for i, e := range all {
+			if e.Name == after {
+				start = i + 1
+				break
+			}
+		}
+	}
+	out := page[ExperimentInfo]{Items: []ExperimentInfo{}}
+	end := start + limit
+	if end > len(all) {
+		end = len(all)
+	}
+	if start < len(all) {
+		out.Items = all[start:end]
+	}
+	if end < len(all) {
+		out.NextAfter = all[end-1].Name
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -585,17 +725,45 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec RunSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad run spec: %v", err)
+		writeErr(w, http.StatusBadRequest, ErrCodeInvalidArgument, "bad run spec: %v", err)
+		return
+	}
+	if spec.Samples < 0 || spec.Seed < 0 || spec.Parallel < 0 || spec.TimeoutMs < 0 {
+		writeErr(w, http.StatusBadRequest, ErrCodeInvalidArgument,
+			"bad run spec: samples, seed, parallel and timeout_ms must be >= 0")
 		return
 	}
 	for _, name := range spec.Experiments {
 		if _, err := experiments.ByName(name); err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
+			writeErr(w, http.StatusBadRequest, ErrCodeInvalidArgument, "%v", err)
 			return
 		}
 	}
 	if spec.Parallel <= 0 {
 		spec.Parallel = s.defaultParallel
+	}
+
+	total := len(spec.Experiments)
+	if total == 0 {
+		total = len(experiments.All())
+	}
+
+	// Admission control: refuse work the dispatch queue cannot absorb,
+	// with a Retry-After hint, before anything is recorded.  The
+	// reservation is released job by job as the run's jobs finish.
+	admitted := 0
+	if s.disp != nil {
+		if !s.disp.TryAdmit(total) {
+			retry := int(s.disp.RetryAfter().Seconds())
+			if retry < 1 {
+				retry = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			writeErr(w, http.StatusTooManyRequests, ErrCodeSaturated,
+				"dispatch queue saturated (%d jobs refused); retry after %ds", total, retry)
+			return
+		}
+		admitted = total
 	}
 
 	ctx := context.Background()
@@ -606,27 +774,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithCancel(ctx)
 	}
 
-	total := len(spec.Experiments)
-	if total == 0 {
-		total = len(experiments.All())
-	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		cancel()
-		writeErr(w, http.StatusServiceUnavailable, "server shutting down")
+		if s.disp != nil {
+			s.disp.admitForce(-admitted)
+		}
+		writeErr(w, http.StatusServiceUnavailable, ErrCodeUnavailable, "server shutting down")
 		return
 	}
 	s.seq++
 	run := &serverRun{
-		id:      fmt.Sprintf("run-%d", s.seq),
-		srv:     s,
-		spec:    spec,
-		total:   total,
-		cancel:  cancel,
-		state:   StateRunning,
-		started: time.Now(),
-		running: map[string]bool{},
+		id:       fmt.Sprintf("run-%d", s.seq),
+		srv:      s,
+		spec:     spec,
+		total:    total,
+		cancel:   cancel,
+		admitted: admitted,
+		state:    StateRunning,
+		started:  time.Now(),
+		running:  map[string]bool{},
 	}
 	s.runs[run.id] = run
 	s.active.Add(1)
@@ -652,17 +820,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]any{"id": run.id, "state": StateRunning, "total": total})
 }
 
-// execute drives the run to completion on its own goroutine.
+// execute drives the run to completion on its own goroutine, through
+// the sharded dispatcher when one is configured and the in-process
+// engine otherwise.  Both paths produce byte-identical results for the
+// same spec and seed.
 func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, run *serverRun) {
 	defer s.active.Done()
 	defer cancel()
-	results, err := s.eng.Run(ctx, run.spec.Experiments, RunOptions{
+	opts := RunOptions{
 		Samples:   run.spec.Samples,
 		Seed:      run.spec.Seed,
 		Short:     run.spec.Short,
 		Parallel:  run.spec.Parallel,
 		Completed: run.restored,
-	}, (*runSink)(run))
+	}
+	var results []*Result
+	var err error
+	if s.disp != nil {
+		results, err = s.disp.Run(ctx, run.id, run.spec.Experiments, opts, (*runSink)(run), run.admitted)
+	} else {
+		results, err = s.eng.Run(ctx, run.spec.Experiments, opts, (*runSink)(run))
+	}
 
 	run.mu.Lock()
 	run.final = results
@@ -870,7 +1048,16 @@ func (s *Server) lookup(r *http.Request) (*serverRun, string) {
 	return s.runs[id], id
 }
 
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+// runIDLess is the listing order: submission order for run-N IDs
+// (run-2 before run-10), length-then-lexicographic in general.
+func runIDLess(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request, legacy bool) {
 	s.mu.Lock()
 	runs := make([]*serverRun, 0, len(s.runs))
 	for _, run := range s.runs {
@@ -881,28 +1068,77 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	for _, run := range runs {
 		out = append(out, run.status(false))
 	}
-	// Stable submission order for clients: run-2 before run-10.
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].ID, out[j].ID
-		if len(a) != len(b) {
-			return len(a) < len(b)
+	sort.Slice(out, func(i, j int) bool { return runIDLess(out[i].ID, out[j].ID) })
+	if legacy {
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	limit, after, ok := pageParams(w, r)
+	if !ok {
+		return
+	}
+	start := 0
+	if after != "" {
+		for i, st := range out {
+			if !runIDLess(after, st.ID) {
+				start = i + 1
+			}
 		}
-		return a < b
-	})
-	writeJSON(w, http.StatusOK, out)
+	}
+	pg := page[RunStatus]{Items: []RunStatus{}}
+	end := start + limit
+	if end > len(out) {
+		end = len(out)
+	}
+	if start < len(out) {
+		pg.Items = out[start:end]
+	}
+	if end < len(out) {
+		pg.NextAfter = out[end-1].ID
+	}
+	writeJSON(w, http.StatusOK, pg)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	run, id := s.lookup(r)
 	if run == nil {
-		writeErr(w, http.StatusNotFound, "unknown run %q", id)
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, "unknown run %q", id)
 		return
 	}
 	if r.URL.Query().Get("stream") != "" {
 		s.streamStatus(w, r, run)
 		return
 	}
+	if r.URL.Query().Get("canonical") != "" {
+		s.canonicalStatus(w, run)
+		return
+	}
 	writeJSON(w, http.StatusOK, run.status(r.URL.Query().Get("results") != ""))
+}
+
+// canonicalStatus serves a finished run's CanonicalRunJSON — the
+// byte-comparable form (wall times zeroed) used to verify that sharded,
+// resumed and local executions of the same spec agree exactly.
+func (s *Server) canonicalStatus(w http.ResponseWriter, run *serverRun) {
+	run.mu.Lock()
+	state := run.state
+	results := run.final
+	if results == nil {
+		results = append([]*Result{}, run.results...)
+	}
+	run.mu.Unlock()
+	if state == StateRunning {
+		writeErr(w, http.StatusConflict, ErrCodeConflict, "run %s is still running; canonical JSON exists only for finished runs", run.id)
+		return
+	}
+	raw, err := CanonicalRunJSON(results)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "internal", "canonicalise run %s: %v", run.id, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(raw)
 }
 
 // streamStatus serves NDJSON progress: one snapshot line, then an event
@@ -961,7 +1197,7 @@ func (s *Server) streamStatus(w http.ResponseWriter, r *http.Request, run *serve
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	run, id := s.lookup(r)
 	if run == nil {
-		writeErr(w, http.StatusNotFound, "unknown run %q", id)
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, "unknown run %q", id)
 		return
 	}
 	// Mark the cancellation as a user decision before it takes effect, so
@@ -991,4 +1227,124 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"id": run.id, "state": "cancelling"})
+}
+
+// --- Worker lease protocol (sharded execution backend) -------------------
+//
+// Remote wmmworker processes pull work through three endpoints:
+//
+//	POST /api/v1/leases                  {"worker": "w1", "max_jobs": 4}
+//	  -> {"lease_id": "lease-3", "ttl_ms": 15000, "jobs": [wireJob...]}
+//	     (lease_id empty and jobs [] when the queue has no work)
+//	POST /api/v1/leases/{id}/heartbeat   -> {"ttl_ms": 15000}; 410 if gone
+//	POST /api/v1/leases/{id}/results     {"results": [{run_id, experiment,
+//	  result}]} -> {"accepted": N, "requeued": M}; 410 if the lease
+//	  expired (its jobs were re-queued; the worker drops the batch)
+//
+// A job is (run_id, experiment, samples, seed, short) — everything a
+// worker needs to reproduce the exact bytes a local execution would
+// have produced, thanks to positional seed derivation.
+
+// wireJob is one leased experiment job on the wire.
+type wireJob struct {
+	RunID      string `json:"run_id"`
+	Experiment string `json:"experiment"`
+	Samples    int    `json:"samples,omitempty"`
+	Seed       int64  `json:"seed,omitempty"`
+	Short      bool   `json:"short"`
+}
+
+// leaseRequest is the body of POST /api/v1/leases.
+type leaseRequest struct {
+	Worker  string `json:"worker"`
+	MaxJobs int    `json:"max_jobs,omitempty"`
+}
+
+// leaseGrant is the response: a batch of jobs under a TTL'd lease.
+type leaseGrant struct {
+	LeaseID string    `json:"lease_id,omitempty"`
+	TTLMs   int64     `json:"ttl_ms,omitempty"`
+	Jobs    []wireJob `json:"jobs"`
+}
+
+// wireJobResult is one uploaded result; Result is the engine's Result
+// as raw JSON, decoded server-side so the stored/served bytes are
+// exactly what a local execution would have produced.
+type wireJobResult struct {
+	RunID      string          `json:"run_id"`
+	Experiment string          `json:"experiment"`
+	Result     json.RawMessage `json:"result"`
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	if s.disp == nil {
+		writeErr(w, http.StatusServiceUnavailable, ErrCodeUnavailable, "dispatch backend disabled on this server")
+		return
+	}
+	var req leaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, ErrCodeInvalidArgument, "bad lease request: %v", err)
+		return
+	}
+	if req.Worker == "" {
+		writeErr(w, http.StatusBadRequest, ErrCodeInvalidArgument, "lease request must name its worker")
+		return
+	}
+	id, ttl, jobs := s.disp.Lease(req.Worker, req.MaxJobs)
+	grant := leaseGrant{LeaseID: id, TTLMs: ttl.Milliseconds(), Jobs: []wireJob{}}
+	for _, j := range jobs {
+		grant.Jobs = append(grant.Jobs, wireJob{
+			RunID:      j.runID,
+			Experiment: j.name,
+			Samples:    j.opts.Samples,
+			Seed:       j.opts.Seed,
+			Short:      j.opts.Short,
+		})
+	}
+	writeJSON(w, http.StatusOK, grant)
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if s.disp == nil {
+		writeErr(w, http.StatusServiceUnavailable, ErrCodeUnavailable, "dispatch backend disabled on this server")
+		return
+	}
+	id := r.PathValue("id")
+	ttl, ok := s.disp.Heartbeat(id)
+	if !ok {
+		writeErr(w, http.StatusGone, ErrCodeLeaseGone, "lease %q expired or unknown; its jobs were re-queued", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"ttl_ms": ttl.Milliseconds()})
+}
+
+func (s *Server) handleLeaseResults(w http.ResponseWriter, r *http.Request) {
+	if s.disp == nil {
+		writeErr(w, http.StatusServiceUnavailable, ErrCodeUnavailable, "dispatch backend disabled on this server")
+		return
+	}
+	id := r.PathValue("id")
+	var req struct {
+		Results []wireJobResult `json:"results"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, ErrCodeInvalidArgument, "bad results upload: %v", err)
+		return
+	}
+	completed := make([]CompletedJob, 0, len(req.Results))
+	for _, jr := range req.Results {
+		var res Result
+		if err := json.Unmarshal(jr.Result, &res); err != nil {
+			// An undecodable result is treated as not uploaded: the job
+			// is re-queued rather than delivered corrupt.
+			continue
+		}
+		completed = append(completed, CompletedJob{RunID: jr.RunID, Experiment: jr.Experiment, Res: &res})
+	}
+	accepted, requeued, ok := s.disp.Complete(id, completed)
+	if !ok {
+		writeErr(w, http.StatusGone, ErrCodeLeaseGone, "lease %q expired or unknown; its jobs were re-queued", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": accepted, "requeued": requeued})
 }

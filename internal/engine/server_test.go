@@ -1,10 +1,9 @@
 package engine
 
 import (
-	"bufio"
-	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,6 +11,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/wmm/client"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *Engine) {
@@ -38,6 +39,16 @@ func newTestServerOpts(t *testing.T, o ServerOptions) (*httptest.Server, *Server
 	return ts, api, eng
 }
 
+// testClient returns a typed API client for the test server.  The HTTP
+// tests drive the server through wmm/client — the same surface real
+// consumers (wmmctl, wmmworker) use — so the client and the server's v1
+// contract are exercised together.
+func testClient(ts *httptest.Server) *client.Client {
+	return client.New(ts.URL)
+}
+
+// getJSON keeps raw access for the endpoints whose wire shape is itself
+// under test (operational routes, legacy shims, error envelopes).
 func getJSON(t *testing.T, url string, out any) *http.Response {
 	t.Helper()
 	resp, err := http.Get(url)
@@ -55,36 +66,31 @@ func getJSON(t *testing.T, url string, out any) *http.Response {
 
 func postRun(t *testing.T, ts *httptest.Server, spec string) string {
 	t.Helper()
-	resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(spec))
+	var rs client.RunSpec
+	if err := json.Unmarshal([]byte(spec), &rs); err != nil {
+		t.Fatalf("bad spec %q: %v", spec, err)
+	}
+	sub, err := testClient(ts).SubmitRun(context.Background(), rs)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("submit run: %v", err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		var buf bytes.Buffer
-		buf.ReadFrom(resp.Body)
-		t.Fatalf("POST /runs: %d: %s", resp.StatusCode, buf.String())
-	}
-	var out struct {
-		ID string `json:"id"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatal(err)
-	}
-	if out.ID == "" {
+	if sub.ID == "" {
 		t.Fatal("run id missing")
 	}
-	return out.ID
+	return sub.ID
 }
 
 // waitState polls the run until it leaves StateRunning or the deadline
-// passes, returning the final status.
-func waitState(t *testing.T, ts *httptest.Server, id string, deadline time.Duration) RunStatus {
+// passes, returning the final status (results included).
+func waitState(t *testing.T, ts *httptest.Server, id string, deadline time.Duration) client.RunStatus {
 	t.Helper()
+	cl := testClient(ts)
 	stop := time.Now().Add(deadline)
 	for {
-		var st RunStatus
-		getJSON(t, ts.URL+"/runs/"+id, &st)
+		st, err := cl.Run(context.Background(), id, true)
+		if err != nil {
+			t.Fatalf("run %s status: %v", id, err)
+		}
 		if st.State != StateRunning {
 			return st
 		}
@@ -98,24 +104,45 @@ func waitState(t *testing.T, ts *httptest.Server, id string, deadline time.Durat
 func TestHealthz(t *testing.T) {
 	ts, _ := newTestServer(t)
 	var out map[string]any
-	resp := getJSON(t, ts.URL+"/healthz", &out)
-	if resp.StatusCode != http.StatusOK || out["status"] != "ok" {
-		t.Errorf("healthz = %d %v", resp.StatusCode, out)
+	if err := testClient(ts).GetJSON(context.Background(), "/healthz", &out); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if out["status"] != "ok" {
+		t.Errorf("healthz = %v", out)
 	}
 }
 
 func TestExperimentsEndpoint(t *testing.T) {
 	ts, _ := newTestServer(t)
-	var out []struct {
-		Name  string `json:"name"`
-		Paper string `json:"paper"`
+	cl := testClient(ts)
+
+	// Walk the catalogue through cursor pagination in awkward page sizes.
+	var all []client.ExperimentInfo
+	pages := 0
+	page := client.Page{Limit: 7}
+	for {
+		p, err := cl.Experiments(context.Background(), page)
+		if err != nil {
+			t.Fatalf("experiments page %d: %v", pages, err)
+		}
+		if len(p.Items) == 0 {
+			t.Fatalf("experiments page %d empty (NextAfter %q)", pages, p.NextAfter)
+		}
+		all = append(all, p.Items...)
+		pages++
+		if p.NextAfter == "" {
+			break
+		}
+		page.After = p.NextAfter
 	}
-	getJSON(t, ts.URL+"/experiments", &out)
-	if len(out) != 20 {
-		t.Fatalf("catalogue has %d experiments, want 20", len(out))
+	if len(all) != 20 {
+		t.Fatalf("catalogue has %d experiments, want 20", len(all))
 	}
-	if out[0].Name != "fig1" || out[1].Paper != "Figure 4" {
-		t.Errorf("catalogue order wrong: %+v", out[:2])
+	if pages != 3 {
+		t.Errorf("catalogue of 20 in pages of 7 took %d pages, want 3", pages)
+	}
+	if all[0].Name != "fig1" || all[1].Paper != "Figure 4" {
+		t.Errorf("catalogue order wrong: %+v", all[:2])
 	}
 }
 
@@ -138,28 +165,28 @@ func TestRunLifecycle(t *testing.T) {
 	}
 
 	// The run also shows up in the listing.
-	var list []RunStatus
-	getJSON(t, ts.URL+"/runs", &list)
-	if len(list) != 1 || list[0].ID != id {
-		t.Errorf("listing = %+v", list)
+	list, err := testClient(ts).Runs(context.Background(), client.Page{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Items) != 1 || list.Items[0].ID != id {
+		t.Errorf("listing = %+v", list.Items)
 	}
 }
 
 func TestRunValidation(t *testing.T) {
 	ts, _ := newTestServer(t)
-	resp, err := http.Post(ts.URL+"/runs", "application/json",
-		strings.NewReader(`{"experiments": ["bogus"]}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("unknown experiment accepted: %d", resp.StatusCode)
+	// Unknown experiment names are refused before anything executes.
+	_, err := testClient(ts).SubmitRun(context.Background(),
+		client.RunSpec{Experiments: []string{"bogus"}})
+	var apiErr *client.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Errorf("unknown experiment: %v, want 400 envelope", err)
 	}
 
-	resp = getJSON(t, ts.URL+"/runs/nope", nil)
-	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("unknown run id = %d, want 404", resp.StatusCode)
+	_, err = testClient(ts).Run(context.Background(), "nope", false)
+	if !client.IsNotFound(err) {
+		t.Errorf("unknown run id: %v, want 404", err)
 	}
 }
 
@@ -169,14 +196,8 @@ func TestRunCancellationEndpoint(t *testing.T) {
 	// the next sample boundary.
 	id := postRun(t, ts, `{"experiments": ["txt1"], "seed": 3}`)
 
-	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/runs/"+id, nil)
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("DELETE = %d", resp.StatusCode)
+	if _, err := testClient(ts).CancelRun(context.Background(), id); err != nil {
+		t.Fatalf("cancel: %v", err)
 	}
 
 	st := waitState(t, ts, id, time.Minute)
@@ -198,35 +219,33 @@ func TestRunStreaming(t *testing.T) {
 	ts, _ := newTestServer(t)
 	id := postRun(t, ts, `{"experiments": ["fig4"], "short": true, "samples": 2, "seed": 3}`)
 
-	resp, err := http.Get(fmt.Sprintf("%s/runs/%s?stream=1", ts.URL, id))
+	// The raw stream carries the NDJSON content type.
+	resp, err := http.Get(fmt.Sprintf("%s/api/v1/runs/%s?stream=1", ts.URL, id))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
+	resp.Body.Close()
 	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Errorf("stream content type = %q", ct)
 	}
-	sc := bufio.NewScanner(resp.Body)
+
 	var sawEnd bool
-	var lines int
-	for sc.Scan() {
-		lines++
-		var ev struct {
-			Event string `json:"event"`
-			State string `json:"state"`
-		}
-		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
-		}
+	var events int
+	_, err = testClient(ts).WatchRun(context.Background(), id, func(ev client.Event) error {
+		events++
 		if ev.Event == "end" {
 			sawEnd = true
 			if ev.State != StateDone {
 				t.Errorf("stream ended in state %q", ev.State)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
 	}
 	if !sawEnd {
-		t.Errorf("stream closed without an end event (%d lines)", lines)
+		t.Errorf("stream closed without an end event (%d events)", events)
 	}
 }
 
@@ -260,9 +279,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		// Calibration cache series.
 		"# TYPE wmm_engine_calibration_cache_hits_total counter",
 		"# TYPE wmm_engine_calibration_cache_misses_total counter",
-		// HTTP series.
-		`wmm_http_requests_total{method="POST",path="/runs",code="202"} 1`,
-		`wmm_http_request_seconds_count{method="POST",path="/runs"} 1`,
+		// HTTP series, labelled by the v1 route pattern the client hit.
+		`wmm_http_requests_total{method="POST",path="/api/v1/runs",code="202"} 1`,
+		`wmm_http_request_seconds_count{method="POST",path="/api/v1/runs"} 1`,
 		// Run lifecycle series.
 		`wmm_runs_total{state="submitted"} 1`,
 		`wmm_runs_total{state="done"} 1`,
@@ -282,8 +301,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Errorf("wmm_engine_jobs_executed_total = %v, want > 0", jobs)
 	}
 	// Per-run sample counters surface in RunStatus.
-	var st RunStatus
-	getJSON(t, ts.URL+"/runs/"+id, &st)
+	st, err := testClient(ts).Run(context.Background(), id, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Samples <= 0 || st.Measurements <= 0 {
 		t.Errorf("RunStatus counters: samples=%d measurements=%d, want > 0", st.Samples, st.Measurements)
 	}
@@ -311,21 +332,20 @@ func TestServerShutdown(t *testing.T) {
 	eng.Close()
 
 	// The run was cancelled, not abandoned.
-	var st RunStatus
-	getJSON(t, ts.URL+"/runs/"+id, &st)
+	st, err := testClient(ts).Run(context.Background(), id, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.State != StateCancelled {
 		t.Errorf("run state after shutdown = %q, want %q", st.State, StateCancelled)
 	}
 
 	// New submissions are refused.
-	resp, err := http.Post(ts.URL+"/runs", "application/json",
-		strings.NewReader(`{"experiments": ["fig4"], "short": true}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("submit after shutdown = %d, want 503", resp.StatusCode)
+	_, err = testClient(ts).SubmitRun(context.Background(),
+		client.RunSpec{Experiments: []string{"fig4"}, Short: true})
+	var apiErr *client.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Errorf("submit after shutdown: %v, want 503", err)
 	}
 }
 
@@ -333,33 +353,27 @@ func TestServerShutdown(t *testing.T) {
 // from the catalogue instead of being a silent no-op.
 func TestDeleteFinishedRun(t *testing.T) {
 	ts, _ := newTestServer(t)
+	cl := testClient(ts)
 	id := postRun(t, ts, `{"experiments": ["fig4"], "short": true, "samples": 2, "seed": 3}`)
 	waitState(t, ts, id, 2*time.Minute)
 
-	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/runs/"+id, nil)
-	resp, err := http.DefaultClient.Do(req)
+	out, err := cl.CancelRun(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var out struct {
-		State   string `json:"state"`
-		Deleted bool   `json:"deleted"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
 	if out.State != StateDone || !out.Deleted {
 		t.Errorf("DELETE finished run = %+v, want done/deleted", out)
 	}
 
-	if resp := getJSON(t, ts.URL+"/runs/"+id, nil); resp.StatusCode != http.StatusNotFound {
-		t.Errorf("deleted run still served: %d", resp.StatusCode)
+	if _, err := cl.Run(context.Background(), id, false); !client.IsNotFound(err) {
+		t.Errorf("deleted run still served: %v", err)
 	}
-	var list []RunStatus
-	getJSON(t, ts.URL+"/runs", &list)
-	if len(list) != 0 {
-		t.Errorf("deleted run still listed: %+v", list)
+	list, err := cl.Runs(context.Background(), client.Page{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Items) != 0 {
+		t.Errorf("deleted run still listed: %+v", list.Items)
 	}
 }
 
@@ -369,13 +383,13 @@ func TestRetentionGC(t *testing.T) {
 	ts, _, _ := newTestServerOpts(t, ServerOptions{
 		Parallel: 2, Retain: 50 * time.Millisecond, SweepEvery: 20 * time.Millisecond,
 	})
+	cl := testClient(ts)
 	id := postRun(t, ts, `{"experiments": ["fig4"], "short": true, "samples": 2, "seed": 3}`)
 	waitState(t, ts, id, 2*time.Minute)
 
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		resp := getJSON(t, ts.URL+"/runs/"+id, nil)
-		if resp.StatusCode == http.StatusNotFound {
+		if _, err := cl.Run(context.Background(), id, false); client.IsNotFound(err) {
 			return
 		}
 		if time.Now().After(deadline) {
@@ -395,8 +409,8 @@ func TestGCKeepsRunningRuns(t *testing.T) {
 	if n := api.gc(time.Now().Add(time.Hour)); n != 0 {
 		t.Errorf("gc removed %d running runs", n)
 	}
-	if resp := getJSON(t, ts.URL+"/runs/"+id, nil); resp.StatusCode != http.StatusOK {
-		t.Errorf("running run gone after gc: %d", resp.StatusCode)
+	if _, err := testClient(ts).Run(context.Background(), id, false); err != nil {
+		t.Errorf("running run gone after gc: %v", err)
 	}
 	// Cleanup (api.Shutdown) cancels the long run.
 }
@@ -413,36 +427,20 @@ func TestStreamExactlyOnce(t *testing.T) {
 	// Several staggered streams probe different interleavings of
 	// subscription vs. progress.
 	for attempt := 0; attempt < 3; attempt++ {
-		resp, err := http.Get(fmt.Sprintf("%s/runs/%s?stream=1", ts.URL, id))
-		if err != nil {
-			t.Fatal(err)
-		}
-		sc := bufio.NewScanner(resp.Body)
-		if !sc.Scan() {
-			resp.Body.Close()
-			t.Fatal("stream had no snapshot line")
-		}
-		var snap RunStatus
-		if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
-			resp.Body.Close()
-			t.Fatalf("bad snapshot %q: %v", sc.Text(), err)
-		}
 		doneSeen := map[string]int{}
 		endCompleted := -1
-		for sc.Scan() {
-			var ev event
-			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-				resp.Body.Close()
-				t.Fatalf("bad stream line %q: %v", sc.Text(), err)
-			}
+		snap, err := testClient(ts).WatchRun(context.Background(), id, func(ev client.Event) error {
 			switch ev.Event {
 			case "done":
 				doneSeen[ev.Experiment]++
 			case "end":
 				endCompleted = ev.Completed
 			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("watch %d: %v", attempt, err)
 		}
-		resp.Body.Close()
 		for exp, n := range doneSeen {
 			if n > 1 {
 				t.Errorf("stream %d: experiment %s done %d times", attempt, exp, n)

@@ -40,12 +40,13 @@ import (
 
 // Record is one on-disk line.
 type Record struct {
-	Rec    string          `json:"rec"` // "spec" | "experiment" | "end"
+	Rec    string          `json:"rec"` // "spec" | "experiment" | "assign" | "end"
 	ID     string          `json:"id,omitempty"`
 	Time   time.Time       `json:"time"`
 	Spec   json.RawMessage `json:"spec,omitempty"`   // on "spec"
-	Name   string          `json:"name,omitempty"`   // on "experiment"
+	Name   string          `json:"name,omitempty"`   // on "experiment" and "assign"
 	Result json.RawMessage `json:"result,omitempty"` // on "experiment"
+	Worker string          `json:"worker,omitempty"` // on "assign"
 	State  string          `json:"state,omitempty"`  // on "end"
 	Error  string          `json:"error,omitempty"`  // on "end"
 }
@@ -56,6 +57,17 @@ type ExperimentRecord struct {
 	Result json.RawMessage
 }
 
+// AssignRecord is one recorded dispatch of an experiment job to a
+// remote worker under a lease — the audit trail of where a sharded
+// run's work went.  Assignments are informational on replay: resume
+// correctness rests entirely on experiment checkpoints (an assigned but
+// unfinished experiment simply re-executes, byte-identically).
+type AssignRecord struct {
+	Name   string
+	Worker string
+	Time   time.Time
+}
+
 // RunRecord is one replayed run: the fold of its record sequence.
 type RunRecord struct {
 	ID      string
@@ -64,6 +76,9 @@ type RunRecord struct {
 	// Experiments holds the last checkpoint per experiment, in first-
 	// checkpoint order.
 	Experiments []ExperimentRecord
+	// Assignments holds every recorded worker assignment, in append
+	// order (a re-queued job may appear more than once).
+	Assignments []AssignRecord
 	// EndState is empty for an interrupted run.
 	EndState string
 	EndError string
@@ -177,6 +192,14 @@ func (s *Store) Checkpoint(id, experiment string, result json.RawMessage) error 
 	return s.append(id, Record{Rec: "experiment", Time: time.Now(), Name: experiment, Result: result})
 }
 
+// Assign records the dispatch of one experiment job to a worker under
+// a lease.  Purely an audit trail: replay surfaces assignments but
+// resume never depends on them (a lost assignment's experiment just
+// re-executes from its spec).
+func (s *Store) Assign(id, experiment, worker string) error {
+	return s.append(id, Record{Rec: "assign", Time: time.Now(), Name: experiment, Worker: worker})
+}
+
 // End records a run's terminal state.  A run whose file never receives
 // an end record is treated as interrupted and resumed on replay.
 func (s *Store) End(id, state, errMsg string) error {
@@ -267,6 +290,11 @@ func (s *Store) loadOne(path string) (*RunRecord, error) {
 			if !replaced {
 				run.Experiments = append(run.Experiments, ExperimentRecord{Name: rec.Name, Result: rec.Result})
 			}
+		case "assign":
+			if run == nil || rec.Name == "" {
+				continue
+			}
+			run.Assignments = append(run.Assignments, AssignRecord{Name: rec.Name, Worker: rec.Worker, Time: rec.Time})
 		case "end":
 			if run != nil {
 				run.EndState = rec.State

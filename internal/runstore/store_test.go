@@ -206,3 +206,56 @@ func TestOpenRejectsUnwritableDir(t *testing.T) {
 		t.Error("read-only directory accepted")
 	}
 }
+
+// TestAssignRecords verifies worker-assignment records round-trip
+// through replay: every dispatch of a job to a worker is folded into
+// the run's Assignments in append order (re-queued jobs appear again),
+// without disturbing checkpoint-based resume.
+func TestAssignRecords(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin("run-1", json.RawMessage(`{"experiments":["fig4","txt3"]}`), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assign("run-1", "fig4", "w1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assign("run-1", "txt3", "w2"); err != nil {
+		t.Fatal(err)
+	}
+	// txt3's first lease is lost; the re-queued job lands on w1.
+	if err := s.Assign("run-1", "txt3", "w1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint("run-1", "fig4", json.RawMessage(`{"experiment":"fig4"}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	runs, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("loaded %d runs, want 1", len(runs))
+	}
+	run := runs[0]
+	want := []struct{ name, worker string }{
+		{"fig4", "w1"}, {"txt3", "w2"}, {"txt3", "w1"},
+	}
+	if len(run.Assignments) != len(want) {
+		t.Fatalf("replayed %d assignments, want %d: %+v", len(run.Assignments), len(want), run.Assignments)
+	}
+	for i, w := range want {
+		if run.Assignments[i].Name != w.name || run.Assignments[i].Worker != w.worker {
+			t.Errorf("assignment %d = %s/%s, want %s/%s",
+				i, run.Assignments[i].Name, run.Assignments[i].Worker, w.name, w.worker)
+		}
+	}
+	// Assignments are an audit trail only: the interrupted run still
+	// resumes from its checkpoints.
+	if run.EndState != "" || run.Experiment("fig4") == nil || run.Experiment("txt3") != nil {
+		t.Errorf("assign records disturbed resume state: %+v", run)
+	}
+}

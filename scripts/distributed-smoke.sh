@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# distributed-smoke.sh — run the same spec on a plain local wmmd and on
+# a coordinator-only wmmd served by two real wmmworker processes, and
+# assert the canonical run JSON is byte-identical.
+#
+# This is the out-of-process counterpart of
+# TestDistributedCanonicalIdentity: real binaries, real HTTP, real
+# process boundaries.  Positional seed derivation is what makes the
+# assertion possible — a job's results do not depend on which process
+# executes it.
+set -euo pipefail
+
+ADDR_LOCAL="127.0.0.1:8353"
+ADDR_DIST="127.0.0.1:8354"
+DATA="$(mktemp -d)"
+LOG="$DATA/smoke.log"
+PIDS=()
+trap 'kill -9 "${PIDS[@]}" 2>/dev/null || true; rm -rf "$DATA"' EXIT
+
+go build -o "$DATA/wmmd" ./cmd/wmmd
+go build -o "$DATA/wmmworker" ./cmd/wmmworker
+go build -o "$DATA/wmmctl" ./cmd/wmmctl
+
+SPEC='{"experiments":["fig4","txt3"],"short":true,"samples":2,"seed":3,"parallel":2}'
+
+# --- Baseline: one ordinary wmmd doing the work itself. --------------
+"$DATA/wmmd" -addr "$ADDR_LOCAL" >>"$LOG" 2>&1 &
+PIDS+=($!)
+"$DATA/wmmctl" -server "http://$ADDR_LOCAL" -timeout 30s ready \
+  || { echo "distributed-smoke: local wmmd never became ready" >&2; cat "$LOG" >&2; exit 1; }
+
+RUN_LOCAL=$("$DATA/wmmctl" -server "http://$ADDR_LOCAL" submit "$SPEC")
+"$DATA/wmmctl" -server "http://$ADDR_LOCAL" -timeout 15m wait "$RUN_LOCAL" \
+  || { echo "distributed-smoke: local run failed" >&2; exit 1; }
+"$DATA/wmmctl" -server "http://$ADDR_LOCAL" canonical "$RUN_LOCAL" > "$DATA/local.json"
+
+# --- Distributed: a pure coordinator plus two worker processes. ------
+"$DATA/wmmd" -addr "$ADDR_DIST" -local-slots -1 -lease-ttl 5s >>"$LOG" 2>&1 &
+PIDS+=($!)
+"$DATA/wmmctl" -server "http://$ADDR_DIST" -timeout 30s ready \
+  || { echo "distributed-smoke: coordinator never became ready" >&2; cat "$LOG" >&2; exit 1; }
+
+"$DATA/wmmworker" -coordinator "http://$ADDR_DIST" -id smoke-w1 -poll 100ms >>"$LOG" 2>&1 &
+PIDS+=($!)
+"$DATA/wmmworker" -coordinator "http://$ADDR_DIST" -id smoke-w2 -poll 100ms >>"$LOG" 2>&1 &
+PIDS+=($!)
+
+RUN_DIST=$("$DATA/wmmctl" -server "http://$ADDR_DIST" submit "$SPEC")
+"$DATA/wmmctl" -server "http://$ADDR_DIST" -timeout 15m wait "$RUN_DIST" \
+  || { echo "distributed-smoke: distributed run failed" >&2; cat "$LOG" >&2; exit 1; }
+"$DATA/wmmctl" -server "http://$ADDR_DIST" canonical "$RUN_DIST" > "$DATA/dist.json"
+
+# --- The acceptance criterion: byte-identical canonical JSON. --------
+if ! diff -q "$DATA/local.json" "$DATA/dist.json" >/dev/null; then
+  echo "distributed-smoke: canonical JSON diverged between local and sharded execution" >&2
+  diff "$DATA/local.json" "$DATA/dist.json" >&2 || true
+  exit 1
+fi
+
+# And the work really went to the workers: the coordinator has no local
+# slots, so every job must have completed in "remote" mode.
+REMOTE=$(curl -fsS "http://$ADDR_DIST/metrics" \
+  | sed -n 's/^wmm_dispatch_jobs_completed_total{mode="remote"} \([0-9.]*\)$/\1/p')
+case "$REMOTE" in
+  ''|0) echo "distributed-smoke: no remote job completions recorded (got '${REMOTE:-none}')" >&2; exit 1 ;;
+esac
+
+echo "distributed-smoke: ok ($RUN_DIST sharded across 2 workers, canonical JSON identical, $REMOTE remote jobs)"

@@ -7,6 +7,10 @@
 # deliberately writes no terminal record); this script kills the real
 # binary with SIGKILL, so the whole chain — fsynced checkpoints, torn
 # tails, startup replay — is exercised against an actual dead process.
+#
+# All API interaction goes through wmmctl (the typed wmm/client), not
+# hand-rolled curl/sed: the smoke test exercises the same client real
+# consumers use.
 set -euo pipefail
 
 ADDR="127.0.0.1:8351"
@@ -16,25 +20,16 @@ LOG="$DATA/wmmd.log"
 trap 'kill -9 "$PID" 2>/dev/null || true; rm -rf "$DATA"' EXIT
 
 go build -o "$DATA/wmmd" ./cmd/wmmd
-
-wait_ready() {
-  for _ in $(seq 1 100); do
-    if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then return 0; fi
-    sleep 0.2
-  done
-  echo "resume-smoke: wmmd never became ready" >&2
-  cat "$LOG" >&2
-  return 1
-}
+go build -o "$DATA/wmmctl" ./cmd/wmmctl
+CTL="$DATA/wmmctl -server $BASE"
 
 "$DATA/wmmd" -addr "$ADDR" -data "$DATA/runs" >>"$LOG" 2>&1 &
 PID=$!
-wait_ready
+$CTL -timeout 30s ready || { echo "resume-smoke: wmmd never became ready" >&2; cat "$LOG" >&2; exit 1; }
 
 # fig4 is quick and checkpoints early; ext-c11 takes far longer — the
 # kill lands while it is still running.
-RUN=$(curl -fsS "$BASE/runs" -d '{"experiments":["fig4","ext-c11"],"short":true,"samples":1,"seed":3,"parallel":2}' \
-  | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+RUN=$($CTL submit '{"experiments":["fig4","ext-c11"],"short":true,"samples":1,"seed":3,"parallel":2}')
 [ -n "$RUN" ] || { echo "resume-smoke: no run id" >&2; exit 1; }
 
 # Wait for the first durable checkpoint, then crash hard.
@@ -55,23 +50,17 @@ fi
 # Restart over the same data directory: the run must resume and finish.
 "$DATA/wmmd" -addr "$ADDR" -data "$DATA/runs" >>"$LOG" 2>&1 &
 PID=$!
-wait_ready
+$CTL -timeout 30s ready || { echo "resume-smoke: restarted wmmd never became ready" >&2; cat "$LOG" >&2; exit 1; }
 grep -q "1 interrupted runs resumed" "$LOG" || { echo "resume-smoke: restart did not resume" >&2; cat "$LOG" >&2; exit 1; }
 
-for _ in $(seq 1 900); do
-  STATE=$(curl -fsS "$BASE/runs/$RUN" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -n1)
-  [ "$STATE" = "running" ] || break
-  sleep 1
-done
-if [ "$STATE" != "done" ]; then
-  echo "resume-smoke: resumed run ended '$STATE'" >&2
-  curl -fsS "$BASE/runs/$RUN" >&2 || true
+if ! $CTL -timeout 15m wait "$RUN"; then
+  echo "resume-smoke: resumed run did not finish cleanly" >&2
+  $CTL status "$RUN" >&2 || true
   exit 1
 fi
 
-STATUS=$(curl -fsS "$BASE/runs/$RUN")
+STATUS=$($CTL status "$RUN")
 echo "$STATUS" | grep -q '"resumed": *true' || { echo "resume-smoke: run not marked resumed" >&2; exit 1; }
-COMPLETED=$(echo "$STATUS" | sed -n 's/.*"completed": *\([0-9]*\).*/\1/p' | head -n1)
-[ "$COMPLETED" = "2" ] || { echo "resume-smoke: completed=$COMPLETED, want 2" >&2; exit 1; }
+echo "$STATUS" | grep -q '"completed": *2' || { echo "resume-smoke: run incomplete: $STATUS" >&2; exit 1; }
 
 echo "resume-smoke: ok ($RUN resumed after SIGKILL and completed)"

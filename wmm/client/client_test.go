@@ -1,0 +1,185 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryOn429 verifies SubmitRun rides out admission-control
+// refusals: each 429 is retried after the server's Retry-After hint,
+// and the eventual acceptance is returned.
+func TestRetryOn429(t *testing.T) {
+	var calls atomic.Int32
+	var sawBody atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/api/v1/runs" {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		var spec RunSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			t.Errorf("attempt %d sent an unreadable body: %v", calls.Load(), err)
+		}
+		sawBody.Store(spec)
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]any{"error": map[string]string{
+				"code": "saturated", "message": "queue full",
+			}})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(Submitted{ID: "run-1", State: StateRunning, Total: 1})
+	}))
+	defer ts.Close()
+
+	cl := New(ts.URL, WithRetry(4, time.Second))
+	sub, err := cl.SubmitRun(context.Background(), RunSpec{Experiments: []string{"fig4"}, Seed: 3})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if sub.ID != "run-1" || calls.Load() != 3 {
+		t.Errorf("sub=%+v after %d calls, want run-1 after 3", sub, calls.Load())
+	}
+	// The body must be re-sent intact on every attempt.
+	if spec := sawBody.Load().(RunSpec); len(spec.Experiments) != 1 || spec.Seed != 3 {
+		t.Errorf("final attempt body = %+v", spec)
+	}
+}
+
+// TestRetryBudgetExhausted verifies a persistent 429 eventually
+// surfaces as *Error with the Retry-After hint captured.
+func TestRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(map[string]any{"error": map[string]string{
+			"code": "saturated", "message": "queue full",
+		}})
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL, WithRetry(2, time.Second)).SubmitRun(context.Background(), RunSpec{})
+	if !IsSaturated(err) {
+		t.Fatalf("err = %v, want IsSaturated", err)
+	}
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.Code != "saturated" {
+		t.Errorf("envelope not decoded: %v", err)
+	}
+	if calls.Load() != 3 { // initial attempt + 2 retries
+		t.Errorf("server saw %d calls, want 3", calls.Load())
+	}
+}
+
+// TestEnvelopeDecoding verifies non-2xx responses become *Error with
+// status, code and message, and that the helpers classify them.
+func TestEnvelopeDecoding(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]any{"error": map[string]string{
+			"code": "not_found", "message": `unknown run "nope"`,
+		}})
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL).Run(context.Background(), "nope", false)
+	if !IsNotFound(err) {
+		t.Fatalf("err = %v, want IsNotFound", err)
+	}
+	var apiErr *Error
+	if !errors.As(err, &apiErr) {
+		t.Fatal("err is not *Error")
+	}
+	if apiErr.Status != 404 || apiErr.Code != "not_found" || apiErr.Message == "" {
+		t.Errorf("decoded envelope = %+v", apiErr)
+	}
+	if apiErr.Error() == "" {
+		t.Error("Error() empty")
+	}
+}
+
+// TestPaginationParams verifies Page renders into limit/after query
+// parameters and page responses decode.
+func TestPaginationParams(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.URL.Query().Get("limit"); got != "2" {
+			t.Errorf("limit = %q, want 2", got)
+		}
+		if got := r.URL.Query().Get("after"); got != "fig4" {
+			t.Errorf("after = %q, want fig4", got)
+		}
+		json.NewEncoder(w).Encode(ExperimentsPage{
+			Items:     []ExperimentInfo{{Name: "fig5"}, {Name: "fig6"}},
+			NextAfter: "fig6",
+		})
+	}))
+	defer ts.Close()
+
+	p, err := New(ts.URL).Experiments(context.Background(), Page{Limit: 2, After: "fig4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Items) != 2 || p.NextAfter != "fig6" {
+		t.Errorf("page = %+v", p)
+	}
+}
+
+// TestWatchRun verifies the NDJSON stream decodes into a snapshot plus
+// events, stopping at the end event.
+func TestWatchRun(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("stream") != "1" {
+			t.Errorf("stream param missing: %s", r.URL.RawQuery)
+		}
+		enc := json.NewEncoder(w)
+		enc.Encode(RunStatus{ID: "run-1", State: StateRunning, Total: 2, Completed: 1})
+		enc.Encode(Event{Event: "done", Experiment: "txt3"})
+		enc.Encode(Event{Event: "end", State: StateDone, Completed: 2, Total: 2})
+	}))
+	defer ts.Close()
+
+	var events []Event
+	snap, err := New(ts.URL).WatchRun(context.Background(), "run-1", func(ev Event) error {
+		events = append(events, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID != "run-1" || snap.Completed != 1 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if len(events) != 2 || events[0].Experiment != "txt3" || events[1].State != StateDone {
+		t.Errorf("events = %+v", events)
+	}
+}
+
+// TestContextCancellation verifies an expired context aborts the retry
+// wait instead of sleeping through it.
+func TestContextCancellation(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := New(ts.URL).SubmitRun(ctx, RunSpec{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Errorf("cancellation took %v; the Retry-After sleep was not interrupted", time.Since(start))
+	}
+}

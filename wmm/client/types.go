@@ -1,0 +1,186 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// RunSpec is the body of POST /api/v1/runs.
+type RunSpec struct {
+	// Experiments to run, in order; empty = the full evaluation in
+	// paper order.
+	Experiments []string `json:"experiments,omitempty"`
+	// Short selects the reduced sweep.
+	Short bool `json:"short"`
+	// Samples per measurement (0 = driver default).
+	Samples int `json:"samples,omitempty"`
+	// Seed is the base random seed (0 = 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Parallel experiments in flight (0 = server default).
+	Parallel int `json:"parallel,omitempty"`
+	// TimeoutMs bounds the whole run; 0 = no deadline.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// Submitted acknowledges an accepted run.
+type Submitted struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Total int    `json:"total"`
+}
+
+// Result is one experiment's structured outcome.  Tables and Fits are
+// carried as raw JSON so the client does not redeclare the engine's
+// report model; decode them into your own types as needed.
+type Result struct {
+	Experiment   string            `json:"experiment"`
+	Paper        string            `json:"paper"`
+	Desc         string            `json:"desc"`
+	Status       string            `json:"status"`
+	Tables       []json.RawMessage `json:"tables,omitempty"`
+	Fits         []json.RawMessage `json:"fits,omitempty"`
+	Measurements int               `json:"measurements"`
+	Samples      int               `json:"samples"`
+	WallNs       int64             `json:"wall_ns"`
+	Output       string            `json:"output"`
+	Err          string            `json:"error,omitempty"`
+}
+
+// Run states, mirroring the server's.
+const (
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+	StatePartial   = "partial"
+)
+
+// RunStatus is the snapshot served by GET /api/v1/runs/{id}.
+type RunStatus struct {
+	ID           string    `json:"id"`
+	State        string    `json:"state"`
+	Spec         RunSpec   `json:"spec"`
+	Total        int       `json:"total"`
+	Completed    int       `json:"completed"`
+	Running      []string  `json:"running,omitempty"`
+	Resumed      bool      `json:"resumed,omitempty"`
+	Measurements int       `json:"measurements"`
+	Samples      int       `json:"samples"`
+	Error        string    `json:"error,omitempty"`
+	StartedAt    time.Time `json:"started_at"`
+	WallMs       int64     `json:"wall_ms"`
+	Results      []Result  `json:"results,omitempty"`
+}
+
+// Event is one NDJSON progress record from a streamed run.
+type Event struct {
+	Event      string `json:"event"` // "started" | "done" | "end"
+	Experiment string `json:"experiment,omitempty"`
+	Error      string `json:"error,omitempty"`
+	WallMs     int64  `json:"wall_ms,omitempty"`
+	State      string `json:"state,omitempty"` // on "end"
+	Completed  int    `json:"completed,omitempty"`
+	Total      int    `json:"total,omitempty"`
+}
+
+// ExperimentInfo is one catalogue entry.
+type ExperimentInfo struct {
+	Name  string `json:"name"`
+	Paper string `json:"paper"`
+	Desc  string `json:"desc"`
+}
+
+// Page selects one page of a cursor-paginated listing.
+type Page struct {
+	// Limit bounds the page size (0 = server default, 100).
+	Limit int
+	// After is the exclusive cursor: the last item of the previous
+	// page, as returned in NextAfter.
+	After string
+}
+
+// ExperimentsPage is one page of the experiment catalogue.
+type ExperimentsPage struct {
+	Items     []ExperimentInfo `json:"items"`
+	NextAfter string           `json:"next_after,omitempty"`
+}
+
+// RunsPage is one page of run statuses.
+type RunsPage struct {
+	Items     []RunStatus `json:"items"`
+	NextAfter string      `json:"next_after,omitempty"`
+}
+
+// CancelResponse acknowledges DELETE /api/v1/runs/{id}.
+type CancelResponse struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Deleted bool   `json:"deleted,omitempty"`
+}
+
+// Job is one leased experiment job: everything a worker needs to
+// reproduce the exact bytes a local execution would produce.
+type Job struct {
+	RunID      string `json:"run_id"`
+	Experiment string `json:"experiment"`
+	Samples    int    `json:"samples,omitempty"`
+	Seed       int64  `json:"seed,omitempty"`
+	Short      bool   `json:"short"`
+}
+
+// LeaseGrant is a batch of jobs under a TTL'd lease.  An empty LeaseID
+// means the queue had no work; poll again after an idle interval.
+type LeaseGrant struct {
+	LeaseID string `json:"lease_id,omitempty"`
+	TTLMs   int64  `json:"ttl_ms,omitempty"`
+	Jobs    []Job  `json:"jobs"`
+}
+
+// TTL is the grant's lease duration.
+func (g LeaseGrant) TTL() time.Duration { return time.Duration(g.TTLMs) * time.Millisecond }
+
+// JobResult is one completed job's upload.  Result carries the
+// executed engine Result as raw JSON, byte-for-byte as produced.
+type JobResult struct {
+	RunID      string          `json:"run_id"`
+	Experiment string          `json:"experiment"`
+	Result     json.RawMessage `json:"result"`
+}
+
+// UploadAck reports how a lease settled: jobs accepted with results,
+// and jobs the upload did not cover that were re-queued.
+type UploadAck struct {
+	Accepted int `json:"accepted"`
+	Requeued int `json:"requeued"`
+}
+
+// Error is the uniform API error envelope {"error": {"code",
+// "message"}} carried by every non-2xx response, plus transport
+// context.  RetryAfter is populated from the Retry-After header on 429.
+type Error struct {
+	Status     int    // HTTP status code
+	Code       string // machine-readable error code ("not_found", "saturated", ...)
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *Error) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("api error %d (%s): %s", e.Status, e.Code, e.Message)
+	}
+	return fmt.Sprintf("api error %d: %s", e.Status, e.Message)
+}
+
+// IsNotFound reports whether err is an API 404.
+func IsNotFound(err error) bool {
+	var e *Error
+	return asError(err, &e) && e.Status == 404
+}
+
+// IsSaturated reports whether err is an admission-control 429 — the
+// caller should back off for e.RetryAfter and resubmit.
+func IsSaturated(err error) bool {
+	var e *Error
+	return asError(err, &e) && e.Status == 429
+}
