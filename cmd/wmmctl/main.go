@@ -17,6 +17,11 @@
 //	                         state, exits non-zero unless "done"
 //	canonical <id>           print a finished run's canonical JSON
 //	cancel <id>              cancel or remove a run
+//	litmus-submit <spec>     submit a litmus campaign (spec JSON or "-");
+//	                         prints the campaign id
+//	litmus-wait <id>         poll until the campaign finishes; prints
+//	                         final state, exits non-zero unless "done"
+//	litmus-canonical <id>    print a finished campaign's canonical JSON
 //	ready                    wait (up to -timeout) for /readyz
 package main
 
@@ -58,7 +63,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		log.Fatal("wmmctl: usage: wmmctl [-server URL] <experiments|submit|status|wait|canonical|cancel|ready> [args]")
+		log.Fatal("wmmctl: usage: wmmctl [-server URL] <experiments|submit|status|wait|canonical|cancel|litmus-submit|litmus-wait|litmus-canonical|ready> [args]")
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -157,6 +162,53 @@ func run(ctx context.Context, cl *client.Client, cmd string, args []string) erro
 		}
 		return printJSON(resp)
 
+	case "litmus-submit":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: litmus-submit <spec-json|->")
+		}
+		raw := []byte(args[0])
+		if args[0] == "-" {
+			var err error
+			if raw, err = io.ReadAll(os.Stdin); err != nil {
+				return err
+			}
+		}
+		var spec client.LitmusSpec
+		if err := unmarshalStrict(raw, &spec); err != nil {
+			return fmt.Errorf("bad spec: %w", err)
+		}
+		sub, err := cl.SubmitLitmus(ctx, spec)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sub.ID)
+		return nil
+
+	case "litmus-wait":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: litmus-wait <id>")
+		}
+		st, err := cl.WaitLitmus(ctx, args[0], 250*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		fmt.Println(st.State)
+		if st.State != client.StateDone {
+			return fmt.Errorf("campaign %s finished %s: %s", st.ID, st.State, st.Error)
+		}
+		return nil
+
+	case "litmus-canonical":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: litmus-canonical <id>")
+		}
+		raw, err := cl.CanonicalLitmus(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(raw)
+		return err
+
 	case "ready":
 		// Retry until the server answers /readyz or the deadline ends —
 		// the startup barrier for smoke scripts.
@@ -175,6 +227,6 @@ func run(ctx context.Context, cl *client.Client, cmd string, args []string) erro
 		}
 
 	default:
-		return fmt.Errorf("unknown command (want experiments|submit|status|wait|canonical|cancel|ready)")
+		return fmt.Errorf("unknown command (want experiments|submit|status|wait|canonical|cancel|litmus-submit|litmus-wait|litmus-canonical|ready)")
 	}
 }

@@ -23,6 +23,12 @@
 //	                                 ?stream=1 NDJSON progress,
 //	                                 ?canonical=1 canonical result JSON
 //	DELETE /api/v1/runs/{id}         cancel / remove a run
+//	POST   /api/v1/litmus            submit a generated litmus campaign
+//	                                 {"arch": "armv8", "count": 500, ...}
+//	GET    /api/v1/litmus            campaign statuses
+//	GET    /api/v1/litmus/{id}       one campaign; ?results=1 partial
+//	                                 results, ?canonical=1 canonical JSON
+//	DELETE /api/v1/litmus/{id}       cancel / remove a campaign
 //	POST   /api/v1/leases            worker lease: grab a batch of jobs
 //	POST   /api/v1/leases/{id}/heartbeat   renew a lease
 //	POST   /api/v1/leases/{id}/results     upload a batch's results
@@ -39,6 +45,8 @@
 // that stops heartbeating loses its lease and the jobs re-queue;
 // positional seed derivation keeps results byte-identical wherever a
 // job lands.  -local-slots -1 makes the server a pure coordinator.
+// Litmus campaigns ride the same queue as index-range shards of a
+// deterministically generated test batch (see docs/LITMUS.md).
 //
 // Finished runs are garbage-collected after -retain (0 keeps them
 // forever).  Every request is access-logged as one JSON line on stderr.

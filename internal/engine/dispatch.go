@@ -85,7 +85,10 @@ type dispatchJob struct {
 	runID string
 	name  string
 	opts  RunOptions
-	ctx   context.Context
+	// litmus, when non-nil, makes this a litmus-shard job instead of an
+	// experiment job; name then carries the shard name.
+	litmus *LitmusShard
+	ctx    context.Context
 
 	started func(name string) // ExperimentStarted relay; fired once
 	deliver func(res *Result) // resolves the run's waiter; called once
@@ -270,6 +273,57 @@ func (d *Dispatcher) Run(ctx context.Context, runID string, names []string, o Ru
 		jobs = append(jobs, j)
 	}
 
+	return d.drive(ctx, jobs, sem, &wg, results, reserved)
+}
+
+// RunLitmus shards a litmus campaign across the queue, exactly as Run
+// shards experiments: shard jobs mix with experiment jobs on the same
+// queue, under the same leases, with the same finish-once and requeue
+// semantics.  Results come back in shard order.
+func (d *Dispatcher) RunLitmus(ctx context.Context, runID string, shards []LitmusShard, parallel int, sink Sink, reserved int) ([]*Result, error) {
+	if parallel <= 0 {
+		parallel = 1
+	}
+	if parallel > len(shards) {
+		parallel = len(shards)
+	}
+	sem := make(chan struct{}, parallel)
+
+	results := make([]*Result, len(shards))
+	var wg sync.WaitGroup
+	var jobs []*dispatchJob
+	for i, sh := range shards {
+		sh := sh
+		wg.Add(1)
+		j := &dispatchJob{
+			runID:  runID,
+			name:   sh.name(),
+			litmus: &sh,
+			ctx:    ctx,
+			sem:    sem,
+		}
+		j.started = func(name string) {
+			if sink != nil {
+				sink.ExperimentStarted(name)
+			}
+		}
+		i := i
+		j.deliver = func(res *Result) {
+			results[i] = res
+			if sink != nil {
+				sink.ExperimentDone(res)
+			}
+			wg.Done()
+		}
+		jobs = append(jobs, j)
+	}
+	return d.drive(ctx, jobs, sem, &wg, results, reserved)
+}
+
+// drive is the shared dispatch tail: reconcile the admission
+// reservation, arm the cancellation watcher, enqueue under the run's
+// parallelism budget, and assemble the first failure in request order.
+func (d *Dispatcher) drive(ctx context.Context, jobs []*dispatchJob, sem chan struct{}, wg *sync.WaitGroup, results []*Result, reserved int) ([]*Result, error) {
 	// Reconcile the caller's reservation with the jobs actually created
 	// (a resumed run reserves nothing; restored experiments need no slot).
 	d.admitForce(len(jobs) - reserved)
@@ -401,10 +455,15 @@ func (d *Dispatcher) execute(j *dispatchJob) {
 		res = d.cancelledResult(j, err)
 	} else {
 		var rerr error
-		res, rerr = d.eng.RunExperiment(j.ctx, j.name, j.opts)
+		if j.litmus != nil {
+			res, rerr = RunLitmusShard(j.ctx, *j.litmus)
+		} else {
+			res, rerr = d.eng.RunExperiment(j.ctx, j.name, j.opts)
+		}
 		if rerr != nil {
-			// Unknown experiment — validated at submission, so this is
-			// defensive; surface it as a failed result.
+			// Unknown experiment or malformed shard — validated at
+			// submission, so this is defensive; surface it as a failed
+			// result.
 			res = &Result{Experiment: j.name, Status: StatusFailed, Err: rerr.Error()}
 		}
 	}

@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Litmus campaign API:
+//
+//	POST   /api/v1/litmus        submit a campaign (LitmusSpec), returns
+//	                             {"id", "state", "total"}; 429 under saturation
+//	GET    /api/v1/litmus        campaign statuses, in submission order
+//	GET    /api/v1/litmus/{id}   status; ?results=1 includes shard results
+//	                             while running; ?canonical=1 serves canonical
+//	                             JSON of the ordered shard results
+//	DELETE /api/v1/litmus/{id}   cancel a running campaign / remove a
+//	                             finished one
+//
+// Campaigns are in-memory only: unlike experiment runs they are not
+// persisted to the run store, because any campaign is cheap to resubmit
+// — the batch regenerates from (gen_seed, count, max_threads) and every
+// shard re-executes byte-identically.
+
+// litmusRun is one submitted campaign.
+type litmusRun struct {
+	id       string
+	spec     LitmusSpec
+	shards   []LitmusShard
+	cancel   context.CancelFunc
+	admitted int
+
+	mu        sync.Mutex
+	state     string
+	started   time.Time
+	finished  time.Time
+	completed []*Result // shard results, completion order, while running
+	final     []*Result // shard order, once the campaign ends
+	err       string
+}
+
+// LitmusStatus is the snapshot served by GET /api/v1/litmus/{id}.
+type LitmusStatus struct {
+	ID        string     `json:"id"`
+	State     string     `json:"state"`
+	Spec      LitmusSpec `json:"spec"`
+	Total     int        `json:"total"`     // shards
+	Completed int        `json:"completed"` // shards finished
+	// Tests and Trials aggregate the completed shards' execution
+	// accounting (tests run, randomized trials performed).
+	Tests     int       `json:"tests"`
+	Trials    int       `json:"trials"`
+	Error     string    `json:"error,omitempty"`
+	StartedAt time.Time `json:"started_at"`
+	WallMs    int64     `json:"wall_ms"`
+	Results   []*Result `json:"results,omitempty"`
+}
+
+// status snapshots the campaign.
+func (r *litmusRun) status(includeResults bool) LitmusStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := LitmusStatus{
+		ID:        r.id,
+		State:     r.state,
+		Spec:      r.spec,
+		Total:     len(r.shards),
+		Completed: len(r.completed),
+		Error:     r.err,
+		StartedAt: r.started,
+	}
+	counted := r.completed
+	if r.final != nil {
+		counted = r.final
+	}
+	for _, res := range counted {
+		if res != nil {
+			st.Tests += res.Measurements
+			st.Trials += res.Samples
+		}
+	}
+	end := r.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	st.WallMs = end.Sub(r.started).Milliseconds()
+	if includeResults || r.state != StateRunning {
+		if r.final != nil {
+			st.Results = r.final
+		} else {
+			st.Results = append([]*Result{}, r.completed...)
+		}
+	}
+	return st
+}
+
+// litmusSink adapts a litmusRun to the dispatcher's progress Sink.
+type litmusSink litmusRun
+
+func (ls *litmusSink) ExperimentStarted(string) {}
+
+func (ls *litmusSink) ExperimentDone(res *Result) {
+	r := (*litmusRun)(ls)
+	r.mu.Lock()
+	r.completed = append(r.completed, res)
+	r.mu.Unlock()
+}
+
+func (s *Server) handleLitmusSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec LitmusSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, ErrCodeInvalidArgument, "bad litmus spec: %v", err)
+		return
+	}
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, ErrCodeInvalidArgument, "bad litmus spec: %v", err)
+		return
+	}
+	if spec.Parallel <= 0 {
+		spec.Parallel = s.defaultParallel
+	}
+	shards := spec.shards()
+
+	// Admission control shares the dispatch queue's budget with
+	// experiment runs: a campaign's shards are refused up front rather
+	// than flooding the queue.
+	admitted := 0
+	if s.disp != nil {
+		if !s.disp.TryAdmit(len(shards)) {
+			retry := int(s.disp.RetryAfter().Seconds())
+			if retry < 1 {
+				retry = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			writeErr(w, http.StatusTooManyRequests, ErrCodeSaturated,
+				"dispatch queue saturated (%d shards refused); retry after %ds", len(shards), retry)
+			return
+		}
+		admitted = len(shards)
+	}
+
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if spec.TimeoutMs > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(spec.TimeoutMs)*time.Millisecond)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		if s.disp != nil {
+			s.disp.admitForce(-admitted)
+		}
+		writeErr(w, http.StatusServiceUnavailable, ErrCodeUnavailable, "server shutting down")
+		return
+	}
+	s.litmusSeq++
+	run := &litmusRun{
+		id:       fmt.Sprintf("litmus-%d", s.litmusSeq),
+		spec:     spec,
+		shards:   shards,
+		cancel:   cancel,
+		admitted: admitted,
+		state:    StateRunning,
+		started:  time.Now(),
+	}
+	s.litmus[run.id] = run
+	s.active.Add(1)
+	s.mu.Unlock()
+	s.met.litmusRuns.Inc("submitted")
+
+	go s.executeLitmus(ctx, cancel, run)
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": run.id, "state": StateRunning, "total": len(shards)})
+}
+
+// executeLitmus drives a campaign to completion, through the sharded
+// dispatcher when one is configured and in-process otherwise.  Both
+// paths produce byte-identical shard results for the same spec.
+func (s *Server) executeLitmus(ctx context.Context, cancel context.CancelFunc, run *litmusRun) {
+	defer s.active.Done()
+	defer cancel()
+	var results []*Result
+	var err error
+	if s.disp != nil {
+		results, err = s.disp.RunLitmus(ctx, run.id, run.shards, run.spec.Parallel, (*litmusSink)(run), run.admitted)
+	} else {
+		results, err = runLitmusLocal(ctx, run.shards, run.spec.Parallel, (*litmusSink)(run))
+	}
+
+	run.mu.Lock()
+	run.final = results
+	run.finished = time.Now()
+	switch {
+	case err == nil:
+		run.state = StateDone
+	case ctx.Err() != nil || anyCanceled(results):
+		run.state = StateCancelled
+		run.err = err.Error()
+	case anyOK(results):
+		run.state = StatePartial
+		run.err = err.Error()
+	default:
+		run.state = StateFailed
+		run.err = err.Error()
+	}
+	state := run.state
+	run.mu.Unlock()
+	s.met.litmusRuns.Inc(state)
+}
+
+func (s *Server) lookupLitmus(r *http.Request) (*litmusRun, string) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.litmus[id], id
+}
+
+func (s *Server) handleLitmusList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	runs := make([]*litmusRun, 0, len(s.litmus))
+	for _, run := range s.litmus {
+		runs = append(runs, run)
+	}
+	s.mu.Unlock()
+	out := make([]LitmusStatus, 0, len(runs))
+	for _, run := range runs {
+		out = append(out, run.status(false))
+	}
+	sort.Slice(out, func(i, j int) bool { return runIDLess(out[i].ID, out[j].ID) })
+	writeJSON(w, http.StatusOK, page[LitmusStatus]{Items: out})
+}
+
+func (s *Server) handleLitmusStatus(w http.ResponseWriter, r *http.Request) {
+	run, id := s.lookupLitmus(r)
+	if run == nil {
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, "unknown litmus campaign %q", id)
+		return
+	}
+	if r.URL.Query().Get("canonical") != "" {
+		run.mu.Lock()
+		state := run.state
+		results := run.final
+		run.mu.Unlock()
+		if state == StateRunning {
+			writeErr(w, http.StatusConflict, ErrCodeConflict,
+				"litmus campaign %s is still running; canonical JSON exists only for finished campaigns", run.id)
+			return
+		}
+		raw, err := CanonicalRunJSON(results)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "internal", "canonicalise litmus campaign %s: %v", run.id, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(raw)
+		return
+	}
+	writeJSON(w, http.StatusOK, run.status(r.URL.Query().Get("results") != ""))
+}
+
+// handleLitmusCancel cancels a running campaign; on a finished one it
+// removes it from the catalogue.
+func (s *Server) handleLitmusCancel(w http.ResponseWriter, r *http.Request) {
+	run, id := s.lookupLitmus(r)
+	if run == nil {
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, "unknown litmus campaign %q", id)
+		return
+	}
+	run.mu.Lock()
+	state := run.state
+	run.mu.Unlock()
+	run.cancel()
+	if state != StateRunning {
+		s.mu.Lock()
+		delete(s.litmus, id)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"id": run.id, "state": state, "deleted": true})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": run.id, "state": "cancelling"})
+}

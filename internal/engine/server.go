@@ -124,6 +124,7 @@ type serverMetrics struct {
 	runsRestored *metrics.Counter // finished runs replayed into the catalogue
 
 	assignments *metrics.Counter // jobs assigned to remote workers
+	litmusRuns  *metrics.Counter // litmus campaign lifecycle transitions, by state
 }
 
 func newServerMetrics(r *metrics.Registry) *serverMetrics {
@@ -141,6 +142,7 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 		runsRestored: r.Counter("wmm_runs_restored_total", "Finished runs replayed from the store into the catalogue."),
 
 		assignments: r.Counter("wmm_dispatch_assignments_total", "Experiment jobs assigned to remote workers under leases."),
+		litmusRuns:  r.Counter("wmm_litmus_runs_total", "Litmus campaign lifecycle transitions (submitted/done/failed/cancelled/partial).", "state"),
 	}
 }
 
@@ -185,10 +187,12 @@ type Server struct {
 	disp            *Dispatcher
 	met             *serverMetrics
 
-	mu     sync.Mutex
-	runs   map[string]*serverRun
-	seq    int
-	closed bool
+	mu        sync.Mutex
+	runs      map[string]*serverRun
+	seq       int
+	litmus    map[string]*litmusRun
+	litmusSeq int
+	closed    bool
 
 	active   sync.WaitGroup // one per executing run
 	stopOnce sync.Once
@@ -207,6 +211,7 @@ func NewServer(eng *Engine, o ServerOptions) *Server {
 		store:           o.Store,
 		met:             newServerMetrics(eng.Metrics()),
 		runs:            map[string]*serverRun{},
+		litmus:          map[string]*litmusRun{},
 		stop:            make(chan struct{}),
 	}
 	if s.store != nil {
@@ -428,6 +433,16 @@ func (s *Server) gc(now time.Time) int {
 	for _, id := range victims {
 		delete(s.runs, id)
 	}
+	// Litmus campaigns age out under the same retention; being
+	// in-memory only, no store cleanup is involved.
+	for id, run := range s.litmus {
+		run.mu.Lock()
+		expired := run.state != StateRunning && run.finished.Before(cutoff)
+		run.mu.Unlock()
+		if expired {
+			delete(s.litmus, id)
+		}
+	}
 	s.met.runsKept.Set(float64(len(s.runs)))
 	s.mu.Unlock()
 	if len(victims) > 0 {
@@ -455,9 +470,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for _, run := range s.runs {
 		runs = append(runs, run)
 	}
+	campaigns := make([]*litmusRun, 0, len(s.litmus))
+	for _, run := range s.litmus {
+		campaigns = append(campaigns, run)
+	}
 	s.mu.Unlock()
 	s.stopOnce.Do(func() { close(s.stop) })
 	for _, run := range runs {
+		run.cancel()
+	}
+	for _, run := range campaigns {
 		run.cancel()
 	}
 	if s.disp != nil {
@@ -488,6 +510,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 //	                             running; ?stream=1 streams NDJSON progress;
 //	                             ?canonical=1 serves canonical run JSON
 //	DELETE /api/v1/runs/{id}     cancel a running run / remove a finished one
+//	POST   /api/v1/litmus        submit a generated litmus campaign (LitmusSpec)
+//	GET    /api/v1/litmus        campaign statuses
+//	GET    /api/v1/litmus/{id}   campaign status; ?canonical=1 serves canonical
+//	                             shard-result JSON
+//	DELETE /api/v1/litmus/{id}   cancel / remove a campaign
 //	POST   /api/v1/leases        worker job lease (sharded backend)
 //	POST   /api/v1/leases/{id}/heartbeat   renew a lease
 //	POST   /api/v1/leases/{id}/results     upload a lease's results
@@ -513,6 +540,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/runs", func(w http.ResponseWriter, r *http.Request) { s.handleList(w, r, false) })
 	mux.HandleFunc("GET /api/v1/runs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /api/v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /api/v1/litmus", s.handleLitmusSubmit)
+	mux.HandleFunc("GET /api/v1/litmus", s.handleLitmusList)
+	mux.HandleFunc("GET /api/v1/litmus/{id}", s.handleLitmusStatus)
+	mux.HandleFunc("DELETE /api/v1/litmus/{id}", s.handleLitmusCancel)
 	mux.HandleFunc("POST /api/v1/leases", s.handleLease)
 	mux.HandleFunc("POST /api/v1/leases/{id}/heartbeat", s.handleHeartbeat)
 	mux.HandleFunc("POST /api/v1/leases/{id}/results", s.handleLeaseResults)
@@ -1243,15 +1274,21 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 //
 // A job is (run_id, experiment, samples, seed, short) — everything a
 // worker needs to reproduce the exact bytes a local execution would
-// have produced, thanks to positional seed derivation.
+// have produced, thanks to positional seed derivation.  Litmus shard
+// jobs ride the same leases with a "litmus" payload instead: the shard
+// descriptor (arch, generator seed/count, trials, seed, index range)
+// from which the worker regenerates its slice of the batch.
 
-// wireJob is one leased experiment job on the wire.
+// wireJob is one leased job on the wire: an experiment job, or — when
+// Litmus is non-nil — a litmus shard job (Experiment then carries the
+// shard name and the samples/seed/short fields are unused).
 type wireJob struct {
-	RunID      string `json:"run_id"`
-	Experiment string `json:"experiment"`
-	Samples    int    `json:"samples,omitempty"`
-	Seed       int64  `json:"seed,omitempty"`
-	Short      bool   `json:"short"`
+	RunID      string       `json:"run_id"`
+	Experiment string       `json:"experiment"`
+	Samples    int          `json:"samples,omitempty"`
+	Seed       int64        `json:"seed,omitempty"`
+	Short      bool         `json:"short"`
+	Litmus     *LitmusShard `json:"litmus,omitempty"`
 }
 
 // leaseRequest is the body of POST /api/v1/leases.
@@ -1299,6 +1336,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 			Samples:    j.opts.Samples,
 			Seed:       j.opts.Seed,
 			Short:      j.opts.Short,
+			Litmus:     j.litmus,
 		})
 	}
 	writeJSON(w, http.StatusOK, grant)

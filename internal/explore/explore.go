@@ -1,0 +1,505 @@
+// Package explore turns the sampling simulator into an exhaustive one:
+// it enumerates, for a small bounded program (a litmus test), every
+// final-memory outcome reachable under a finite abstraction of the
+// machine's nondeterminism, with a replayable witness per outcome.
+//
+// # How it works
+//
+// Every random decision in internal/sim flows through the pluggable
+// sim.ChoiceSource interface.  The explorer installs a controlling
+// source that resolves each decision from a finite domain and runs the
+// machine once per resolution path, enumerating paths by depth-first
+// search over a work-stack of pick prefixes: a run replays a recorded
+// prefix of picks and then picks the first element of every remaining
+// domain, scheduling the untried alternatives of each multi-valued
+// post-prefix choice as new prefixes.  Per-thread program alignment
+// (the litmus delay loop) is explored the same way, as a virtual choice
+// made before the machine starts.
+//
+// # Reductions
+//
+// Exhaustive over the raw domains is hopeless (a single propagation
+// delay alone has PropMax-PropMin+1 values), so the explorer applies
+// two reductions:
+//
+//   - Delay extremality: integer delay choices range over their extreme
+//     values only ({min, max}, plus max+tail for heavy-tailed
+//     propagation), and scheduling jitter (issue/load jitter, which
+//     perturbs timing by a cycle or two without enabling reorderings
+//     that delay extremes and alignment sweeps cannot) is pinned off.
+//     The rationale: reorderings observable in final memory flip at
+//     delay-order thresholds, and the extreme points reach both sides
+//     of every threshold the sampled distributions can reach.  This is
+//     an abstraction, not a theorem about the simulator; it is kept
+//     honest by the conformance superset test, which checks that every
+//     outcome the sampling runner has ever observed is contained in the
+//     enumerated set.
+//
+//   - Sleep-set-style store-combine collapsing: the out-of-order
+//     store-buffer commit probability is re-drawn every cycle while a
+//     head store is stuck, which would branch the tree at every such
+//     cycle.  The explorer branches only the first opportunity per
+//     core; declining puts the core's combine choice to sleep for the
+//     rest of the run ("combine at the first opportunity or not at
+//     all"), which preserves the visible reordering while collapsing
+//     the when-exactly dimension.
+//
+// Independent propagation events are partial-order reduced implicitly:
+// the per-destination delay choices of one committed store are factored
+// into independent per-destination domains rather than interleavings,
+// and state dedup (below) merges the resolution orders that converge.
+//
+// # State dedup
+//
+// At every multi-valued choice point past the replayed prefix the
+// explorer fingerprints the machine (sim.Machine.Fingerprint — full
+// architectural + microarchitectural + storage state, times normalised
+// to the current cycle) combined with the choice descriptor and the
+// choice ordinal within the current cycle.  If the fingerprint was seen
+// before, the subtree rooted here is already covered by the first
+// visitor, so the run continues on default picks but schedules no
+// further alternatives.  Dedup trusts the 64-bit hash, as stateless
+// model checkers conventionally do.
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+// Spec describes one bounded program to explore.
+type Spec struct {
+	// Prof is the architecture profile (already stress-adjusted if the
+	// caller wants elevated propagation tails).
+	Prof *arch.Profile
+	// Threads is the number of hardware threads.
+	Threads int
+	// Build returns thread's program given its alignment stagger (the
+	// number of delay-loop iterations to insert; 0 = none).  It must be
+	// deterministic.
+	Build func(thread int, stagger int64) (arch.Program, error)
+	// Init seeds memory before each run.
+	Init map[int64]int64
+	// PreTouch marks lines resident in the outer hierarchy.
+	PreTouch []int64
+	// Interesting lists the shared addresses whose timing choices get
+	// extremal domains; stores to other addresses (private result
+	// slots) resolve to the minimum without branching.
+	Interesting []int64
+	// Watch lists the addresses whose final values define an outcome.
+	Watch []int64
+	// Stagger is the alignment domain applied independently to every
+	// thread.  Alignment matters in both directions — a reader arriving
+	// before or after a writer reaches different outcomes — so no
+	// thread is pinned.  Empty = DefaultStagger(Threads).
+	Stagger []int64
+	// MemWords sizes memory (default 4096).
+	MemWords int
+	// MaxCyclesPerRun bounds one run (default 1_000_000).
+	MaxCyclesPerRun int64
+	// MaxRuns bounds the exploration (default 400_000); exceeding it
+	// yields Complete == false.
+	MaxRuns int
+	// StopOutcome, when non-nil, halts the exploration as soon as a
+	// newly recorded outcome's watched values satisfy it.  Callers
+	// proving reachability (an Allowed litmus expectation) use it to
+	// avoid enumerating the full tree; the report is Complete only if
+	// the tree happened to be exhausted anyway.
+	StopOutcome func(values []int64) bool
+}
+
+// DefaultStagger returns the per-thread alignment domain: denser for
+// few threads (the cross product is the domain size to the power of the
+// thread count), coarser for many.  Values are delay-loop iterations;
+// one iteration is roughly two cycles.
+func DefaultStagger(threads int) []int64 {
+	switch {
+	case threads <= 2:
+		return []int64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48}
+	case threads == 3:
+		return []int64{0, 1, 2, 4, 8, 16, 32}
+	default:
+		return []int64{0, 4, 12, 32}
+	}
+}
+
+// Outcome is one reachable final-memory state over the watched
+// addresses, with the pick sequence of the first run that produced it.
+type Outcome struct {
+	// Values holds the final values of Spec.Watch, in order.
+	Values []int64
+	// Key is the canonical "v0/v1/..." rendering of Values.
+	Key string
+	// Picks replays this outcome's witness run (see Replay).
+	Picks []int
+}
+
+// Report is the result of an exploration.
+type Report struct {
+	// Outcomes are the reachable outcomes, sorted by Key.
+	Outcomes []Outcome
+	// Runs is the number of machine runs performed.
+	Runs int
+	// States is the number of distinct deduplicated choice-point
+	// states.
+	States int
+	// Complete reports whether the choice tree was exhausted.  False
+	// means MaxRuns truncated the search: the outcome set is still
+	// sound (every outcome was reached by a real run) but not
+	// necessarily complete.
+	Complete bool
+}
+
+// Mem returns outcome o's value at a watched address (the Spec's Watch
+// order), or 0 for unwatched addresses.
+func (o *Outcome) Mem(sp *Spec) func(int64) int64 {
+	return func(addr int64) int64 {
+		for i, a := range sp.Watch {
+			if a == addr {
+				return o.Values[i]
+			}
+		}
+		return 0
+	}
+}
+
+// choiceRec records one choice made past the prefix.
+type choiceRec struct {
+	nAlts  int  // domain size
+	branch bool // alternatives should be scheduled
+}
+
+// controller is the ChoiceSource driving one run.
+type controller struct {
+	x       *explorer
+	prefix  []int
+	picks   []int
+	recs    []choiceRec
+	replay  bool // pure witness replay: no dedup, no recording
+	stopped bool // hit a visited state; stop scheduling alternatives
+
+	combineSlept []bool // per-core sleep set for ChoiceSBCombine
+
+	lastCycle int64
+	ordinal   int
+}
+
+// choose resolves one choice from its domain.
+func (c *controller) choose(domain []int64, fp uint64, dedup bool) int64 {
+	pos := len(c.picks)
+	idx := 0
+	if pos < len(c.prefix) {
+		idx = c.prefix[pos]
+		if idx >= len(domain) {
+			// A prefix recorded against a different tree shape; the
+			// explorer never does this, but fail closed.
+			idx = len(domain) - 1
+		}
+	}
+	branch := false
+	if !c.replay && pos >= len(c.prefix) && len(domain) > 1 && !c.stopped {
+		if dedup {
+			if _, seen := c.x.visited[fp]; seen {
+				c.stopped = true
+			} else {
+				c.x.visited[fp] = struct{}{}
+				branch = true
+			}
+		} else {
+			branch = true
+		}
+	}
+	c.picks = append(c.picks, idx)
+	if !c.replay {
+		c.recs = append(c.recs, choiceRec{nAlts: len(domain), branch: branch})
+	}
+	return domain[idx]
+}
+
+// stateFP combines the machine fingerprint with the choice descriptor
+// and the per-cycle choice ordinal (two choice points within one cycle
+// can otherwise present identical machine state).
+func (c *controller) stateFP(ch sim.Choice) uint64 {
+	m := c.x.m
+	if now := m.Now(); now != c.lastCycle {
+		c.lastCycle, c.ordinal = now, 0
+	}
+	c.ordinal++
+	h := m.Fingerprint()
+	for _, v := range [...]uint64{
+		uint64(ch.Kind), uint64(int64(ch.Core)), uint64(int64(ch.Dest)),
+		uint64(ch.Addr), uint64(ch.Lo), uint64(ch.Hi), uint64(c.ordinal),
+	} {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	}
+	return h
+}
+
+func (c *controller) interesting(addr int64) bool {
+	for _, a := range c.x.sp.Interesting {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// BoolChoice implements sim.ChoiceSource.
+func (c *controller) BoolChoice(ch sim.Choice) bool {
+	var domain []int64
+	switch ch.Kind {
+	case sim.ChoiceSBCombine:
+		if c.interesting(ch.Addr) && !c.combineSlept[ch.Core] {
+			domain = boolDomain
+		} else {
+			domain = falseDomain
+		}
+	case sim.ChoicePropTail:
+		// Folded into the ChoicePropDelay domain (delay extremality).
+		domain = falseDomain
+	default:
+		// Issue and load jitter: pinned off under delay extremality.
+		domain = falseDomain
+	}
+	var fp uint64
+	dedup := len(domain) > 1
+	if dedup {
+		fp = c.stateFP(ch)
+	}
+	v := c.choose(domain, fp, dedup) != 0
+	if ch.Kind == sim.ChoiceSBCombine && len(domain) > 1 && !v {
+		// Declined: sleep this core's combine for the rest of the run.
+		c.combineSlept[ch.Core] = true
+	}
+	return v
+}
+
+var (
+	falseDomain = []int64{0}
+	boolDomain  = []int64{0, 1}
+)
+
+// IntChoice implements sim.ChoiceSource.
+func (c *controller) IntChoice(ch sim.Choice) int64 {
+	var domain []int64
+	switch ch.Kind {
+	case sim.ChoiceStoreDrain, sim.ChoiceSBStick:
+		if c.interesting(ch.Addr) && ch.Hi > ch.Lo {
+			domain = []int64{ch.Lo, ch.Hi}
+		} else {
+			domain = []int64{ch.Lo}
+		}
+	case sim.ChoicePropDelay:
+		if c.interesting(ch.Addr) && ch.Hi > ch.Lo {
+			domain = []int64{ch.Lo, ch.Hi}
+			if c.x.sp.Prof.Lat.PropTail > 0 {
+				// The heavy tail, folded in as a third extreme point.
+				domain = append(domain, ch.Hi+400)
+			}
+		} else {
+			domain = []int64{ch.Lo}
+		}
+	default:
+		// Load-jitter magnitude and tail extras are unreachable with
+		// their gating booleans pinned off; fail safe to the minimum.
+		domain = []int64{ch.Lo}
+	}
+	var fp uint64
+	dedup := len(domain) > 1
+	if dedup {
+		fp = c.stateFP(ch)
+	}
+	return c.choose(domain, fp, dedup)
+}
+
+type explorer struct {
+	sp      *Spec
+	m       *sim.Machine
+	visited map[uint64]struct{}
+	// progs caches built programs per (thread, stagger).
+	progs map[[2]int64]arch.Program
+}
+
+// Explore enumerates the reachable outcomes of sp.
+func Explore(sp Spec) (*Report, error) {
+	x, err := newExplorer(&sp)
+	if err != nil {
+		return nil, err
+	}
+	maxRuns := sp.MaxRuns
+	if maxRuns <= 0 {
+		maxRuns = 400_000
+	}
+
+	outcomes := map[string]*Outcome{}
+	rep := &Report{}
+	truncated := false
+	stack := [][]int{nil} // prefixes to explore; nil = the root run
+	for len(stack) > 0 {
+		if rep.Runs >= maxRuns {
+			truncated = true
+			break
+		}
+		prefix := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		ctl, err := x.execute(prefix, nil)
+		if err != nil {
+			return nil, fmt.Errorf("explore: run %d (prefix %v): %w", rep.Runs, prefix, err)
+		}
+		rep.Runs++
+
+		key, vals := x.outcomeKey()
+		if _, ok := outcomes[key]; !ok {
+			outcomes[key] = &Outcome{
+				Values: vals,
+				Key:    key,
+				Picks:  append([]int(nil), ctl.picks...),
+			}
+			if sp.StopOutcome != nil && sp.StopOutcome(vals) {
+				break
+			}
+		}
+
+		// Schedule the untried alternatives of every branchable
+		// post-prefix choice.
+		for i := len(prefix); i < len(ctl.picks); i++ {
+			rec := ctl.recs[i]
+			if !rec.branch {
+				continue
+			}
+			for alt := 1; alt < rec.nAlts; alt++ {
+				next := make([]int, i+1)
+				copy(next, ctl.picks[:i])
+				next[i] = alt
+				stack = append(stack, next)
+			}
+		}
+	}
+
+	rep.Complete = !truncated && len(stack) == 0
+	rep.States = len(x.visited)
+	for _, o := range outcomes {
+		rep.Outcomes = append(rep.Outcomes, *o)
+	}
+	sort.Slice(rep.Outcomes, func(i, j int) bool { return rep.Outcomes[i].Key < rep.Outcomes[j].Key })
+	return rep, nil
+}
+
+// Replay re-runs one pick sequence (an Outcome's witness) with a tracer
+// installed, so callers can render the interleaving that produced an
+// outcome.
+func Replay(sp Spec, picks []int, tracer sim.Tracer) error {
+	x, err := newExplorer(&sp)
+	if err != nil {
+		return err
+	}
+	x.m.SetTracer(tracer)
+	defer x.m.SetTracer(nil)
+	_, err = x.execute(picks, &replayMode)
+	return err
+}
+
+var replayMode = struct{}{}
+
+func newExplorer(sp *Spec) (*explorer, error) {
+	if sp.Threads < 1 {
+		return nil, fmt.Errorf("explore: Spec.Threads must be positive")
+	}
+	if sp.Build == nil {
+		return nil, fmt.Errorf("explore: Spec.Build is required")
+	}
+	if len(sp.Watch) == 0 {
+		return nil, fmt.Errorf("explore: Spec.Watch is empty")
+	}
+	if sp.MemWords <= 0 {
+		sp.MemWords = 4096
+	}
+	if sp.MaxCyclesPerRun <= 0 {
+		sp.MaxCyclesPerRun = 1_000_000
+	}
+	if len(sp.Stagger) == 0 {
+		sp.Stagger = DefaultStagger(sp.Threads)
+	}
+	m, err := sim.New(sp.Prof, sim.Config{Cores: sp.Threads, MemWords: sp.MemWords, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	return &explorer{
+		sp:      sp,
+		m:       m,
+		visited: map[uint64]struct{}{},
+		progs:   map[[2]int64]arch.Program{},
+	}, nil
+}
+
+// execute performs one machine run under the given pick prefix.
+func (x *explorer) execute(prefix []int, replay *struct{}) (*controller, error) {
+	sp := x.sp
+	ctl := &controller{
+		x:            x,
+		prefix:       prefix,
+		replay:       replay != nil,
+		combineSlept: make([]bool, sp.Threads),
+		lastCycle:    -1,
+	}
+
+	// Alignment: one virtual choice per thread, made before the machine
+	// starts (no machine state to dedup against).
+	staggers := make([]int64, sp.Threads)
+	for th := 0; th < sp.Threads; th++ {
+		staggers[th] = ctl.choose(sp.Stagger, 0, false)
+	}
+
+	// The machine's rngs are never consulted while a source is
+	// installed, so the Reset seed is immaterial; keep it fixed.
+	x.m.Reset(1)
+	x.m.SetChoiceSource(ctl)
+	for addr, val := range sp.Init {
+		x.m.WriteMem(addr, val)
+	}
+	for _, a := range sp.PreTouch {
+		x.m.PreTouch(a)
+	}
+	for th := 0; th < sp.Threads; th++ {
+		key := [2]int64{int64(th), staggers[th]}
+		prog, ok := x.progs[key]
+		if !ok {
+			var err error
+			prog, err = sp.Build(th, staggers[th])
+			if err != nil {
+				return nil, fmt.Errorf("build thread %d stagger %d: %w", th, staggers[th], err)
+			}
+			x.progs[key] = prog
+		}
+		if err := x.m.LoadProgram(th, prog); err != nil {
+			return nil, err
+		}
+	}
+	res, err := x.m.Run(sp.MaxCyclesPerRun)
+	if err != nil {
+		return nil, err
+	}
+	if !res.AllHalted {
+		return nil, fmt.Errorf("did not halt within %d cycles", sp.MaxCyclesPerRun)
+	}
+	return ctl, nil
+}
+
+// outcomeKey reads the watched addresses after a run.
+func (x *explorer) outcomeKey() (string, []int64) {
+	vals := make([]int64, len(x.sp.Watch))
+	var b strings.Builder
+	for i, a := range x.sp.Watch {
+		vals[i] = x.m.ReadMem(a)
+		if i > 0 {
+			b.WriteByte('/')
+		}
+		fmt.Fprintf(&b, "%d", vals[i])
+	}
+	return b.String(), vals
+}

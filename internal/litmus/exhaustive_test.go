@@ -1,0 +1,165 @@
+package litmus
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+// TestDelayStreamUnchanged pins that swapping the runner's inline
+// xorshift for the shared sim.XorShift64 left the alignment-delay
+// stream — and therefore every sampled litmus outcome — unchanged: the
+// legacy recurrence is reimplemented here verbatim and compared draw by
+// draw against what Run now uses.
+func TestDelayStreamUnchanged(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7, 12345} {
+		for _, maxDelay := range []int64{60, 120, 300} {
+			rnd := sim.NewXorShift64(uint64(seed)*0x9e3779b9 + 1)
+			legacy := struct{ s uint64 }{uint64(seed)*0x9e3779b9 + 1}
+			for i := 0; i < 1000; i++ {
+				legacy.s ^= legacy.s << 13
+				legacy.s ^= legacy.s >> 7
+				legacy.s ^= legacy.s << 17
+				want := int64(legacy.s % uint64(maxDelay))
+				if got := rnd.Intn(maxDelay); got != want {
+					t.Fatalf("seed %d maxDelay %d draw %d: got %d want %d", seed, maxDelay, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func outcomeKey(watch []int64, mem func(int64) int64) string {
+	var b strings.Builder
+	for i, a := range watch {
+		if i > 0 {
+			b.WriteByte('/')
+		}
+		fmt.Fprintf(&b, "%d", mem(a))
+	}
+	return b.String()
+}
+
+// TestExhaustiveSupersetOfSampling is the empirical soundness check for
+// the explorer's reduced choice domains: every outcome the sampling
+// runner observes must be contained in the exhaustively enumerated set.
+// A miss here means a reduction (delay extremality, pinned jitter,
+// sticky combine, the stagger domain) cut a reachable behaviour.
+func TestExhaustiveSupersetOfSampling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full enumeration under the race detector exceeds CI budgets; the no-race conformance step runs it")
+	}
+	for _, prof := range []*arch.Profile{arch.ARMv8(), arch.POWER7()} {
+		for _, tst := range Suite(prof.Name) {
+			tst := tst
+			t.Run(prof.Name+"/"+tst.Name, func(t *testing.T) {
+				if testing.Short() && len(tst.Threads) > 2 {
+					t.Skip("short mode: 2-thread shapes only")
+				}
+				if tst.StressProp && len(tst.Threads) > 3 {
+					// The stressed 4-thread shapes have three-valued
+					// propagation domains per (store, destination); their
+					// full tree exceeds any practical run budget.  The
+					// early-stopping conformance check still covers them.
+					t.Skip("stressed 4-thread shape: full enumeration impractical")
+				}
+				watch := WatchedAddrs(tst)
+				sampled := map[string]bool{}
+				r := &Runner{
+					Prof:    prof,
+					Trials:  400,
+					Seed:    2,
+					Observe: func(mem func(int64) int64) { sampled[outcomeKey(watch, mem)] = true },
+				}
+				if testing.Short() {
+					r.Trials = 120
+				}
+				if _, err := r.Run(tst); err != nil {
+					t.Fatal(err)
+				}
+				rep, err := r.Exhaustive(tst, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.Complete {
+					t.Fatalf("exploration truncated after %d runs", rep.Runs)
+				}
+				enumerated := map[string]bool{}
+				for _, o := range rep.Outcomes {
+					enumerated[o.Key] = true
+				}
+				for k := range sampled {
+					if !enumerated[k] {
+						t.Errorf("sampled outcome %s not in enumerated set (%d outcomes)", k, len(rep.Outcomes))
+					}
+				}
+				t.Logf("sampled %d ⊆ enumerated %d outcomes (%d runs, %d states)",
+					len(sampled), len(rep.Outcomes), rep.Runs, rep.States)
+			})
+		}
+	}
+}
+
+// TestExhaustiveConformance runs the exhaustive verdict over the whole
+// catalogue: Forbidden expectations become proofs of absence over the
+// reduced domains, Allowed expectations constructive witnesses.
+func TestExhaustiveConformance(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full enumeration under the race detector exceeds CI budgets; the no-race conformance step runs it")
+	}
+	for _, prof := range []*arch.Profile{arch.ARMv8(), arch.POWER7()} {
+		for _, tst := range Suite(prof.Name) {
+			tst := tst
+			t.Run(prof.Name+"/"+tst.Name, func(t *testing.T) {
+				if testing.Short() && len(tst.Threads) > 2 {
+					t.Skip("short mode: 2-thread shapes only")
+				}
+				rep, err := r(prof).CheckExhaustive(tst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("%s: %d outcomes, %d runs, %d states, complete=%v",
+					tst.Expect[prof.Name], len(rep.Outcomes), rep.Runs, rep.States, rep.Complete)
+			})
+		}
+	}
+}
+
+func r(prof *arch.Profile) *Runner { return &Runner{Prof: prof} }
+
+// TestExhaustiveWitness checks that an Allowed verdict carries a
+// replayable witness whose rendered trace shows both cores retiring.
+func TestExhaustiveWitness(t *testing.T) {
+	prof := arch.ARMv8()
+	var sb *Test
+	for _, tst := range Suite(prof.Name) {
+		if tst.Name == "SB" {
+			sb = tst
+		}
+	}
+	if sb == nil {
+		t.Fatal("SB not in catalogue")
+	}
+	rep, err := r(prof).Exhaustive(sb, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := rep.Violation()
+	if v == nil {
+		t.Fatal("no relaxed outcome found for SB on armv8")
+	}
+	var buf strings.Builder
+	if err := rep.WriteWitness(v, &buf); err != nil {
+		t.Fatal(err)
+	}
+	trace := buf.String()
+	if !strings.Contains(trace, "c0") || !strings.Contains(trace, "c1") {
+		t.Errorf("witness trace missing per-core events:\n%s", trace)
+	}
+	if !strings.Contains(trace, "satisfied@") {
+		t.Errorf("witness trace has no load events:\n%s", trace)
+	}
+}

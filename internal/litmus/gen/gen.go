@@ -1,0 +1,346 @@
+// Package gen is a diy-style litmus-test generator: it enumerates
+// critical cycles — in the sense of Alglave et al.'s diy7 tool — over a
+// small edge grammar and emits them as runnable litmus.Test values.
+//
+// # Cycle grammar
+//
+// A generated test has T threads (2..4) and T shared locations, one per
+// thread boundary.  Thread i performs two events: a_i on location
+// L_{i-1 mod T} and b_i on location L_i.  Between b_i and a_{i+1} sits
+// one external communication edge x_i, drawn from:
+//
+//   - Rfe (reads-from external): b_i writes, a_{i+1} reads that write;
+//   - Fre (from-read external): b_i reads, a_{i+1} writes — the edge is
+//     witnessed when the read missed the write (read a co-earlier
+//     value);
+//   - Wse (write-serialisation external, diy's Ws/coe): both write, with
+//     a_{i+1} coherence-after b_i.
+//
+// Within thread i, the internal edge a_i → b_i is program order alone
+// (po), an address/data dependency (dep, only after a read), a control
+// dependency (ctrl, only after a read), or a fence of a given kind.
+//
+// The union of the T external edges and T internal edges forms one
+// directed cycle through every thread.  Under sequential consistency
+// every edge implies happens-before, so the full cycle is unsatisfiable:
+// a run witnessing ALL external edges simultaneously is a relaxed
+// outcome, exactly what Test.Relaxed detects.  Weak machines may
+// exhibit it when the internal edges are too weak to localise order.
+//
+// Writes to a location are valued in coherence order (1, then 2 for a
+// Wse successor), so witness predicates reduce to equality over final
+// memory: an Rfe read must return 1, an Fre read must return a value
+// below the co-successor's, a Wse location must end at 2.
+//
+// # Determinism
+//
+// Generation is a pure function of Config: a seeded xorshift stream
+// drives every choice, duplicates (by canonical name) are rejected with
+// bounded retries, and the emitted order is the generation order.  Two
+// parties with the same Config therefore hold byte-identical test
+// lists — the property the distributed litmus path relies on when
+// workers regenerate their shard from (seed, count, index range)
+// instead of shipping programs over the wire.
+package gen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/litmus"
+	"repro/internal/sim"
+)
+
+// EdgeKind is an external communication edge between adjacent threads.
+type EdgeKind uint8
+
+const (
+	Rfe EdgeKind = iota
+	Fre
+	Wse
+	numEdgeKinds
+)
+
+var edgeNames = [numEdgeKinds]string{"Rfe", "Fre", "Wse"}
+
+// String returns the diy-style edge name.
+func (e EdgeKind) String() string { return edgeNames[e] }
+
+// InternalKind is the intra-thread edge between a thread's two events.
+type InternalKind uint8
+
+const (
+	IntPo InternalKind = iota
+	IntDep
+	IntCtrl
+	IntFence
+	numInternalKinds
+)
+
+// Recipe is the serialisable description of one generated test; the
+// runnable litmus.Test is derived from it deterministically.
+type Recipe struct {
+	// Edges[i] is the external edge from thread i's second event to
+	// thread (i+1)%T's first event; len(Edges) is the thread count.
+	Edges []EdgeKind
+	// Internals[i] is thread i's internal edge.
+	Internals []InternalKind
+	// Fences[i] is the barrier kind when Internals[i] == IntFence.
+	Fences []arch.BarrierKind
+}
+
+// Threads returns the thread count.
+func (rc *Recipe) Threads() int { return len(rc.Edges) }
+
+// Name returns the canonical test name: per thread, the internal-edge
+// mnemonic then the outgoing external edge, e.g. "gen:po.Fre+po.Fre"
+// (the SB shape).  Equal names ⇔ equal recipes.
+func (rc *Recipe) Name() string {
+	parts := make([]string, rc.Threads())
+	for i := range parts {
+		var in string
+		switch rc.Internals[i] {
+		case IntPo:
+			in = "po"
+		case IntDep:
+			in = "dep"
+		case IntCtrl:
+			in = "ctrl"
+		case IntFence:
+			in = strings.ReplaceAll(rc.Fences[i].String(), " ", "")
+		}
+		parts[i] = in + "." + rc.Edges[i].String()
+	}
+	return "gen:" + strings.Join(parts, "+")
+}
+
+// Locations used by generated tests: the catalogue's three shared lines
+// plus a fourth for 4-thread cycles, all on distinct cache lines for
+// both profiles and clear of the result region.
+var genLocs = [4]int64{litmus.X, litmus.Y, litmus.Z, 320}
+
+// srcWrites reports whether edge e's source event (b_i) is a write.
+func (e EdgeKind) srcWrites() bool { return e == Rfe || e == Wse }
+
+// dstWrites reports whether edge e's destination event (a_{i+1}) is a
+// write.
+func (e EdgeKind) dstWrites() bool { return e == Fre || e == Wse }
+
+// Build derives the runnable litmus test from the recipe.
+func (rc *Recipe) Build() *litmus.Test {
+	T := rc.Threads()
+	locs := genLocs[:T]
+
+	// Value plan per location L_i: the Wse source writes 1 and its
+	// co-successor 2; a lone writer writes 1.
+	srcVal := make([]int64, T) // value written by b_i when it writes
+	dstVal := make([]int64, T) // value written by a_{i+1} when it writes
+	for i, e := range rc.Edges {
+		switch e {
+		case Rfe:
+			srcVal[i] = 1
+		case Fre:
+			dstVal[i] = 1
+		case Wse:
+			srcVal[i], dstVal[i] = 1, 2
+		}
+	}
+
+	threads := make([]litmus.Thread, T)
+	for i := 0; i < T; i++ {
+		i := i
+		inEdge := rc.Edges[(i+T-1)%T] // edge arriving at a_i
+		outEdge := rc.Edges[i]        // edge leaving b_i
+		aLoc := locs[(i+T-1)%T]
+		bLoc := locs[i]
+		aWrites := inEdge.dstWrites()
+		bWrites := outEdge.srcWrites()
+		aVal := dstVal[(i+T-1)%T]
+		bVal := srcVal[i]
+		internal := rc.Internals[i]
+		fence := arch.BarrierNone
+		if internal == IntFence {
+			fence = rc.Fences[i]
+		}
+		threads[i] = litmus.Thread{
+			Setup: func(b *arch.Builder) {
+				// Prime both lines so races are cache-to-cache, as in
+				// the hand-written catalogue.
+				b.Load(26, litmus.Base, aLoc)
+				if bLoc != aLoc {
+					b.Load(26, litmus.Base, bLoc)
+				}
+			},
+			Body: func(b *arch.Builder) {
+				// Event a_i into r2.
+				if aWrites {
+					b.MovImm(2, aVal)
+					b.Store(2, litmus.Base, aLoc)
+				} else {
+					b.Load(2, litmus.Base, aLoc)
+				}
+				// Internal edge a_i -> b_i.
+				addrBase := litmus.Base
+				depVal := false
+				switch internal {
+				case IntFence:
+					b.Fence(fence)
+				case IntDep:
+					// r4 = r2 ^ r2 = 0; address dependency for a read
+					// target, data dependency for a write target.
+					b.Eor(4, 2, 2)
+					if bWrites {
+						depVal = true
+					} else {
+						b.Add(5, litmus.Base, 4)
+						addrBase = 5
+					}
+				case IntCtrl:
+					b.CmpImm(2, 42)
+					b.Bne("gen_ctl")
+					b.Label("gen_ctl")
+				}
+				// Event b_i into r3.
+				if bWrites {
+					b.MovImm(3, bVal)
+					if depVal {
+						b.Add(3, 3, 4) // + (r2^r2): carries the dependency
+					}
+					b.Store(3, addrBase, bLoc)
+				} else {
+					b.Load(3, addrBase, bLoc)
+				}
+				// Record observations (result lines are thread-private).
+				if !aWrites {
+					b.Store(2, litmus.Base, litmus.ResultAddr(i, 0))
+				}
+				if !bWrites {
+					b.Store(3, litmus.Base, litmus.ResultAddr(i, 1))
+				}
+			},
+		}
+	}
+
+	edges := append([]EdgeKind(nil), rc.Edges...)
+	relaxed := func(mem func(int64) int64) bool {
+		for i, e := range edges {
+			loc := locs[i]
+			dst := (i + 1) % T
+			switch e {
+			case Rfe:
+				if mem(litmus.ResultAddr(dst, 0)) != srcVal[i] {
+					return false
+				}
+			case Fre:
+				if mem(litmus.ResultAddr(i, 1)) >= dstVal[i] {
+					return false
+				}
+			case Wse:
+				if mem(loc) != dstVal[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	return &litmus.Test{
+		Name:    rc.Name(),
+		Threads: threads,
+		Relaxed: relaxed,
+	}
+}
+
+// Config parameterises a generation run.
+type Config struct {
+	// Seed drives every random choice (default 1).
+	Seed int64
+	// Count is the number of distinct tests to emit.
+	Count int
+	// MaxThreads caps the cycle length (2..4; default 4).
+	MaxThreads int
+}
+
+// fencePool is the barrier menu for IntFence internal edges.  Both
+// profiles execute every kind (with profile-specific latencies and
+// ordering strength), so generated tests stay portable across them.
+var fencePool = []arch.BarrierKind{
+	arch.DMBIsh, arch.DMBIshLd, arch.DMBIshSt, arch.LwSync, arch.HwSync,
+}
+
+// Generate emits cfg.Count distinct tests.  The sequence is a pure
+// function of cfg: same config, same byte-identical recipe list.
+func Generate(cfg Config) ([]*Recipe, error) {
+	if cfg.Count <= 0 {
+		return nil, fmt.Errorf("gen: Count must be positive")
+	}
+	maxT := cfg.MaxThreads
+	if maxT == 0 {
+		maxT = 4
+	}
+	if maxT < 2 || maxT > 4 {
+		return nil, fmt.Errorf("gen: MaxThreads %d outside [2,4]", maxT)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rnd := sim.NewXorShift64(uint64(seed)*0x9e3779b97f4a7c15 + 0xd1b54a32d192ed03)
+
+	seen := map[string]bool{}
+	var out []*Recipe
+	// The recipe space is finite; with bounded retries an impossible
+	// Count fails loudly instead of spinning.
+	misses := 0
+	for len(out) < cfg.Count {
+		rc := randomRecipe(&rnd, maxT)
+		name := rc.Name()
+		if seen[name] {
+			misses++
+			if misses > 200*cfg.Count+10_000 {
+				return out, fmt.Errorf("gen: only %d distinct tests reachable for %+v", len(out), cfg)
+			}
+			continue
+		}
+		seen[name] = true
+		out = append(out, rc)
+	}
+	return out, nil
+}
+
+func randomRecipe(rnd *sim.XorShift64, maxT int) *Recipe {
+	T := 2 + int(rnd.Intn(int64(maxT-1)))
+	rc := &Recipe{
+		Edges:     make([]EdgeKind, T),
+		Internals: make([]InternalKind, T),
+		Fences:    make([]arch.BarrierKind, T),
+	}
+	for i := range rc.Edges {
+		rc.Edges[i] = EdgeKind(rnd.Intn(int64(numEdgeKinds)))
+	}
+	for i := range rc.Internals {
+		// a_i reads iff the incoming edge's destination is a read.
+		aReads := !rc.Edges[(i+T-1)%T].dstWrites()
+		k := InternalKind(rnd.Intn(int64(numInternalKinds)))
+		if !aReads && (k == IntDep || k == IntCtrl) {
+			// Dependencies hang off a loaded value; writers fall back
+			// to plain program order.
+			k = IntPo
+		}
+		rc.Internals[i] = k
+		if k == IntFence {
+			rc.Fences[i] = fencePool[rnd.Intn(int64(len(fencePool)))]
+		}
+	}
+	return rc
+}
+
+// BuildAll derives the runnable tests for a recipe list.
+func BuildAll(recipes []*Recipe) []*litmus.Test {
+	ts := make([]*litmus.Test, len(recipes))
+	for i, rc := range recipes {
+		ts[i] = rc.Build()
+	}
+	return ts
+}

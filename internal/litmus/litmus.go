@@ -112,6 +112,10 @@ type Runner struct {
 	Seed   int64 // base seed (default 1)
 	// MaxDelay bounds the random alignment delay in loop iterations.
 	MaxDelay int64
+	// Observe, when non-nil, is called after every trial with the final
+	// memory image (before Hit filtering).  The exhaustive-superset
+	// conformance check records sampled outcomes through it.
+	Observe func(mem func(int64) int64)
 }
 
 // delayReg is scratch for the alignment delay loop.
@@ -143,13 +147,8 @@ func (r *Runner) Run(t *Test) (Outcome, error) {
 		seed = 1
 	}
 	var out Outcome
-	rnd := struct{ s uint64 }{uint64(seed)*0x9e3779b9 + 1}
-	next := func() int64 {
-		rnd.s ^= rnd.s << 13
-		rnd.s ^= rnd.s >> 7
-		rnd.s ^= rnd.s << 17
-		return int64(rnd.s % uint64(maxDelay))
-	}
+	rnd := sim.NewXorShift64(uint64(seed)*0x9e3779b9 + 1)
+	next := func() int64 { return rnd.Intn(maxDelay) }
 
 	prof := r.Prof
 	if t.StressProp {
@@ -216,6 +215,9 @@ func (r *Runner) Run(t *Test) (Outcome, error) {
 			return out, fmt.Errorf("litmus %s trial %d: did not halt", t.Name, trial)
 		}
 		out.Trials++
+		if r.Observe != nil {
+			r.Observe(m.ReadMem)
+		}
 		if t.Hit != nil && !t.Hit(m.ReadMem) {
 			continue
 		}

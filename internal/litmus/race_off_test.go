@@ -1,0 +1,9 @@
+//go:build !race
+
+package litmus
+
+// raceEnabled reports whether the race detector is compiled in.  The
+// exhaustive-enumeration tests perform thousands of simulator runs per
+// shape and skip themselves under -race (a dedicated no-race CI step
+// runs them at full depth).
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package litmus
+
+const raceEnabled = true

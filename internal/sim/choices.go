@@ -1,0 +1,181 @@
+package sim
+
+// This file defines the machine's pluggable nondeterminism interface.
+//
+// Every random decision the simulator makes — issue jitter, load-latency
+// jitter, store-drain variance, out-of-order store-buffer commits, and
+// the per-destination propagation delays of non-MCA storage — flows
+// through a small set of draw helpers.  By default the helpers fall
+// through to the per-core (or per-storage) splitmix rng exactly as the
+// code always has: a machine without a ChoiceSource is bit-identical to
+// one built before this interface existed, including which cycles do and
+// do not consume randomness (the idle fast paths depend on that).
+//
+// Installing a ChoiceSource reroutes every draw to the caller, which is
+// what internal/explore builds on: the explorer resolves each Choice
+// from a finite domain and enumerates the tree of resolutions, turning
+// the sampling simulator into an exhaustive one.
+
+// ChoiceKind identifies one class of nondeterminism point.
+type ChoiceKind uint8
+
+const (
+	// ChoiceIssueJitter delays a ready instruction by one cycle
+	// (bool; core scheduling noise).
+	ChoiceIssueJitter ChoiceKind = iota
+	// ChoiceLoadJitter adds a random latency component to a load
+	// (bool; bank conflicts / memory scheduling).
+	ChoiceLoadJitter
+	// ChoiceLoadJitterLat is the extra load latency drawn when
+	// ChoiceLoadJitter fired (int in [Lo,Hi]; the load pays 1+v).
+	ChoiceLoadJitterLat
+	// ChoiceStoreDrain is the extra line-ownership acquisition time of
+	// a store entering the store buffer (int in [Lo,Hi]).
+	ChoiceStoreDrain
+	// ChoiceSBCombine commits a ready younger store past a stuck store
+	// buffer head on a different line (bool; write combining).
+	ChoiceSBCombine
+	// ChoiceSBStick is how much longer a bypassed store-buffer head
+	// stays stuck (int in [Lo,Hi]).
+	ChoiceSBStick
+	// ChoicePropDelay is the propagation delay of a committed store to
+	// one destination core on non-MCA storage (int in [Lo,Hi]).
+	ChoicePropDelay
+	// ChoicePropTail decides whether one destination suffers a long
+	// extra propagation delay (bool; line stuck in a remote cache).
+	ChoicePropTail
+	// ChoicePropTailExtra is the extra tail delay when ChoicePropTail
+	// fired (int in [Lo,Hi]).
+	ChoicePropTailExtra
+)
+
+var choiceKindNames = [...]string{
+	ChoiceIssueJitter:   "issue-jitter",
+	ChoiceLoadJitter:    "load-jitter",
+	ChoiceLoadJitterLat: "load-jitter-lat",
+	ChoiceStoreDrain:    "store-drain",
+	ChoiceSBCombine:     "sb-combine",
+	ChoiceSBStick:       "sb-stick",
+	ChoicePropDelay:     "prop-delay",
+	ChoicePropTail:      "prop-tail",
+	ChoicePropTailExtra: "prop-tail-extra",
+}
+
+// String returns a short name for the kind.
+func (k ChoiceKind) String() string {
+	if int(k) < len(choiceKindNames) {
+		return choiceKindNames[k]
+	}
+	return "choice(?)"
+}
+
+// Choice describes one nondeterminism point presented to a ChoiceSource.
+type Choice struct {
+	Kind ChoiceKind
+	// Core is the deciding core (for propagation choices, the store's
+	// source core).
+	Core int
+	// Dest is the destination core of a propagation choice; -1 for
+	// core-local choices.
+	Dest int
+	// Addr is the memory address the choice concerns; -1 when the
+	// choice is not address-specific (issue jitter).
+	Addr int64
+	// Lo and Hi bound integer choices (inclusive).  For boolean
+	// choices both are zero.
+	Lo, Hi int64
+	// Permille is the probability of "true" for boolean choices, in
+	// thousandths; informational for sources that want to reproduce
+	// the default distribution.
+	Permille int
+}
+
+// ChoiceSource resolves nondeterminism points.  BoolChoice answers
+// boolean choices, IntChoice integer ones (the result must lie in
+// [c.Lo, c.Hi]).  Implementations are called synchronously from the
+// simulation loop and must be deterministic for reproducible runs.
+type ChoiceSource interface {
+	BoolChoice(c Choice) bool
+	IntChoice(c Choice) int64
+}
+
+// SetChoiceSource installs a ChoiceSource (nil restores the seeded rng
+// path).  Like a Tracer, the source survives Reset; with a source
+// installed the machine's own rngs are never consulted, so the seed
+// passed to New/Reset is irrelevant to execution.
+func (m *Machine) SetChoiceSource(cs ChoiceSource) {
+	m.choices = cs
+	m.store.setChoices(cs)
+}
+
+// Draw helpers.  The nil path must match the historical rng calls
+// *exactly*, including their no-draw guards: permille(p<=0) and
+// rangeInt(hi<=lo) consume nothing, while intn always draws.  Sources
+// that mirror the rng must replicate those guards (see choices_test.go).
+
+func (c *core) chooseBool(kind ChoiceKind, addr int64, p int) bool {
+	if cs := c.m.choices; cs != nil {
+		return cs.BoolChoice(Choice{Kind: kind, Core: c.id, Dest: -1, Addr: addr, Permille: p})
+	}
+	return c.rnd.permille(p)
+}
+
+// chooseIntn draws from [0, n), like rng.intn.
+func (c *core) chooseIntn(kind ChoiceKind, addr int64, n int64) int64 {
+	if cs := c.m.choices; cs != nil {
+		return cs.IntChoice(Choice{Kind: kind, Core: c.id, Dest: -1, Addr: addr, Lo: 0, Hi: n - 1})
+	}
+	return c.rnd.intn(n)
+}
+
+// chooseRange draws from [lo, hi], like rng.rangeInt.
+func (c *core) chooseRange(kind ChoiceKind, addr int64, lo, hi int64) int64 {
+	if cs := c.m.choices; cs != nil {
+		return cs.IntChoice(Choice{Kind: kind, Core: c.id, Dest: -1, Addr: addr, Lo: lo, Hi: hi})
+	}
+	return c.rnd.rangeInt(lo, hi)
+}
+
+func (s *nonMCAStorage) chooseBool(kind ChoiceKind, core, dest int, addr int64, p int) bool {
+	if cs := s.choices; cs != nil {
+		return cs.BoolChoice(Choice{Kind: kind, Core: core, Dest: dest, Addr: addr, Permille: p})
+	}
+	return s.rnd.permille(p)
+}
+
+func (s *nonMCAStorage) chooseRange(kind ChoiceKind, core, dest int, addr int64, lo, hi int64) int64 {
+	if cs := s.choices; cs != nil {
+		return cs.IntChoice(Choice{Kind: kind, Core: core, Dest: dest, Addr: addr, Lo: lo, Hi: hi})
+	}
+	return s.rnd.rangeInt(lo, hi)
+}
+
+// XorShift64 is a tiny xorshift64 generator, exported for callers that
+// need a cheap seeded auxiliary stream outside the machine itself (the
+// litmus runner's alignment delays, the litmus generator).  The
+// recurrence is the classic 13/7/17 triple; a zero seed (which would fix
+// the stream at zero) is replaced by a nonzero constant.
+type XorShift64 struct{ s uint64 }
+
+// NewXorShift64 returns a generator seeded with seed.
+func NewXorShift64(seed uint64) XorShift64 {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return XorShift64{s: seed}
+}
+
+// Next returns the next 64 random bits.
+func (r *XorShift64) Next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// Intn returns a value in [0, n) by modulo reduction (n must be
+// positive).  The slight bias is irrelevant for the delay streams this
+// type serves and keeping the reduction trivial keeps streams stable.
+func (r *XorShift64) Intn(n int64) int64 {
+	return int64(r.Next() % uint64(n))
+}

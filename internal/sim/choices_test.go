@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// mirrorSource is a ChoiceSource that re-derives the machine's own rng
+// streams (base seed -> one draw per core -> one draw for non-MCA
+// storage) and answers every Choice exactly as the nil path would,
+// including the no-draw guards (permille(p<=0) and rangeInt(hi<=lo)
+// consume nothing; the intn-backed kinds always draw).  Routing every
+// draw through it must therefore be bit-identical to no source at all —
+// the acceptance gate for the pluggable choice-source refactor.
+type mirrorSource struct {
+	cores []rng
+	store rng
+}
+
+func newMirrorSource(prof *arch.Profile, cores int, seed int64) *mirrorSource {
+	base := newRNG(uint64(seed))
+	ms := &mirrorSource{cores: make([]rng, cores)}
+	for i := range ms.cores {
+		ms.cores[i] = newRNG(base.next())
+	}
+	if prof.Flavor == arch.NonMCA {
+		ms.store = newRNG(base.next() ^ 0xabcdef12345)
+	}
+	return ms
+}
+
+func (ms *mirrorSource) rngFor(c Choice) *rng {
+	switch c.Kind {
+	case ChoicePropDelay, ChoicePropTail, ChoicePropTailExtra:
+		return &ms.store
+	default:
+		return &ms.cores[c.Core]
+	}
+}
+
+func (ms *mirrorSource) BoolChoice(c Choice) bool {
+	return ms.rngFor(c).permille(c.Permille)
+}
+
+func (ms *mirrorSource) IntChoice(c Choice) int64 {
+	r := ms.rngFor(c)
+	switch c.Kind {
+	case ChoiceLoadJitterLat, ChoiceStoreDrain:
+		// These sites historically called intn, which draws even for a
+		// single-value domain.
+		return r.intn(c.Hi + 1)
+	default:
+		return r.rangeInt(c.Lo, c.Hi)
+	}
+}
+
+// TestChoiceSourceEquivalence proves seeded simulation is bit-identical
+// before and after the choice-source refactor: every scenario runs once
+// with no source (the seeded rng path) and once with the rng-mirroring
+// source, and the full snapshots must match bit for bit.  The slow-scan
+// variant additionally pins that choice points line up with the idle
+// fast paths' notion of draw opportunities.
+func TestChoiceSourceEquivalence(t *testing.T) {
+	for name, prof := range arch.Profiles() {
+		for _, sc := range scenarios(prof) {
+			for seed := int64(1); seed <= 9; seed += 4 {
+				t.Run(fmt.Sprintf("%s/%s/seed%d", name, sc.name, seed), func(t *testing.T) {
+					plain := runSnapshot(t, newMachine(t, prof, sc, seed), sc)
+
+					mirrored := newMachine(t, prof, sc, seed)
+					mirrored.SetChoiceSource(newMirrorSource(prof, sc.cores, seed))
+					sourced := runSnapshot(t, mirrored, sc)
+					diffSnapshots(t, "plain vs mirrored source", plain, sourced)
+
+					debugForceSlowScan = true
+					slowM := newMachine(t, prof, sc, seed)
+					slowM.SetChoiceSource(newMirrorSource(prof, sc.cores, seed))
+					slow := runSnapshot(t, slowM, sc)
+					debugForceSlowScan = false
+					diffSnapshots(t, "plain vs mirrored slow-scan", plain, slow)
+
+					// Clearing the source restores the rng path untouched:
+					// the machine's own rngs were never consulted while the
+					// source was installed, so Reset + rerun reproduces the
+					// plain run.
+					mirrored.SetChoiceSource(nil)
+					mirrored.Reset(seed)
+					cleared := runSnapshot(t, mirrored, sc)
+					diffSnapshots(t, "plain vs source-cleared reset", plain, cleared)
+				})
+			}
+		}
+	}
+}
+
+// TestFingerprintDeterminism pins the explorer's dedup primitive:
+// identical runs fingerprint identically (including across Reset), and
+// runs that end in different memory states do not.
+func TestFingerprintDeterminism(t *testing.T) {
+	for name, prof := range arch.Profiles() {
+		sc := scenarios(prof)[1] // mp-fenced: two cores, stores + fences
+		t.Run(name, func(t *testing.T) {
+			a := newMachine(t, prof, sc, 3)
+			runSnapshot(t, a, sc)
+			fpA := a.Fingerprint()
+
+			b := newMachine(t, prof, sc, 3)
+			runSnapshot(t, b, sc)
+			if fpB := b.Fingerprint(); fpB != fpA {
+				t.Errorf("identical runs fingerprint differently: %#x vs %#x", fpA, fpB)
+			}
+
+			b.Reset(3)
+			runSnapshot(t, b, sc)
+			if fpB := b.Fingerprint(); fpB != fpA {
+				t.Errorf("reset run fingerprints differently: %#x vs %#x", fpA, fpB)
+			}
+
+			b.Reset(3)
+			b.WriteMem(900, 77) // perturb memory only
+			sc2 := sc
+			sc2.mem = 0 // skip snapshot mem diff; we only want the run
+			runSnapshot(t, b, sc2)
+			if fpB := b.Fingerprint(); fpB == fpA {
+				t.Errorf("distinct memory states share fingerprint %#x", fpA)
+			}
+		})
+	}
+}
+
+// TestXorShift64 pins the exported stream against the recurrence the
+// litmus runner historically inlined, and the zero-seed guard.
+func TestXorShift64(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 0x9e3779b9 + 1, 12345678901234567} {
+		r := NewXorShift64(seed)
+		s := seed
+		for i := 0; i < 10_000; i++ {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			if got := r.Next(); got != s {
+				t.Fatalf("seed %d draw %d: got %#x want %#x", seed, i, got, s)
+			}
+		}
+	}
+	z := NewXorShift64(0)
+	if z.Next() == 0 {
+		t.Error("zero seed was not replaced; stream is stuck at zero")
+	}
+	r := NewXorShift64(7)
+	saw := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(120)
+		if v < 0 || v >= 120 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		saw[v] = true
+	}
+	if len(saw) < 60 {
+		t.Errorf("Intn(120) covered only %d values in 1000 draws", len(saw))
+	}
+}

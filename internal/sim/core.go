@@ -631,7 +631,7 @@ func (c *core) tryIssue(id int64, e *wentry, now int64,
 	if in.ReadsFlags() && !c.prodReady(e.fprod) {
 		return blockHard
 	}
-	if c.rnd.permille(prof.Pipe.IssueJitter) {
+	if c.chooseBool(ChoiceIssueJitter, -1, prof.Pipe.IssueJitter) {
 		return blockSoft
 	}
 
@@ -940,8 +940,8 @@ func (c *core) issueLoad(id int64, e *wentry, now int64, loadBarrier, olderStore
 	// Bank-conflict / memory-scheduling jitter: a small random latency
 	// component that both spreads repeated samples and perturbs the
 	// relative satisfaction order of independent loads.
-	if c.rnd.permille(prof.Pipe.IssueJitter * 8) {
-		lat += 1 + c.rnd.intn(4)
+	if c.chooseBool(ChoiceLoadJitter, addr, prof.Pipe.IssueJitter*8) {
+		lat += 1 + c.chooseIntn(ChoiceLoadJitterLat, addr, 4)
 	}
 	e.state, e.readyAt = stIssued, now+lat
 	c.stats.Loads++
@@ -1049,7 +1049,7 @@ func (c *core) retire(now int64) {
 			// Ownership-acquisition time varies per line (directory
 			// state, contention); the variance is what lets a younger
 			// ready store drain past a stuck head.
-			drain := prof.Lat.StoreDrain + c.rnd.intn(prof.Lat.StoreDrain+1)
+			drain := prof.Lat.StoreDrain + c.chooseIntn(ChoiceStoreDrain, e.addr, prof.Lat.StoreDrain+1)
 			c.sb = append(c.sb, sbEntry{
 				addr: e.addr, val: e.val,
 				ready:   now + drain,
@@ -1139,12 +1139,12 @@ func (c *core) drainSB(now int64) {
 		if len(c.sb) > 1 && c.sb[1].ready <= now &&
 			!c.sb[0].release && !c.sb[1].release && !c.sb[1].fence &&
 			c.sb[0].addr>>c.cache.lineShift != c.sb[1].addr>>c.cache.lineShift &&
-			c.rnd.permille(storeCombinePermille) {
+			c.chooseBool(ChoiceSBCombine, c.sb[0].addr, storeCombinePermille) {
 			idx = 1
 			// The bypassed head stays stuck for a while longer (its
 			// line is genuinely unavailable), which is what makes the
 			// reordering externally observable.
-			c.sb[0].ready = now + c.rnd.rangeInt(20, 60)
+			c.sb[0].ready = now + c.chooseRange(ChoiceSBStick, c.sb[0].addr, 20, 60)
 		} else {
 			return
 		}

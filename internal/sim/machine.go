@@ -68,6 +68,7 @@ type Machine struct {
 	resCores   []CoreStats // reused backing for Result.Cores
 	warmStart  int64
 	tracer     Tracer
+	choices    ChoiceSource
 }
 
 // watchdogCycles is the number of cycles without any retirement after which
@@ -105,6 +106,10 @@ func New(prof *arch.Profile, cfg Config) (*Machine, error) {
 
 // Prof returns the machine's architecture profile.
 func (m *Machine) Prof() *arch.Profile { return m.prof }
+
+// Now returns the current simulation cycle (mid-run it is the cycle
+// being stepped; after Run it matches Result.Cycles).
+func (m *Machine) Now() int64 { return m.now }
 
 // Reset returns the machine to the state New would produce for the same
 // profile and config with the given seed, retaining every allocation

@@ -60,6 +60,9 @@ type storage interface {
 	// seed re-derives the propagation RNG on non-MCA storage (ignored by
 	// MCA storage, which consumes no randomness).
 	reset(seed uint64)
+	// setChoices installs (or clears) the machine's ChoiceSource for
+	// the storage subsystem's own draws.  No-op on MCA storage.
+	setChoices(cs ChoiceSource)
 }
 
 // touchSet tracks first-touch state per cache line.
@@ -153,6 +156,8 @@ func (s *mcaStorage) touchLine(line int64)        { s.touch.touch(line) }
 
 func (s *mcaStorage) write(addr, val int64) { s.mem[addr] = val }
 func (s *mcaStorage) read(addr int64) int64 { return s.mem[addr] }
+
+func (s *mcaStorage) setChoices(ChoiceSource) {}
 
 func (s *mcaStorage) reset(uint64) {
 	for i := range s.mem {
@@ -261,6 +266,7 @@ type nonMCAStorage struct {
 	propMax  int64
 	propTail int
 	rnd      rng
+	choices  ChoiceSource
 }
 
 func newNonMCAStorage(memWords, lineWords, cores int, propMin, propMax int64, propTail int, seed uint64, caches []*l1) *nonMCAStorage {
@@ -308,13 +314,13 @@ func (s *nonMCAStorage) commitStore(core int, addr, val int64, now int64) {
 		if d == core {
 			continue
 		}
-		delay := s.rnd.rangeInt(s.propMin, s.propMax)
+		delay := s.chooseRange(ChoicePropDelay, core, d, addr, s.propMin, s.propMax)
 		// Heavy tail: occasionally a line is stuck (dirty in a remote
 		// cache, directory contention) and takes much longer to reach
 		// one particular observer.  This is what makes WRC/IRIW-style
 		// disagreement observable on real non-MCA machines.
-		if s.rnd.permille(s.propTail) {
-			delay += s.rnd.rangeInt(100, 400)
+		if s.chooseBool(ChoicePropTail, core, d, addr, s.propTail) {
+			delay += s.chooseRange(ChoicePropTailExtra, core, d, addr, 100, 400)
 		}
 		a := now + delay
 		if f := s.floor[core][d]; a < f {
@@ -435,6 +441,8 @@ func (s *nonMCAStorage) observeExclusive(core int, addr int64, seq uint64, now i
 		s.viewVis[core][addr] = s.masterVis[addr]
 	}
 }
+
+func (s *nonMCAStorage) setChoices(cs ChoiceSource) { s.choices = cs }
 
 func (s *nonMCAStorage) lineTouched(line int64) bool { return s.touch.touched(line) }
 func (s *nonMCAStorage) touchLine(line int64)        { s.touch.touch(line) }

@@ -35,7 +35,14 @@ func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
 
 // WriteTraceTo installs a tracer that renders events as text lines.
 func (m *Machine) WriteTraceTo(w io.Writer) {
-	m.SetTracer(func(e TraceEvent) {
+	m.SetTracer(TraceWriter(w))
+}
+
+// TraceWriter returns a Tracer rendering events as text lines, for
+// callers that install tracers without holding a Machine (witness
+// replays in the exhaustive explorer).
+func TraceWriter(w io.Writer) Tracer {
+	return func(e TraceEvent) {
 		switch {
 		case e.Instr.Op.IsLoad():
 			fmt.Fprintf(w, "%8d c%d pc=%-3d %-24s addr=%-5d val=%-8d satisfied@%d\n",
@@ -47,7 +54,7 @@ func (m *Machine) WriteTraceTo(w io.Writer) {
 			fmt.Fprintf(w, "%8d c%d pc=%-3d %-24s val=%d\n",
 				e.Cycle, e.Core, e.PC, e.Instr, e.Val)
 		}
-	})
+	}
 }
 
 // emitTrace is called from the retire stage.

@@ -1,6 +1,7 @@
 // Package worker is the execution side of the sharded backend: a loop
-// that leases batches of experiment jobs from a wmmd coordinator over
-// the v1 API, executes them on a local engine, and uploads the results.
+// that leases batches of jobs — experiments, or shards of generated
+// litmus campaigns — from a wmmd coordinator over the v1 API, executes
+// them on a local engine, and uploads the results.
 //
 // The loop is deliberately stateless between batches.  All durability
 // lives on the coordinator: if a worker dies mid-batch its lease
@@ -145,14 +146,32 @@ func runBatch(ctx context.Context, cl *client.Client, id string, eng *engine.Eng
 			break
 		}
 		logger.Printf("worker %s: executing %s/%s", id, job.RunID, job.Experiment)
-		res, err := eng.RunExperiment(batchCtx, job.Experiment, engine.RunOptions{
-			Samples: job.Samples,
-			Seed:    job.Seed,
-			Short:   job.Short,
-		})
+		var res *engine.Result
+		var err error
+		if job.Litmus != nil {
+			// Litmus shard: regenerate the batch from the descriptor and
+			// run this worker's slice — no programs cross the wire.
+			res, err = engine.RunLitmusShard(batchCtx, engine.LitmusShard{
+				Arch:       job.Litmus.Arch,
+				GenSeed:    job.Litmus.GenSeed,
+				Count:      job.Litmus.Count,
+				MaxThreads: job.Litmus.MaxThreads,
+				Trials:     job.Litmus.Trials,
+				Seed:       job.Litmus.Seed,
+				Lo:         job.Litmus.Lo,
+				Hi:         job.Litmus.Hi,
+			})
+		} else {
+			res, err = eng.RunExperiment(batchCtx, job.Experiment, engine.RunOptions{
+				Samples: job.Samples,
+				Seed:    job.Seed,
+				Short:   job.Short,
+			})
+		}
 		if err != nil {
-			// Unknown experiment — a protocol-level mismatch, not an
-			// execution failure.  Skip it; the coordinator re-queues.
+			// Unknown experiment or malformed shard — a protocol-level
+			// mismatch, not an execution failure.  Skip it; the
+			// coordinator re-queues.
 			logger.Printf("worker %s: %s/%s: %v", id, job.RunID, job.Experiment, err)
 			continue
 		}

@@ -151,6 +151,67 @@ func TestDistributedCanonicalIdentity(t *testing.T) {
 	}
 }
 
+// TestDistributedLitmusIdentity is the litmus-campaign acceptance
+// test: a generated batch of 500 tests sharded across two worker
+// processes — which regenerate their slices from shard descriptors
+// alone — produces canonical JSON byte-identical to the same campaign
+// executed in-process on a plain local server.
+func TestDistributedLitmusIdentity(t *testing.T) {
+	spec := client.LitmusSpec{
+		Arch:      "armv8",
+		GenSeed:   7,
+		Count:     500,
+		Trials:    2,
+		Seed:      3,
+		ShardSize: 50, // 10 shards
+		Parallel:  4,
+	}
+	litmusToDone := func(ts *httptest.Server) string {
+		t.Helper()
+		cl := client.New(ts.URL)
+		sub, err := cl.SubmitLitmus(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("submit litmus: %v", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		st, err := cl.WaitLitmus(ctx, sub.ID, 50*time.Millisecond)
+		if err != nil {
+			t.Fatalf("wait %s: %v", sub.ID, err)
+		}
+		if st.State != client.StateDone {
+			t.Fatalf("campaign %s ended %s (err %q)", sub.ID, st.State, st.Error)
+		}
+		if st.Tests != spec.Count {
+			t.Fatalf("campaign %s covered %d tests, want %d", sub.ID, st.Tests, spec.Count)
+		}
+		return sub.ID
+	}
+	canonicalLitmus := func(ts *httptest.Server, id string) []byte {
+		t.Helper()
+		raw, err := client.New(ts.URL).CanonicalLitmus(context.Background(), id)
+		if err != nil {
+			t.Fatalf("canonical litmus %s: %v", id, err)
+		}
+		return raw
+	}
+
+	tsLocal := newCoordinator(t, nil)
+	want := canonicalLitmus(tsLocal, litmusToDone(tsLocal))
+
+	tsDist := newCoordinator(t, &engine.DispatchOptions{LocalSlots: -1, MaxBatch: 2})
+	startWorker(t, tsDist, "w1")
+	startWorker(t, tsDist, "w2")
+	got := canonicalLitmus(tsDist, litmusToDone(tsDist))
+
+	if !bytes.Equal(got, want) {
+		t.Errorf("distributed campaign diverged from local campaign:\n--- local ---\n%s\n--- distributed ---\n%s", want, got)
+	}
+	if remote := metricValue(t, tsDist, `wmm_dispatch_jobs_completed_total{mode="remote"}`); remote != 10 {
+		t.Errorf("remote job completions = %v, want 10 (every shard leased out)", remote)
+	}
+}
+
 // TestLeaseExpiryRequeue kills a worker mid-batch (a zombie that leases
 // jobs and never heartbeats or uploads) and verifies the coordinator
 // re-queues the lost work, a healthy worker completes the run, and the

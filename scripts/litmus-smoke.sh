@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# litmus-smoke.sh — run the same generated litmus campaign on a plain
+# local wmmd and on a coordinator-only wmmd served by two real
+# wmmworker processes, and assert the canonical campaign JSON is
+# byte-identical.
+#
+# This is the out-of-process counterpart of
+# TestDistributedLitmusIdentity: real binaries, real HTTP, real process
+# boundaries.  A campaign ships only shard descriptors — each worker
+# regenerates its slice of the batch from (gen_seed, count,
+# max_threads), so where a shard executes cannot affect its bytes.
+set -euo pipefail
+
+ADDR_LOCAL="127.0.0.1:8355"
+ADDR_DIST="127.0.0.1:8356"
+DATA="$(mktemp -d)"
+LOG="$DATA/smoke.log"
+PIDS=()
+trap 'kill -9 "${PIDS[@]}" 2>/dev/null || true; rm -rf "$DATA"' EXIT
+
+go build -o "$DATA/wmmd" ./cmd/wmmd
+go build -o "$DATA/wmmworker" ./cmd/wmmworker
+go build -o "$DATA/wmmctl" ./cmd/wmmctl
+
+# 500 tests in 10 shards of 50, two trials each: enough to split across
+# both workers, fast enough for CI.
+SPEC='{"arch":"armv8","gen_seed":7,"count":500,"trials":2,"seed":3,"shard_size":50,"parallel":4}'
+
+# --- Baseline: one ordinary wmmd doing the work itself. --------------
+"$DATA/wmmd" -addr "$ADDR_LOCAL" >>"$LOG" 2>&1 &
+PIDS+=($!)
+"$DATA/wmmctl" -server "http://$ADDR_LOCAL" -timeout 30s ready \
+  || { echo "litmus-smoke: local wmmd never became ready" >&2; cat "$LOG" >&2; exit 1; }
+
+RUN_LOCAL=$("$DATA/wmmctl" -server "http://$ADDR_LOCAL" litmus-submit "$SPEC")
+"$DATA/wmmctl" -server "http://$ADDR_LOCAL" -timeout 15m litmus-wait "$RUN_LOCAL" \
+  || { echo "litmus-smoke: local campaign failed" >&2; exit 1; }
+"$DATA/wmmctl" -server "http://$ADDR_LOCAL" litmus-canonical "$RUN_LOCAL" > "$DATA/local.json"
+
+# --- Distributed: a pure coordinator plus two worker processes. ------
+"$DATA/wmmd" -addr "$ADDR_DIST" -local-slots -1 -lease-ttl 5s >>"$LOG" 2>&1 &
+PIDS+=($!)
+"$DATA/wmmctl" -server "http://$ADDR_DIST" -timeout 30s ready \
+  || { echo "litmus-smoke: coordinator never became ready" >&2; cat "$LOG" >&2; exit 1; }
+
+"$DATA/wmmworker" -coordinator "http://$ADDR_DIST" -id smoke-w1 -poll 100ms >>"$LOG" 2>&1 &
+PIDS+=($!)
+"$DATA/wmmworker" -coordinator "http://$ADDR_DIST" -id smoke-w2 -poll 100ms >>"$LOG" 2>&1 &
+PIDS+=($!)
+
+RUN_DIST=$("$DATA/wmmctl" -server "http://$ADDR_DIST" litmus-submit "$SPEC")
+"$DATA/wmmctl" -server "http://$ADDR_DIST" -timeout 15m litmus-wait "$RUN_DIST" \
+  || { echo "litmus-smoke: distributed campaign failed" >&2; cat "$LOG" >&2; exit 1; }
+"$DATA/wmmctl" -server "http://$ADDR_DIST" litmus-canonical "$RUN_DIST" > "$DATA/dist.json"
+
+# --- The acceptance criterion: byte-identical canonical JSON. --------
+if ! diff -q "$DATA/local.json" "$DATA/dist.json" >/dev/null; then
+  echo "litmus-smoke: canonical JSON diverged between local and sharded execution" >&2
+  diff "$DATA/local.json" "$DATA/dist.json" >&2 || true
+  exit 1
+fi
+
+# And the work really went to the workers: the coordinator has no local
+# slots, so all 10 shards must have completed in "remote" mode.
+REMOTE=$(curl -fsS "http://$ADDR_DIST/metrics" \
+  | sed -n 's/^wmm_dispatch_jobs_completed_total{mode="remote"} \([0-9.]*\)$/\1/p')
+if [ "${REMOTE:-0}" != "10" ]; then
+  echo "litmus-smoke: expected 10 remote shard completions, got '${REMOTE:-none}'" >&2
+  exit 1
+fi
+
+echo "litmus-smoke: ok ($RUN_DIST: 500 generated tests in 10 shards across 2 workers, canonical JSON identical)"

@@ -1,8 +1,9 @@
 // Package client is the typed Go client for the wmmd v1 API: the
 // versioned HTTP surface of the weak-memory-model benchmarking service
 // (run submission, status, streaming progress, cancellation, the
-// paginated catalogues) plus the worker lease protocol the sharded
-// execution backend speaks (cmd/wmmworker is built on it).
+// paginated catalogues, generated litmus campaigns) plus the worker
+// lease protocol the sharded execution backend speaks (cmd/wmmworker
+// is built on it).
 //
 // Every method takes a context and propagates it through the request.
 // Non-2xx responses decode the uniform error envelope {"error":
@@ -318,6 +319,83 @@ func (c *Client) WatchRun(ctx context.Context, id string, fn func(Event) error) 
 		}
 	}
 	return snap, sc.Err()
+}
+
+// SubmitLitmus submits a generated litmus campaign, retrying on
+// admission-control 429s per the client's retry budget.
+func (c *Client) SubmitLitmus(ctx context.Context, spec LitmusSpec) (Submitted, error) {
+	var out Submitted
+	err := c.do(ctx, http.MethodPost, "/api/v1/litmus", spec, &out)
+	return out, err
+}
+
+// Litmus returns a campaign's status.  includeResults asks for partial
+// shard results while the campaign is still executing (final results
+// are always present).
+func (c *Client) Litmus(ctx context.Context, id string, includeResults bool) (LitmusStatus, error) {
+	path := "/api/v1/litmus/" + url.PathEscape(id)
+	if includeResults {
+		path += "?results=1"
+	}
+	var out LitmusStatus
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// WaitLitmus polls a campaign until it leaves the running state (or ctx
+// ends), returning the final status.
+func (c *Client) WaitLitmus(ctx context.Context, id string, poll time.Duration) (LitmusStatus, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		st, err := c.Litmus(ctx, id, false)
+		if err != nil {
+			return st, err
+		}
+		if st.State != StateRunning {
+			return st, nil
+		}
+		t := time.NewTimer(poll)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return st, ctx.Err()
+		}
+	}
+}
+
+// CanonicalLitmus returns a finished campaign's canonical JSON — the
+// ordered shard results with wall times zeroed, byte-identical for
+// local, sharded and re-executed campaigns of the same spec.
+func (c *Client) CanonicalLitmus(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/api/v1/litmus/"+url.PathEscape(id)+"?canonical=1", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiErr(resp, raw)
+	}
+	return raw, nil
+}
+
+// CancelLitmus cancels a running campaign, or removes a finished one
+// from the catalogue.
+func (c *Client) CancelLitmus(ctx context.Context, id string) (CancelResponse, error) {
+	var out CancelResponse
+	err := c.do(ctx, http.MethodDelete, "/api/v1/litmus/"+url.PathEscape(id), nil, &out)
+	return out, err
 }
 
 // Lease asks the coordinator for a batch of up to maxJobs experiment

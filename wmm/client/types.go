@@ -119,14 +119,72 @@ type CancelResponse struct {
 	Deleted bool   `json:"deleted,omitempty"`
 }
 
-// Job is one leased experiment job: everything a worker needs to
-// reproduce the exact bytes a local execution would produce.
+// Job is one leased job: everything a worker needs to reproduce the
+// exact bytes a local execution would produce.  When Litmus is non-nil
+// the job is a litmus shard (Experiment carries the shard name and the
+// samples/seed/short fields are unused).
 type Job struct {
-	RunID      string `json:"run_id"`
-	Experiment string `json:"experiment"`
-	Samples    int    `json:"samples,omitempty"`
+	RunID      string     `json:"run_id"`
+	Experiment string     `json:"experiment"`
+	Samples    int        `json:"samples,omitempty"`
+	Seed       int64      `json:"seed,omitempty"`
+	Short      bool       `json:"short"`
+	Litmus     *LitmusJob `json:"litmus,omitempty"`
+}
+
+// LitmusSpec is the body of POST /api/v1/litmus: a campaign of
+// generated litmus tests against one simulated machine.  The batch is
+// a pure function of (GenSeed, Count, MaxThreads); the coordinator
+// shards it by index range and workers regenerate their slice.
+type LitmusSpec struct {
+	// Arch selects the machine: "armv8" or "power7".
+	Arch string `json:"arch"`
+	// GenSeed drives the generator (0 = 1).
+	GenSeed int64 `json:"gen_seed,omitempty"`
+	// Count is the number of distinct generated tests.
+	Count int `json:"count"`
+	// MaxThreads caps the cycle length (2..4; 0 = 4).
+	MaxThreads int `json:"max_threads,omitempty"`
+	// Trials is the randomized trial count per test (0 = 400).
+	Trials int `json:"trials,omitempty"`
+	// Seed is the runner's base seed (0 = 1).
+	Seed int64 `json:"seed,omitempty"`
+	// ShardSize is the number of tests per dispatched shard (0 = 50).
+	ShardSize int `json:"shard_size,omitempty"`
+	// Parallel shards in flight at once (0 = server default).
+	Parallel int `json:"parallel,omitempty"`
+	// TimeoutMs bounds the whole campaign; 0 = no deadline.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// LitmusJob is the shard descriptor carried by a leased litmus job:
+// tests [Lo,Hi) of the batch (GenSeed, Count, MaxThreads) generates.
+type LitmusJob struct {
+	Arch       string `json:"arch"`
+	GenSeed    int64  `json:"gen_seed,omitempty"`
+	Count      int    `json:"count"`
+	MaxThreads int    `json:"max_threads,omitempty"`
+	Trials     int    `json:"trials,omitempty"`
 	Seed       int64  `json:"seed,omitempty"`
-	Short      bool   `json:"short"`
+	Lo         int    `json:"lo"`
+	Hi         int    `json:"hi"`
+}
+
+// LitmusStatus is the snapshot served by GET /api/v1/litmus/{id}.
+// Each Result is one shard: Output carries a canonical JSON array of
+// per-test outcome rows {"name", "trials", "hits", "relaxed"}.
+type LitmusStatus struct {
+	ID        string     `json:"id"`
+	State     string     `json:"state"`
+	Spec      LitmusSpec `json:"spec"`
+	Total     int        `json:"total"`     // shards
+	Completed int        `json:"completed"` // shards finished
+	Tests     int        `json:"tests"`
+	Trials    int        `json:"trials"`
+	Error     string     `json:"error,omitempty"`
+	StartedAt time.Time  `json:"started_at"`
+	WallMs    int64      `json:"wall_ms"`
+	Results   []Result   `json:"results,omitempty"`
 }
 
 // LeaseGrant is a batch of jobs under a TTL'd lease.  An empty LeaseID

@@ -35,6 +35,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fit"
 	"repro/internal/litmus"
+	"repro/internal/litmus/gen"
 	"repro/internal/platform/c11"
 	"repro/internal/platform/jvm"
 	"repro/internal/platform/kernel"
@@ -129,6 +130,31 @@ type LitmusOutcome = litmus.Outcome
 // LitmusSuite returns the conformance catalogue for a profile name
 // ("armv8" or "power7").
 func LitmusSuite(profile string) []*LitmusTest { return litmus.Suite(profile) }
+
+// LitmusExhaustiveReport enumerates a test's reachable final-memory
+// outcomes (LitmusRunner.Exhaustive / CheckExhaustive): where sampling
+// counts how often the relaxed outcome shows up, an exhaustive report
+// is a proof of absence for forbidden shapes and a replayable witness
+// for allowed ones.
+type LitmusExhaustiveReport = litmus.ExhaustiveReport
+
+// LitmusExhaustiveOutcome is one reachable final-memory outcome of an
+// exhaustive exploration.
+type LitmusExhaustiveOutcome = litmus.ExhaustiveOutcome
+
+// LitmusGenConfig parameterises GenerateLitmus.
+type LitmusGenConfig = gen.Config
+
+// LitmusRecipe is one generated litmus test in critical-cycle form.
+type LitmusRecipe = gen.Recipe
+
+// GenerateLitmus emits a batch of diy-style generated litmus tests.
+// The batch is a pure function of the config: same config, same
+// byte-identical recipe list, on every machine.
+func GenerateLitmus(cfg LitmusGenConfig) ([]*LitmusRecipe, error) { return gen.Generate(cfg) }
+
+// BuildLitmus derives the runnable tests for a generated recipe batch.
+func BuildLitmus(recipes []*LitmusRecipe) []*LitmusTest { return gen.BuildAll(recipes) }
 
 // ------------------------------------------------------------- benchmarks --
 
