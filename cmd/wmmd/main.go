@@ -7,7 +7,8 @@
 //	wmmd [-addr :8347] [-workers N] [-parallel N] [-retain 24h]
 //	     [-data DIR] [-sample-timeout 5m] [-sample-retries 2]
 //	     [-local-slots N] [-lease-ttl 15s] [-max-batch 4]
-//	     [-max-queue 1024] [-debug]
+//	     [-max-queue 1024] [-cache-entries 256] [-cache-retain 168h]
+//	     [-debug]
 //
 // API (versioned surface; see docs/API.md for the full contract):
 //
@@ -48,6 +49,17 @@
 // Litmus campaigns ride the same queue as index-range shards of a
 // deterministically generated test batch (see docs/LITMUS.md).
 //
+// Results are content-addressed: before a job is enqueued, the
+// dispatcher consults a result cache keyed by a hash of the experiment,
+// sweep options, seed and engine version, so resubmitting an identical
+// spec is served from cache (experiments carry a "cache" provenance
+// field) and concurrent identical submissions execute once
+// (single-flight).  -cache-entries bounds the in-memory layer (-1
+// disables caching); with -data, entries persist under DIR/cache and
+// survive restarts, garbage-collected after -cache-retain.  Append
+// ?nocache=1 to POST /api/v1/runs (or set "nocache" in the spec) to
+// force execution.  See docs/CACHING.md.
+//
 // Finished runs are garbage-collected after -retain (0 keeps them
 // forever).  Every request is access-logged as one JSON line on stderr.
 //
@@ -78,6 +90,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/resultcache"
 	"repro/internal/runstore"
 )
 
@@ -152,6 +165,8 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "worker lease validity between heartbeats")
 	maxBatch := flag.Int("max-batch", 4, "max jobs handed out per worker lease")
 	maxQueue := flag.Int("max-queue", 1024, "max unfinished jobs admitted before submissions get 429")
+	cacheEntries := flag.Int("cache-entries", 256, "in-memory result-cache entries (0 = default, -1 = disable result caching)")
+	cacheRetain := flag.Duration("cache-retain", 7*24*time.Hour, "garbage-collect persisted result-cache entries after this long (0 = keep forever)")
 	debug := flag.Bool("debug", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
@@ -184,6 +199,12 @@ func main() {
 	if *maxQueue <= 0 {
 		log.Fatalf("wmmd: -max-queue must be > 0, got %d", *maxQueue)
 	}
+	if *cacheEntries < -1 {
+		log.Fatalf("wmmd: -cache-entries must be >= -1 (-1 = disable, 0 = default), got %d", *cacheEntries)
+	}
+	if *cacheRetain < 0 {
+		log.Fatalf("wmmd: -cache-retain must be >= 0 (0 = keep forever), got %v", *cacheRetain)
+	}
 
 	var store *runstore.Store
 	if *dataDir != "" {
@@ -199,15 +220,28 @@ func main() {
 		SampleTimeout: *sampleTimeout,
 		Retry:         engine.RetryPolicy{Max: *sampleRetries},
 	})
+	// Content-addressed result reuse: the dispatcher consults the cache
+	// before enqueueing jobs, and with -data the persistent layer makes
+	// deduplication survive restarts.
+	var cache *resultcache.Cache
+	if *cacheEntries >= 0 {
+		copt := resultcache.Options{MaxEntries: *cacheEntries, Registry: eng.Metrics()}
+		if store != nil {
+			copt.Persist = store
+		}
+		cache = resultcache.New(copt)
+	}
 	api := engine.NewServer(eng, engine.ServerOptions{
-		Parallel: *parallel,
-		Retain:   *retain,
-		Store:    store,
+		Parallel:    *parallel,
+		Retain:      *retain,
+		CacheRetain: *cacheRetain,
+		Store:       store,
 		Dispatch: &engine.DispatchOptions{
 			LocalSlots: *localSlots,
 			LeaseTTL:   *leaseTTL,
 			MaxBatch:   *maxBatch,
 			MaxQueue:   *maxQueue,
+			Cache:      cache,
 		},
 	})
 	if store != nil {

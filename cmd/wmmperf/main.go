@@ -7,10 +7,15 @@
 //	wmmperf -short -out BENCH_new.json             # measure
 //	wmmperf -short -baseline BENCH_4.json          # measure and gate (CI)
 //	wmmperf -shortall                              # also time `wmmbench -short all`
+//	wmmperf -sweep                                 # also measure repeated-sweep caching
 //
 // The gate fails (exit 1) when any benchmark is more than -tolerance
 // slower than the baseline in ns/op, or allocates more per op at all
-// (allocation counts are deterministic).
+// (allocation counts are deterministic).  With -sweep, the same
+// multi-experiment run is submitted twice to an in-process server with
+// the result cache enabled; the run fails unless the second pass is
+// served from the cache byte-identically, and the report records the
+// pass times and speedup.
 package main
 
 import (
@@ -32,6 +37,7 @@ func main() {
 		baseline  = flag.String("baseline", "", "compare against this baseline report and fail on regression")
 		tolerance = flag.Float64("tolerance", 0.20, "relative ns/op slowdown tolerated against the baseline")
 		shortAll  = flag.Bool("shortall", false, "also measure wall time of the full `wmmbench -short all` run")
+		sweep     = flag.Bool("sweep", false, "also measure the repeated-sweep result-cache scenario")
 	)
 	flag.Parse()
 
@@ -53,6 +59,18 @@ func main() {
 		}
 		rep.ShortAllSeconds = time.Since(start).Seconds()
 		fmt.Printf("short-all wall time: %.1fs\n", rep.ShortAllSeconds)
+	}
+
+	if *sweep {
+		fmt.Println("running the repeated-sweep cache scenario...")
+		sw, err := perfbench.RepeatedSweep(*short)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wmmperf: repeated sweep: %v\n", err)
+			os.Exit(1)
+		}
+		rep.RepeatedSweep = &sw
+		fmt.Printf("repeated sweep %v: first pass %.2fs, cached pass %.3fs (%.0fx, %d hits)\n",
+			sw.Experiments, sw.FirstPassSeconds, sw.SecondPassSeconds, sw.Speedup, sw.CacheHits)
 	}
 
 	if *out != "" {

@@ -10,6 +10,13 @@ import (
 	"repro/internal/faultinject"
 )
 
+// defaultCalCacheCap bounds the calibration cache when Options leave
+// CalCacheCap zero.  Each entry is one Figure 4 curve (~a few hundred
+// bytes), so the cap is about predictability, not memory pressure: a
+// long-lived wmmd serving many (profile, sizes, seed) combinations must
+// not grow without bound.
+const defaultCalCacheCap = 128
+
 // calEntry computes one calibration at most once; concurrent requesters
 // for the same key block on the sync.Once instead of duplicating the
 // measurement (the Figure 4 curve is the single most repeated piece of
@@ -18,6 +25,13 @@ type calEntry struct {
 	once chan struct{} // closed when computed
 	cal  core.Calibration
 	err  error
+
+	// done and lastUse are guarded by the engine's calMu.  done marks a
+	// successfully computed entry (only those are eviction candidates —
+	// evicting an in-flight entry would duplicate its computation);
+	// lastUse orders entries for LRU eviction.
+	done    bool
+	lastUse int64
 }
 
 // calKey identifies a calibration: the exact profile, size sweep, and
@@ -35,7 +49,10 @@ func calKey(prof *arch.Profile, sizes []int64, seed int64) string {
 // Calibration returns the Figure 4 curve for (profile, sizes, seed),
 // computing it on first request and serving every later request from the
 // cache.  A failed or cancelled computation is evicted so a later run can
-// retry rather than inherit the stale error.
+// retry rather than inherit the stale error.  The cache is bounded: when
+// a computation completes and the cache holds more than the engine's
+// CalCacheCap completed curves, the least-recently-used ones are evicted
+// (and counted on wmm_engine_calibration_cache_evictions_total).
 func (e *Engine) Calibration(ctx context.Context, prof *arch.Profile, sizes []int64, seed int64) (core.Calibration, error) {
 	if err := ctx.Err(); err != nil {
 		return core.Calibration{}, err
@@ -50,6 +67,8 @@ func (e *Engine) Calibration(ctx context.Context, prof *arch.Profile, sizes []in
 		e.cals[k] = ent
 		e.misses++
 	}
+	e.calClock++
+	ent.lastUse = e.calClock
 	e.calMu.Unlock()
 	if ok {
 		e.met.calHits.Inc()
@@ -75,6 +94,12 @@ func (e *Engine) Calibration(ctx context.Context, prof *arch.Profile, sizes []in
 			return err
 		}()
 		close(ent.once)
+		if ent.err == nil {
+			e.calMu.Lock()
+			ent.done = true
+			e.evictCalsLocked()
+			e.calMu.Unlock()
+		}
 	} else {
 		select {
 		case <-ent.once:
@@ -93,10 +118,49 @@ func (e *Engine) Calibration(ctx context.Context, prof *arch.Profile, sizes []in
 	return ent.cal, nil
 }
 
+// evictCalsLocked enforces the LRU bound over completed entries; calMu
+// must be held.  In-flight entries never count against the cap and are
+// never evicted — waiters hold their pointers and the computation must
+// not be repeated.
+func (e *Engine) evictCalsLocked() {
+	if e.calCap <= 0 {
+		return
+	}
+	for {
+		doneCount := 0
+		var oldestKey string
+		var oldest *calEntry
+		for k, ent := range e.cals {
+			if !ent.done {
+				continue
+			}
+			doneCount++
+			if oldest == nil || ent.lastUse < oldest.lastUse {
+				oldestKey, oldest = k, ent
+			}
+		}
+		if doneCount <= e.calCap || oldest == nil {
+			return
+		}
+		delete(e.cals, oldestKey)
+		e.evictions++
+		e.met.calEvictions.Inc()
+	}
+}
+
 // CalStats reports the calibration cache's hit/miss counters (misses are
 // computations, hits are reuses).
 func (e *Engine) CalStats() (hits, misses int) {
 	e.calMu.Lock()
 	defer e.calMu.Unlock()
 	return e.hits, e.misses
+}
+
+// CalCacheSize reports the entries currently cached and how many have
+// been evicted by the LRU bound (backs the regression test for the
+// unbounded-growth fix).
+func (e *Engine) CalCacheSize() (entries, evicted int) {
+	e.calMu.Lock()
+	defer e.calMu.Unlock()
+	return len(e.cals), e.evictions
 }

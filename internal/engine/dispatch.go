@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/resultcache"
 )
 
 // ErrSaturated is returned when the dispatch queue cannot admit a new
@@ -44,6 +46,12 @@ type DispatchOptions struct {
 	// handed to a worker under a lease).  The server uses it to write
 	// assignment records to the run store.
 	OnAssign func(runID, experiment, worker string)
+	// Cache, when non-nil, is consulted before every experiment job is
+	// enqueued: an identical job (by content hash — see ResultKey) that
+	// already completed is served from the cache, and identical jobs in
+	// flight are merged single-flight so overlapping runs execute each
+	// distinct job once.  Litmus shard jobs are not cached.
+	Cache *resultcache.Cache
 }
 
 // withDefaults fills the zero values in.
@@ -97,6 +105,13 @@ type dispatchJob struct {
 	startedFired bool
 	semHeld      bool // holds one of its run's parallel slots
 	sem          chan struct{}
+
+	// cacheKey is the job's content hash ("" = the run bypassed the cache
+	// or no cache is configured).  cacheLead marks the job as its key's
+	// single-flight leader: its finish must settle the key (Fulfill on
+	// success, Abandon otherwise) because followers are parked on it.
+	cacheKey  string
+	cacheLead bool
 }
 
 // lease is one outstanding grant to a remote worker.
@@ -254,9 +269,12 @@ func (d *Dispatcher) Run(ctx context.Context, runID string, names []string, o Ru
 		j := &dispatchJob{
 			runID: runID,
 			name:  ex.Name,
-			opts:  RunOptions{Samples: o.Samples, Seed: o.Seed, Short: o.Short},
+			opts:  RunOptions{Samples: o.Samples, Seed: o.Seed, Short: o.Short, Adaptive: o.Adaptive},
 			ctx:   ctx,
 			sem:   sem,
+		}
+		if d.opt.Cache != nil && !o.NoCache {
+			j.cacheKey = ResultKey(ex.Name, j.opts)
 		}
 		j.started = func(name string) {
 			if sink != nil {
@@ -342,7 +360,12 @@ func (d *Dispatcher) drive(ctx context.Context, jobs []*dispatchJob, sem chan st
 
 	// Enqueue under the run's parallelism budget: at most `parallel`
 	// jobs of this run are in flight across the whole fleet at once.
+	// Cache-resolved jobs (hits and single-flight followers) consume no
+	// slot — only jobs that will actually execute are throttled.
 	for _, j := range jobs {
+		if d.consultCache(j) {
+			continue
+		}
 		select {
 		case sem <- struct{}{}:
 		case <-ctx.Done():
@@ -363,6 +386,86 @@ func (d *Dispatcher) drive(ctx context.Context, jobs []*dispatchJob, sem chan st
 		}
 	}
 	return results, nil
+}
+
+// consultCache resolves a job against the result cache before it is
+// enqueued, reporting true when the job needs no executor: it was served
+// from a cache layer (finished immediately, with provenance recorded) or
+// it is now following an identical in-flight job and will be resolved
+// when that job's leader settles.  False means the job must execute —
+// either the cache is not in play, or the job was appointed its key's
+// single-flight leader.
+func (d *Dispatcher) consultCache(j *dispatchJob) bool {
+	c := d.opt.Cache
+	if c == nil || j.cacheKey == "" {
+		return false
+	}
+	data, src, state := c.Acquire(j.cacheKey, func(data []byte, ok bool) {
+		d.onLeaderSettled(j, data, ok)
+	})
+	switch state {
+	case resultcache.Hit:
+		if res := decodeCachedResult(data, j.name); res != nil {
+			res.Cache = src
+			d.fireStarted(j)
+			d.finish(j, res, "cache")
+			return true
+		}
+		// Poisoned entry: the bytes do not decode to this experiment's
+		// result (e.g. a corrupted persisted file).  Drop it and lead a
+		// fresh execution — the Fulfill on success overwrites both layers
+		// with good bytes, so the cache self-heals.
+		c.Delete(j.cacheKey)
+		j.cacheLead = true
+		return false
+	case resultcache.Leader:
+		j.cacheLead = true
+		return false
+	default: // resultcache.Following
+		return true
+	}
+}
+
+// onLeaderSettled is the single-flight follower callback: the identical
+// job's leader has settled its key.  On success the leader's result is
+// delivered here with singleflight provenance; on failure (or a value
+// that does not decode) the job falls back to its own execution,
+// re-entering the enqueue path off the leader's goroutine.
+func (d *Dispatcher) onLeaderSettled(j *dispatchJob, data []byte, ok bool) {
+	if ok {
+		if res := decodeCachedResult(data, j.name); res != nil {
+			res.Cache = resultcache.SourceSingleflight
+			d.fireStarted(j)
+			d.finish(j, res, "cache")
+			return
+		}
+	}
+	go func() {
+		select {
+		case j.sem <- struct{}{}:
+			// Lead the key ourselves now so a successful fallback still
+			// populates the cache (Fulfill without registered followers
+			// just commits the value).
+			j.cacheLead = true
+			if !d.push(j) {
+				<-j.sem
+			}
+		case <-j.ctx.Done():
+			// The run's cancellation watcher resolves the job.
+		}
+	}()
+}
+
+// decodeCachedResult decodes a cached value, returning nil unless it is
+// a well-formed result for the expected experiment (the poisoning guard:
+// content hashes include the engine version, but the decode check keeps
+// even a corrupted or mis-keyed entry from being delivered as a result).
+func decodeCachedResult(data []byte, name string) *Result {
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil || res.Experiment != name {
+		return nil
+	}
+	return &res
 }
 
 // push appends a job to the queue, reporting false if the job was
@@ -497,12 +600,31 @@ func (d *Dispatcher) finish(j *dispatchJob, res *Result, mode string) bool {
 	d.admitted--
 	d.met.inflight.Set(float64(d.admitted))
 	d.mu.Unlock()
+	d.settleCache(j, res, mode)
 	d.met.jobsDone.Inc(mode)
 	if semHeld {
 		<-j.sem
 	}
 	j.deliver(res)
 	return true
+}
+
+// settleCache settles a single-flight key led by this job: a successful
+// execution is committed (unparking followers with the value), anything
+// else — failure, cancellation, write-off — abandons the key so
+// followers arrange their own execution and the next requester retries.
+func (d *Dispatcher) settleCache(j *dispatchJob, res *Result, mode string) {
+	c := d.opt.Cache
+	if c == nil || !j.cacheLead {
+		return
+	}
+	if mode != "cancelled" && res != nil && res.Status == StatusOK && res.Cache == "" {
+		if data, err := json.Marshal(res); err == nil {
+			c.Fulfill(j.cacheKey, data)
+			return
+		}
+	}
+	c.Abandon(j.cacheKey)
 }
 
 // cancelJobs resolves every unfinished job of a run whose context

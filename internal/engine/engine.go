@@ -30,7 +30,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -39,6 +38,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -59,13 +59,21 @@ type RetryPolicy struct {
 // (1-based): an exponential from Base capped at Cap, with ±50% jitter so
 // concurrent measurements retrying together do not stampede in phase.
 // Jitter affects only timing, never sample values, so determinism of
-// results is preserved.
-func (p RetryPolicy) backoff(attempt int) time.Duration {
+// results is preserved.  The jitter stream is a per-engine seeded
+// sim.XorShift64, not the global math/rand: two engines built with the
+// same Options draw identical delay sequences, and nothing an engine
+// does perturbs (or is perturbed by) the process-wide stream — which is
+// what keeps fault-injection retry tests reproducible.
+func (e *Engine) backoff(attempt int) time.Duration {
+	p := e.retry
 	d := p.Base << (attempt - 1)
 	if d > p.Cap || d <= 0 {
 		d = p.Cap
 	}
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	e.jitterMu.Lock()
+	j := e.jitter.Intn(int64(d/2) + 1)
+	e.jitterMu.Unlock()
+	return d/2 + time.Duration(j)
 }
 
 // Options configures an Engine.
@@ -82,6 +90,15 @@ type Options struct {
 	SampleTimeout time.Duration
 	// Retry bounds per-sample retries of transient failures.
 	Retry RetryPolicy
+	// JitterSeed seeds the engine's retry-backoff jitter stream (a
+	// per-engine sim.XorShift64; 0 picks the generator's fixed default).
+	// Jitter affects only timing, never sample values.
+	JitterSeed int64
+	// CalCacheCap bounds the calibration cache to this many completed
+	// entries, evicting least-recently-used curves beyond it (default
+	// 128; negative = unbounded, the pre-bound behaviour).  In-flight
+	// computations are never evicted.
+	CalCacheCap int
 	// Fault, when non-nil, injects deterministic faults at the sample
 	// and calibration boundaries (tests; see internal/faultinject).
 	Fault *faultinject.Injector
@@ -107,8 +124,11 @@ type engineMetrics struct {
 	workersBusy   *metrics.Gauge     // workers currently running a sample
 	workers       *metrics.Gauge     // pool size (constant per engine)
 	measurements  *metrics.Counter   // Measure calls
+	adaptiveMeas  *metrics.Counter   // MeasureAdaptive calls
+	adaptiveSaved *metrics.Counter   // samples the stop rule avoided vs its ceiling
 	calHits       *metrics.Counter   // calibration cache reuses
 	calMisses     *metrics.Counter   // calibration cache computations
+	calEvictions  *metrics.Counter   // calibration entries evicted by the LRU bound
 	experiments   *metrics.Counter   // experiments finished, by outcome
 	experimentDur *metrics.Histogram // wall time of one experiment
 
@@ -128,8 +148,11 @@ func newEngineMetrics(r *metrics.Registry) *engineMetrics {
 		workersBusy:   r.Gauge("wmm_engine_workers_busy", "Workers currently executing a sample."),
 		workers:       r.Gauge("wmm_engine_workers", "Sample worker-pool size."),
 		measurements:  r.Counter("wmm_engine_measurements_total", "Measurements (n-sample summaries) requested."),
+		adaptiveMeas:  r.Counter("wmm_engine_adaptive_measurements_total", "Adaptive (sequential-stopping) measurements requested."),
+		adaptiveSaved: r.Counter("wmm_engine_adaptive_samples_saved_total", "Samples the stopping rule avoided relative to its MaxSamples ceiling."),
 		calHits:       r.Counter("wmm_engine_calibration_cache_hits_total", "Calibration curves served from the cache."),
 		calMisses:     r.Counter("wmm_engine_calibration_cache_misses_total", "Calibration curves computed (cache misses)."),
+		calEvictions:  r.Counter("wmm_engine_calibration_cache_evictions_total", "Calibration entries evicted by the cache's LRU bound."),
 		experiments:   r.Counter("wmm_engine_experiments_total", "Experiments finished, by outcome.", "outcome"),
 		experimentDur: r.Histogram("wmm_engine_experiment_seconds", "Wall time of one experiment driver.", nil),
 
@@ -154,10 +177,16 @@ type Engine struct {
 	retry         RetryPolicy
 	fault         *faultinject.Injector
 
-	calMu  sync.Mutex
-	cals   map[string]*calEntry
-	hits   int
-	misses int
+	jitterMu sync.Mutex
+	jitter   sim.XorShift64 // retry-backoff jitter; per-engine, seeded
+
+	calMu     sync.Mutex
+	cals      map[string]*calEntry
+	calClock  int64 // monotonic use counter driving LRU order
+	calCap    int
+	hits      int
+	misses    int
+	evictions int
 
 	closed    atomic.Bool
 	closeOnce sync.Once
@@ -196,6 +225,10 @@ func New(o Options) *Engine {
 			retry.Cap = time.Second
 		}
 	}
+	calCap := o.CalCacheCap
+	if calCap == 0 {
+		calCap = defaultCalCacheCap
+	}
 	e := &Engine{
 		workers:       w,
 		jobs:          make(chan job),
@@ -203,8 +236,10 @@ func New(o Options) *Engine {
 		met:           newEngineMetrics(reg),
 		sampleTimeout: o.SampleTimeout,
 		retry:         retry,
+		jitter:        sim.NewXorShift64(uint64(o.JitterSeed)),
 		fault:         o.Fault.Instrument(reg),
 		cals:          map[string]*calEntry{},
+		calCap:        calCap,
 	}
 	e.met.workers.Set(float64(w))
 	for i := 0; i < w; i++ {
@@ -364,24 +399,67 @@ func (e *Engine) Measure(ctx context.Context, b *workload.Benchmark, env workloa
 	}
 	e.met.measurements.Inc()
 	xs := make([]float64, n)
-	errs := make([]error, n)
-	all := make([]int, n)
-	for i := range all {
-		all[i] = i
+	if err := e.sampleRange(ctx, b, env, seed, xs, 0, n); err != nil {
+		return stats.Summary{}, err
 	}
-	e.runBatch(ctx, b, env, seed, all, xs, errs)
+	return stats.Summarise(xs), nil
+}
+
+// MeasureAdaptive measures a point under a sequential stopping rule:
+// batches of positionally-seeded samples grow from the rule's floor
+// until the Student-t CI is tight enough (or the ceiling is hit), then
+// the summary of exactly the samples drawn is returned.  Because the
+// growth schedule (StopRule.Next) and the stop decision are pure
+// functions of the samples so far, and sample i always runs with
+// workload.SampleSeed(seed, i), an adaptive measurement stops at the
+// same n with the same values in every process that evaluates it — the
+// property that lets adaptive runs participate in result caching and
+// sharded execution exactly like fixed-n runs do.
+func (e *Engine) MeasureAdaptive(ctx context.Context, b *workload.Benchmark, env workload.Env, rule stats.StopRule, seed int64) (stats.Summary, error) {
+	if err := ctx.Err(); err != nil {
+		return stats.Summary{}, err
+	}
+	rule = rule.WithDefaults()
+	e.met.measurements.Inc()
+	e.met.adaptiveMeas.Inc()
+	buf := make([]float64, rule.MaxSamples)
+	n := rule.MinSamples
+	for drawn := 0; ; {
+		if err := e.sampleRange(ctx, b, env, seed, buf, drawn, n); err != nil {
+			return stats.Summary{}, err
+		}
+		drawn = n
+		sum := stats.Summarise(buf[:drawn])
+		if rule.Done(sum) {
+			e.met.adaptiveSaved.Add(float64(rule.MaxSamples - drawn))
+			return sum, nil
+		}
+		n = rule.Next(drawn)
+	}
+}
+
+// sampleRange fills xs[lo:hi] with samples lo..hi-1 of the measurement
+// (positional seeds), fanning them across the pool and applying the
+// engine's retry policy to transient failures.
+func (e *Engine) sampleRange(ctx context.Context, b *workload.Benchmark, env workload.Env, seed int64, xs []float64, lo, hi int) error {
+	errs := make([]error, hi)
+	idx := make([]int, hi-lo)
+	for k := range idx {
+		idx[k] = lo + k
+	}
+	e.runBatch(ctx, b, env, seed, idx, xs, errs)
 
 	for attempt := 1; attempt <= e.retry.Max; attempt++ {
 		var retry []int
-		for i, err := range errs {
-			if retryable(err) {
+		for _, i := range idx {
+			if retryable(errs[i]) {
 				retry = append(retry, i)
 			}
 		}
 		if len(retry) == 0 {
 			break
 		}
-		if err := sleepCtx(ctx, e.retry.backoff(attempt)); err != nil {
+		if err := sleepCtx(ctx, e.backoff(attempt)); err != nil {
 			break // cancelled mid-backoff; surface the original errors
 		}
 		e.met.sampleRetries.Add(float64(len(retry)))
@@ -391,12 +469,12 @@ func (e *Engine) Measure(ctx context.Context, b *workload.Benchmark, env workloa
 		e.runBatch(ctx, b, env, seed, retry, xs, errs)
 	}
 
-	for _, err := range errs {
-		if err != nil {
-			return stats.Summary{}, err
+	for _, i := range idx {
+		if errs[i] != nil {
+			return errs[i]
 		}
 	}
-	return stats.Summarise(xs), nil
+	return nil
 }
 
 // runBatch enqueues the samples at the given indices and waits for them,

@@ -282,8 +282,12 @@ func (s *Server) handleLitmusCancel(w http.ResponseWriter, r *http.Request) {
 	run.cancel()
 	if state != StateRunning {
 		s.mu.Lock()
+		_, present := s.litmus[id]
 		delete(s.litmus, id)
 		s.mu.Unlock()
+		if present {
+			s.met.litmusSwept.Inc()
+		}
 		writeJSON(w, http.StatusOK, map[string]any{"id": run.id, "state": state, "deleted": true})
 		return
 	}

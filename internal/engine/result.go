@@ -3,6 +3,7 @@ package engine
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"runtime/debug"
@@ -12,7 +13,33 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/stats"
 )
+
+// EngineVersion participates in every result-cache content hash, so any
+// change to the engine's measurement semantics (sampling, seeding,
+// summarisation, driver output) must bump it — stale cached results from
+// an older engine then simply stop matching instead of being served.
+const EngineVersion = "wmm-engine-v7"
+
+// ResultKey is the canonical content hash of one experiment execution:
+// everything that determines the result's bytes — experiment name, sample
+// schedule (fixed count or normalised adaptive rule), base seed, short
+// mode, and the engine version.  Two jobs with equal keys produce
+// byte-identical canonical results, which is the soundness condition for
+// serving one from the other's cache entry.
+func ResultKey(name string, o RunOptions) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s|exp=%s|samples=%d|seed=%d|short=%t",
+		EngineVersion, name, o.Samples, o.Seed, o.Short)
+	if o.Adaptive != nil {
+		// Normalise first so a defaulted rule and its explicit spelling
+		// hash identically.
+		r := o.Adaptive.WithDefaults()
+		fmt.Fprintf(&sb, "|adaptive=%g:%d:%d", r.RelPrecision, r.MinSamples, r.MaxSamples)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(sb.String())))
+}
 
 // Experiment result statuses.  A Result always carries one, so partial
 // outcomes are explicit instead of inferred from the error string.
@@ -44,6 +71,10 @@ type Result struct {
 	WallNs       int64                   `json:"wall_ns"`
 	Output       string                  `json:"output"`
 	Err          string                  `json:"error,omitempty"`
+	// Cache records provenance when this result was served from the
+	// result cache instead of executed: "memory", "store", or
+	// "singleflight".  Empty means the experiment actually ran here.
+	Cache string `json:"cache,omitempty"`
 }
 
 // JSON serializes the result.
@@ -52,10 +83,11 @@ func (r *Result) JSON() ([]byte, error) {
 }
 
 // CanonicalRunJSON serializes a run's ordered results with the
-// nondeterministic timing fields zeroed.  Two runs of the same spec and
-// seed — including one interrupted and resumed from a checkpoint —
-// produce byte-identical canonical JSON; only wall-clock accounting can
-// ever differ, and this form strips exactly that.
+// nondeterministic execution-accounting fields zeroed.  Two runs of the
+// same spec and seed — including one interrupted and resumed from a
+// checkpoint, or one served from the result cache — produce byte-identical
+// canonical JSON; only wall-clock timing and cache provenance can ever
+// differ, and this form strips exactly those.
 func CanonicalRunJSON(results []*Result) ([]byte, error) {
 	canon := make([]*Result, len(results))
 	for i, r := range results {
@@ -64,6 +96,7 @@ func CanonicalRunJSON(results []*Result) ([]byte, error) {
 		}
 		c := *r
 		c.WallNs = 0
+		c.Cache = ""
 		canon[i] = &c
 	}
 	return json.MarshalIndent(canon, "", "  ")
@@ -88,6 +121,48 @@ type RunOptions struct {
 	// combined with positional seed derivation, makes a resumed run's
 	// canonical JSON byte-identical to an uninterrupted one.
 	Completed map[string]*Result
+	// Adaptive, when non-nil, replaces the fixed sample count with the
+	// sequential stopping rule (see stats.StopRule): each measurement
+	// draws samples until its CI is tight enough.  Participates in the
+	// result-cache content hash.
+	Adaptive *stats.StopRule
+	// NoCache bypasses the dispatcher's result cache for this run: jobs
+	// always execute, and their results are not committed.  (The direct
+	// Engine.Run path never consults the cache; this matters only for
+	// dispatched runs.)
+	NoCache bool
+}
+
+// AdaptiveSpec is the wire form of stats.StopRule used by the v1 API and
+// job protocol.
+type AdaptiveSpec struct {
+	RelPrecision float64 `json:"rel_precision"`
+	MinSamples   int     `json:"min_samples,omitempty"`
+	MaxSamples   int     `json:"max_samples,omitempty"`
+}
+
+// Rule converts the wire form to the stats rule (nil-safe).
+func (a *AdaptiveSpec) Rule() *stats.StopRule {
+	if a == nil {
+		return nil
+	}
+	return &stats.StopRule{
+		RelPrecision: a.RelPrecision,
+		MinSamples:   a.MinSamples,
+		MaxSamples:   a.MaxSamples,
+	}
+}
+
+// SpecFromRule converts a stats rule to its wire form (nil-safe).
+func SpecFromRule(r *stats.StopRule) *AdaptiveSpec {
+	if r == nil {
+		return nil
+	}
+	return &AdaptiveSpec{
+		RelPrecision: r.RelPrecision,
+		MinSamples:   r.MinSamples,
+		MaxSamples:   r.MaxSamples,
+	}
 }
 
 // Sink observes a run's progress.  Callbacks may arrive from multiple
@@ -185,13 +260,14 @@ func (e *Engine) runOne(ctx context.Context, ex experiments.Experiment, o RunOpt
 	var buf bytes.Buffer
 	col := &experiments.Collector{}
 	opt := experiments.Options{
-		Samples: o.Samples,
-		Seed:    o.Seed,
-		Short:   o.Short,
-		Out:     &buf,
-		Ctx:     ctx,
-		RT:      e,
-		Collect: col,
+		Samples:  o.Samples,
+		Seed:     o.Seed,
+		Short:    o.Short,
+		Out:      &buf,
+		Ctx:      ctx,
+		RT:       e,
+		Collect:  col,
+		Adaptive: o.Adaptive,
 	}
 	start := time.Now()
 	err := func() (err error) {

@@ -31,6 +31,14 @@ type RunSpec struct {
 	Parallel int `json:"parallel,omitempty"`
 	// TimeoutMs bounds the whole run; 0 = no deadline.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Adaptive opts in to sequential stopping: each measurement draws
+	// samples until its Student-t CI is tight enough (see stats.StopRule)
+	// instead of the fixed count.
+	Adaptive *AdaptiveSpec `json:"adaptive,omitempty"`
+	// NoCache bypasses the server's result cache for this run (also
+	// settable per-request with ?nocache=1): every job executes and
+	// nothing is committed.
+	NoCache bool `json:"nocache,omitempty"`
 }
 
 // Run states.
@@ -125,6 +133,8 @@ type serverMetrics struct {
 
 	assignments *metrics.Counter // jobs assigned to remote workers
 	litmusRuns  *metrics.Counter // litmus campaign lifecycle transitions, by state
+	litmusSwept *metrics.Counter // litmus campaigns removed by GC or DELETE
+	cacheSwept  *metrics.Counter // persisted cache entries removed by retention
 }
 
 func newServerMetrics(r *metrics.Registry) *serverMetrics {
@@ -143,6 +153,8 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 
 		assignments: r.Counter("wmm_dispatch_assignments_total", "Experiment jobs assigned to remote workers under leases."),
 		litmusRuns:  r.Counter("wmm_litmus_runs_total", "Litmus campaign lifecycle transitions (submitted/done/failed/cancelled/partial).", "state"),
+		litmusSwept: r.Counter("wmm_litmus_runs_swept_total", "Finished litmus campaigns removed by the retention sweep or DELETE."),
+		cacheSwept:  r.Counter("wmm_resultcache_persist_swept_total", "Persisted result-cache entries removed by the retention sweep."),
 	}
 }
 
@@ -170,8 +182,13 @@ type ServerOptions struct {
 	// by local executor slots and by remote wmmworker processes leasing
 	// batches through POST /api/v1/leases.  Admission control refuses
 	// submissions that would overflow the queue with 429 + Retry-After.
-	// A nil Dispatch keeps the in-process Engine.Run path.
+	// A nil Dispatch keeps the in-process Engine.Run path.  Set
+	// Dispatch.Cache to enable content-addressed result reuse.
 	Dispatch *DispatchOptions
+	// CacheRetain bounds how long persisted result-cache entries (the
+	// Store's cache/ directory) survive; the retention sweep removes
+	// older ones.  0 keeps them forever.
+	CacheRetain time.Duration
 }
 
 // Server exposes the engine over HTTP: a queryable catalogue of
@@ -183,6 +200,7 @@ type Server struct {
 	eng             *Engine
 	defaultParallel int
 	retain          time.Duration
+	cacheRetain     time.Duration
 	store           *runstore.Store
 	disp            *Dispatcher
 	met             *serverMetrics
@@ -208,6 +226,7 @@ func NewServer(eng *Engine, o ServerOptions) *Server {
 		eng:             eng,
 		defaultParallel: o.Parallel,
 		retain:          o.Retain,
+		cacheRetain:     o.CacheRetain,
 		store:           o.Store,
 		met:             newServerMetrics(eng.Metrics()),
 		runs:            map[string]*serverRun{},
@@ -233,10 +252,13 @@ func NewServer(eng *Engine, o ServerOptions) *Server {
 		}
 		s.disp = NewDispatcher(eng, dopt, o.Parallel)
 	}
-	if o.Retain > 0 {
+	if o.Retain > 0 || (o.CacheRetain > 0 && o.Store != nil) {
 		every := o.SweepEvery
 		if every <= 0 {
 			every = o.Retain / 4
+			if every <= 0 {
+				every = o.CacheRetain / 4
+			}
 			if every < time.Second {
 				every = time.Second
 			}
@@ -413,48 +435,63 @@ func (s *Server) sweep(every time.Duration) {
 	}
 }
 
-// gc removes finished runs whose retention has lapsed, returning how
-// many were removed.
+// gc removes finished runs and litmus campaigns whose retention has
+// lapsed (and persisted cache entries past their own retention),
+// returning how many runs were removed.
 func (s *Server) gc(now time.Time) int {
-	if s.retain <= 0 {
-		return 0
-	}
-	cutoff := now.Add(-s.retain)
-	s.mu.Lock()
 	var victims []string
-	for id, run := range s.runs {
-		run.mu.Lock()
-		expired := run.state != StateRunning && run.finished.Before(cutoff)
-		run.mu.Unlock()
-		if expired {
-			victims = append(victims, id)
-		}
-	}
-	for _, id := range victims {
-		delete(s.runs, id)
-	}
-	// Litmus campaigns age out under the same retention; being
-	// in-memory only, no store cleanup is involved.
-	for id, run := range s.litmus {
-		run.mu.Lock()
-		expired := run.state != StateRunning && run.finished.Before(cutoff)
-		run.mu.Unlock()
-		if expired {
-			delete(s.litmus, id)
-		}
-	}
-	s.met.runsKept.Set(float64(len(s.runs)))
-	s.mu.Unlock()
-	if len(victims) > 0 {
-		s.met.runsSwept.Add(float64(len(victims)))
-	}
-	// Expired runs leave the store too, or they would resurrect at the
-	// next restart.
-	if s.store != nil {
-		for _, id := range victims {
-			if err := s.store.Delete(id); err != nil {
-				s.met.storeErrors.Inc("delete")
+	if s.retain > 0 {
+		cutoff := now.Add(-s.retain)
+		s.mu.Lock()
+		for id, run := range s.runs {
+			run.mu.Lock()
+			expired := run.state != StateRunning && run.finished.Before(cutoff)
+			run.mu.Unlock()
+			if expired {
+				victims = append(victims, id)
 			}
+		}
+		for _, id := range victims {
+			delete(s.runs, id)
+		}
+		// Litmus campaigns age out under the same retention; being
+		// in-memory only, no store cleanup is involved — but the sweep is
+		// counted so a leak here is observable (the pre-fix behaviour
+		// removed them silently or not at all).
+		litmusSwept := 0
+		for id, run := range s.litmus {
+			run.mu.Lock()
+			expired := run.state != StateRunning && run.finished.Before(cutoff)
+			run.mu.Unlock()
+			if expired {
+				delete(s.litmus, id)
+				litmusSwept++
+			}
+		}
+		s.met.runsKept.Set(float64(len(s.runs)))
+		s.mu.Unlock()
+		if len(victims) > 0 {
+			s.met.runsSwept.Add(float64(len(victims)))
+		}
+		if litmusSwept > 0 {
+			s.met.litmusSwept.Add(float64(litmusSwept))
+		}
+		// Expired runs leave the store too, or they would resurrect at the
+		// next restart.
+		if s.store != nil {
+			for _, id := range victims {
+				if err := s.store.Delete(id); err != nil {
+					s.met.storeErrors.Inc("delete")
+				}
+			}
+		}
+	}
+	// Persisted cache entries age out under their own (typically longer)
+	// retention: reuse is most valuable across restarts, but the cache/
+	// directory must not grow forever either.
+	if s.store != nil && s.cacheRetain > 0 {
+		if swept := s.store.CacheSweep(now.Add(-s.cacheRetain)); swept > 0 {
+			s.met.cacheSwept.Add(float64(swept))
 		}
 	}
 	return len(victims)
@@ -770,6 +807,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if spec.Adaptive != nil {
+		if err := spec.Adaptive.Rule().Validate(); err != nil {
+			writeErr(w, http.StatusBadRequest, ErrCodeInvalidArgument, "bad adaptive spec: %v", err)
+			return
+		}
+	}
+	// ?nocache=1 is the per-request escape hatch: rerun even when an
+	// identical result is cached (e.g. to re-validate determinism).
+	if v := r.URL.Query().Get("nocache"); v == "1" || v == "true" {
+		spec.NoCache = true
+	}
 	if spec.Parallel <= 0 {
 		spec.Parallel = s.defaultParallel
 	}
@@ -864,6 +912,8 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, run *se
 		Short:     run.spec.Short,
 		Parallel:  run.spec.Parallel,
 		Completed: run.restored,
+		Adaptive:  run.spec.Adaptive.Rule(),
+		NoCache:   run.spec.NoCache,
 	}
 	var results []*Result
 	var err error
@@ -1283,12 +1333,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // Litmus is non-nil — a litmus shard job (Experiment then carries the
 // shard name and the samples/seed/short fields are unused).
 type wireJob struct {
-	RunID      string       `json:"run_id"`
-	Experiment string       `json:"experiment"`
-	Samples    int          `json:"samples,omitempty"`
-	Seed       int64        `json:"seed,omitempty"`
-	Short      bool         `json:"short"`
-	Litmus     *LitmusShard `json:"litmus,omitempty"`
+	RunID      string        `json:"run_id"`
+	Experiment string        `json:"experiment"`
+	Samples    int           `json:"samples,omitempty"`
+	Seed       int64         `json:"seed,omitempty"`
+	Short      bool          `json:"short"`
+	Adaptive   *AdaptiveSpec `json:"adaptive,omitempty"`
+	Litmus     *LitmusShard  `json:"litmus,omitempty"`
 }
 
 // leaseRequest is the body of POST /api/v1/leases.
@@ -1336,6 +1387,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 			Samples:    j.opts.Samples,
 			Seed:       j.opts.Seed,
 			Short:      j.opts.Short,
+			Adaptive:   SpecFromRule(j.opts.Adaptive),
 			Litmus:     j.litmus,
 		})
 	}

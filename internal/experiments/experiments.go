@@ -34,6 +34,17 @@ type Runtime interface {
 	Calibration(ctx context.Context, prof *arch.Profile, sizes []int64, seed int64) (core.Calibration, error)
 }
 
+// AdaptiveRuntime is optionally implemented by runtimes that support
+// sequential stopping natively (the engine does, batching through its
+// worker pool).  Runtimes without it still honour adaptive options — the
+// drivers fall back to re-measuring at the rule's growth schedule, which
+// positional seeding makes byte-identical, just less efficient.
+type AdaptiveRuntime interface {
+	Runtime
+	// MeasureAdaptive samples bench until the stopping rule is met.
+	MeasureAdaptive(ctx context.Context, b *workload.Benchmark, env workload.Env, rule stats.StopRule, seed int64) (stats.Summary, error)
+}
+
 // FitRecord is one fitted sensitivity produced by a driver, collected for
 // the structured result model.
 type FitRecord struct {
@@ -73,6 +84,12 @@ type Options struct {
 	// Collect, when non-nil, receives the run's structured artefacts
 	// (tables, fitted sensitivities, measurement counts).
 	Collect *Collector
+	// Adaptive, when non-nil, replaces the fixed sample count with
+	// sequential stopping: every measurement draws samples until the
+	// rule's CI precision target is met (or its ceiling reached).  The
+	// stopping decision is a pure function of positionally-seeded
+	// samples, so adaptive runs remain byte-identical across processes.
+	Adaptive *stats.StopRule
 }
 
 func (o Options) out() io.Writer {
@@ -115,9 +132,13 @@ func (o Options) sizes() []int64 {
 }
 
 // measurer adapts the runtime into the methodology's Measurer, counting
-// issued work into the collector.
+// issued work into the collector.  When Adaptive is set it supersedes the
+// fixed sample count n on every measurement the drivers issue.
 func (o Options) measurer() core.Measurer {
 	return func(b *workload.Benchmark, env workload.Env, n int, seed int64) (stats.Summary, error) {
+		if o.Adaptive != nil {
+			return o.measureAdaptive(b, env, seed)
+		}
 		if o.Collect != nil {
 			o.Collect.Measurements++
 			o.Collect.Samples += n
@@ -130,6 +151,41 @@ func (o Options) measurer() core.Measurer {
 		}
 		return workload.Measure(b, env, n, seed)
 	}
+}
+
+// measureAdaptive runs one measurement under the sequential stopping rule.
+// The engine's native path incrementally extends one sample buffer; the
+// fallbacks re-measure at the rule's deterministic growth schedule, which
+// positional seeding makes value-identical (the first k samples of an
+// n-sample measurement are the same for every n).  Samples are counted
+// into the collector at the achieved N, which is how adaptive savings
+// become visible in run records.
+func (o Options) measureAdaptive(b *workload.Benchmark, env workload.Env, seed int64) (stats.Summary, error) {
+	rule := o.Adaptive.WithDefaults()
+	if o.Collect != nil {
+		o.Collect.Measurements++
+	}
+	var sum stats.Summary
+	var err error
+	switch rt := o.RT.(type) {
+	case AdaptiveRuntime:
+		sum, err = rt.MeasureAdaptive(o.ctx(), b, env, rule, seed)
+	default:
+		for n := rule.MinSamples; ; n = rule.Next(n) {
+			if o.RT != nil {
+				sum, err = o.RT.Measure(o.ctx(), b, env, n, seed)
+			} else if err = o.ctx().Err(); err == nil {
+				sum, err = workload.Measure(b, env, n, seed)
+			}
+			if err != nil || rule.Done(sum) {
+				break
+			}
+		}
+	}
+	if err == nil && o.Collect != nil {
+		o.Collect.Samples += sum.N
+	}
+	return sum, err
 }
 
 // measure runs one measurement with the options' sample count and seed.

@@ -151,13 +151,15 @@ type Result struct {
 }
 
 // Report is the BENCH_*.json document: the microbenchmark suite plus an
-// optional end-to-end wall-time measurement of `wmmbench -short all`.
+// optional end-to-end wall-time measurement of `wmmbench -short all` and
+// an optional repeated-sweep cache-effectiveness measurement.
 type Report struct {
-	GoOS            string   `json:"goos"`
-	GoArch          string   `json:"goarch"`
-	Short           bool     `json:"short"`
-	ShortAllSeconds float64  `json:"short_all_seconds,omitempty"`
-	Results         []Result `json:"results"`
+	GoOS            string       `json:"goos"`
+	GoArch          string       `json:"goarch"`
+	Short           bool         `json:"short"`
+	ShortAllSeconds float64      `json:"short_all_seconds,omitempty"`
+	RepeatedSweep   *SweepReport `json:"repeated_sweep,omitempty"`
+	Results         []Result     `json:"results"`
 }
 
 // Run executes the suite via testing.Benchmark and collects Results.

@@ -1,0 +1,272 @@
+package resultcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fakePersist is an in-memory Persist backend.
+type fakePersist struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func newFakePersist() *fakePersist { return &fakePersist{m: map[string][]byte{}} }
+
+func (p *fakePersist) CacheGet(key string) ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	data, ok := p.m[key]
+	return data, ok
+}
+
+func (p *fakePersist) CachePut(key string, data []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.m[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// lead acquires the key expecting Leader state.
+func lead(t *testing.T, c *Cache, key string) {
+	t.Helper()
+	_, _, state := c.Acquire(key, nil)
+	if state != Leader {
+		t.Fatalf("Acquire(%q) = %v, want Leader", key, state)
+	}
+}
+
+func TestHitAfterFulfill(t *testing.T) {
+	c := New(Options{})
+	lead(t, c, "k1")
+	c.Fulfill("k1", []byte("v1"))
+
+	data, src, state := c.Acquire("k1", nil)
+	if state != Hit || src != SourceMemory || string(data) != "v1" {
+		t.Fatalf("Acquire = (%q, %q, %v), want (v1, memory, Hit)", data, src, state)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+func TestAbandonReleasesKey(t *testing.T) {
+	c := New(Options{})
+	lead(t, c, "k")
+	c.Abandon("k")
+	// The key must be acquirable again (a new leader, not a hit).
+	lead(t, c, "k")
+	c.Fulfill("k", []byte("v"))
+	if _, _, state := c.Acquire("k", nil); state != Hit {
+		t.Fatalf("post-fulfill Acquire = %v, want Hit", state)
+	}
+}
+
+func TestLRUEvictionByEntries(t *testing.T) {
+	c := New(Options{MaxEntries: 2})
+	for i := 0; i < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		lead(t, c, k)
+		c.Fulfill(k, []byte("v"))
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 entries, 1 eviction", st)
+	}
+	// k0 was least recently used and must be gone; k2 must remain.
+	if _, _, state := c.Acquire("k0", nil); state != Leader {
+		t.Errorf("evicted k0 Acquire = %v, want Leader", state)
+	}
+	if _, _, state := c.Acquire("k2", nil); state != Hit {
+		t.Errorf("resident k2 Acquire = %v, want Hit", state)
+	}
+}
+
+func TestLRUTouchOnHit(t *testing.T) {
+	c := New(Options{MaxEntries: 2})
+	for _, k := range []string{"a", "b"} {
+		lead(t, c, k)
+		c.Fulfill(k, []byte("v"))
+	}
+	// Touch "a" so "b" becomes the LRU victim when "c" is inserted.
+	if _, _, state := c.Acquire("a", nil); state != Hit {
+		t.Fatal("expected hit on a")
+	}
+	lead(t, c, "c")
+	c.Fulfill("c", []byte("v"))
+	if _, _, state := c.Acquire("a", nil); state != Hit {
+		t.Errorf("recently used a evicted")
+	}
+	if _, _, state := c.Acquire("b", nil); state != Leader {
+		t.Errorf("LRU b survived eviction")
+	}
+}
+
+func TestEvictionByBytes(t *testing.T) {
+	c := New(Options{MaxEntries: 100, MaxBytes: 10})
+	lead(t, c, "big1")
+	c.Fulfill("big1", make([]byte, 8))
+	lead(t, c, "big2")
+	c.Fulfill("big2", make([]byte, 8))
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 8 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 1 entry of 8 bytes after byte-bound eviction", st)
+	}
+	// The just-inserted entry survives even when alone it exceeds the
+	// bound (caching something beats caching nothing).
+	lead(t, c, "huge")
+	c.Fulfill("huge", make([]byte, 64))
+	if _, _, state := c.Acquire("huge", nil); state != Hit {
+		t.Errorf("oversized entry was evicted on insert")
+	}
+}
+
+func TestPersistFallthrough(t *testing.T) {
+	p := newFakePersist()
+	p.m["k"] = []byte("durable")
+	c := New(Options{Persist: p})
+
+	data, src, state := c.Acquire("k", nil)
+	if state != Hit || src != SourceStore || string(data) != "durable" {
+		t.Fatalf("Acquire = (%q, %q, %v), want (durable, store, Hit)", data, src, state)
+	}
+	// The store hit must be promoted into memory.
+	if _, src, state := c.Acquire("k", nil); state != Hit || src != SourceMemory {
+		t.Errorf("second Acquire = (%q, %v), want memory hit", src, state)
+	}
+}
+
+func TestFulfillWritesThrough(t *testing.T) {
+	p := newFakePersist()
+	c := New(Options{Persist: p})
+	lead(t, c, "k")
+	c.Fulfill("k", []byte("v"))
+	if data, ok := p.CacheGet("k"); !ok || string(data) != "v" {
+		t.Fatalf("persist layer = (%q, %v), want write-through of v", data, ok)
+	}
+}
+
+func TestDeleteDropsMemoryEntry(t *testing.T) {
+	c := New(Options{})
+	lead(t, c, "k")
+	c.Fulfill("k", []byte("v"))
+	c.Delete("k")
+	if _, _, state := c.Acquire("k", nil); state != Leader {
+		t.Fatalf("deleted entry still served")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("stats after delete = %+v, want empty", st)
+	}
+}
+
+func TestSingleflightFollowers(t *testing.T) {
+	c := New(Options{})
+	lead(t, c, "k")
+
+	var mu sync.Mutex
+	var got []string
+	follower := func(data []byte, ok bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, fmt.Sprintf("%s/%v", data, ok))
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, state := c.Acquire("k", follower); state != Following {
+			t.Fatalf("concurrent Acquire %d = %v, want Following", i, state)
+		}
+	}
+	c.Fulfill("k", []byte("v"))
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("%d follower callbacks, want 3", len(got))
+	}
+	for _, g := range got {
+		if g != "v/true" {
+			t.Errorf("follower saw %q, want v/true", g)
+		}
+	}
+	if st := c.Stats(); st.Merged != 3 {
+		t.Errorf("merged = %d, want 3", st.Merged)
+	}
+}
+
+func TestSingleflightAbandonUnparksFollowers(t *testing.T) {
+	c := New(Options{})
+	lead(t, c, "k")
+	called := false
+	c.Acquire("k", func(data []byte, ok bool) {
+		called = true
+		if ok || data != nil {
+			t.Errorf("abandoned follower got (%q, %v), want (nil, false)", data, ok)
+		}
+	})
+	c.Abandon("k")
+	if !called {
+		t.Fatal("follower not called back on Abandon")
+	}
+}
+
+// TestConcurrentSingleExecution is the core dedupe guarantee under the
+// race detector: many concurrent requesters of one key observe exactly
+// one leader, and every other requester receives the leader's bytes —
+// via the follower callback or a cache hit — so the work runs once.
+func TestConcurrentSingleExecution(t *testing.T) {
+	c := New(Options{Persist: newFakePersist()})
+	const n = 32
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		leaders int
+		values  []string
+	)
+	record := func(v string) {
+		mu.Lock()
+		values = append(values, v)
+		mu.Unlock()
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			done := make(chan struct{})
+			data, _, state := c.Acquire("k", func(data []byte, ok bool) {
+				if !ok {
+					t.Error("leader abandoned unexpectedly")
+				}
+				record(string(data))
+				close(done)
+			})
+			switch state {
+			case Leader:
+				mu.Lock()
+				leaders++
+				mu.Unlock()
+				c.Fulfill("k", []byte("the-value"))
+				record("the-value")
+			case Hit:
+				record(string(data))
+			case Following:
+				<-done
+			}
+		}()
+	}
+	wg.Wait()
+	if leaders != 1 {
+		t.Fatalf("%d leaders, want exactly 1", leaders)
+	}
+	if len(values) != n {
+		t.Fatalf("%d values delivered, want %d", len(values), n)
+	}
+	for _, v := range values {
+		if v != "the-value" {
+			t.Fatalf("value %q diverged", v)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (single execution)", st.Misses)
+	}
+}

@@ -186,6 +186,105 @@ func (s Summary) String() string {
 	return fmt.Sprintf("%.5f ±%.5f (n=%d)", s.Mean, (s.Hi-s.Lo)/2, s.N)
 }
 
+// StopRule is a sequential stopping rule for adaptive sampling: keep
+// drawing samples until the Student-t 95% confidence interval is tight
+// relative to the mean, bounded below by MinSamples (never trust a tiny
+// sample) and above by MaxSamples (never sample forever on a noisy
+// point).  The rule reads only the running Summary, so a scheduler can
+// apply it after every batch; because the decision is a pure function of
+// the samples drawn so far — and samples are positionally seeded — two
+// processes evaluating the same point stop at the same n with the same
+// values.
+type StopRule struct {
+	// RelPrecision is the target: stop once (CI half-width)/|mean| is at
+	// or below it.  Must be in (0, 1]; e.g. 0.05 stops at ±5%.
+	RelPrecision float64
+	// MinSamples is the floor before the precision test applies
+	// (default 3; at least 2 are required for a t interval).
+	MinSamples int
+	// MaxSamples is the hard ceiling (default 64).  At the ceiling the
+	// rule stops regardless of precision.
+	MaxSamples int
+}
+
+// Default floor and ceiling used when a StopRule leaves them zero.
+const (
+	DefaultMinSamples = 3
+	DefaultMaxSamples = 64
+)
+
+// WithDefaults returns the rule with zero bounds filled in.  Callers
+// must normalise before keying caches on a rule, so that an explicit
+// {0.05, 3, 64} and a defaulted {0.05, 0, 0} hash identically.
+func (r StopRule) WithDefaults() StopRule {
+	if r.MinSamples <= 0 {
+		r.MinSamples = DefaultMinSamples
+	}
+	if r.MinSamples < 2 {
+		r.MinSamples = 2
+	}
+	if r.MaxSamples <= 0 {
+		r.MaxSamples = DefaultMaxSamples
+	}
+	if r.MaxSamples < r.MinSamples {
+		r.MaxSamples = r.MinSamples
+	}
+	return r
+}
+
+// Validate rejects rules that cannot terminate meaningfully.
+func (r StopRule) Validate() error {
+	if r.RelPrecision <= 0 || r.RelPrecision > 1 {
+		return fmt.Errorf("stats: rel_precision must be in (0, 1], got %g", r.RelPrecision)
+	}
+	if r.MinSamples < 0 || r.MaxSamples < 0 {
+		return fmt.Errorf("stats: min_samples and max_samples must be >= 0")
+	}
+	if r.MaxSamples > 0 && r.MinSamples > r.MaxSamples {
+		return fmt.Errorf("stats: min_samples %d exceeds max_samples %d", r.MinSamples, r.MaxSamples)
+	}
+	return nil
+}
+
+// Satisfied reports whether the summary already meets the precision
+// target.  A zero mean never satisfies (relative precision is undefined
+// there; only the MaxSamples ceiling ends such a point).
+func (r StopRule) Satisfied(s Summary) bool {
+	r = r.WithDefaults()
+	if s.N < r.MinSamples {
+		return false
+	}
+	m := math.Abs(s.Mean)
+	if m == 0 {
+		return false
+	}
+	half := (s.Hi - s.Lo) / 2
+	return half/m <= r.RelPrecision
+}
+
+// Done reports whether sampling should stop: the target is met or the
+// ceiling is reached.
+func (r StopRule) Done(s Summary) bool {
+	r = r.WithDefaults()
+	return r.Satisfied(s) || s.N >= r.MaxSamples
+}
+
+// Next returns the sample count to grow to after an unsatisfied check at
+// n: half again as many (at least one more), clamped to the ceiling.
+// Deterministic growth keeps the batch schedule — and therefore the
+// positional seeds drawn — identical wherever the measurement runs.
+func (r StopRule) Next(n int) int {
+	r = r.WithDefaults()
+	next := n + n/2
+	if next <= n {
+		next = n + 1
+	}
+	if next > r.MaxSamples {
+		next = r.MaxSamples
+	}
+	return next
+}
+
 // Comparative is a ratio of a test case to a base case with compounded
 // error bounds, per §4.1: "comparative minimum is test case minimum divided
 // by base case maximum".

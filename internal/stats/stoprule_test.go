@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStopRuleDefaults(t *testing.T) {
+	r := StopRule{RelPrecision: 0.05}.WithDefaults()
+	if r.MinSamples != DefaultMinSamples || r.MaxSamples != DefaultMaxSamples {
+		t.Fatalf("defaults = %+v, want min %d max %d", r, DefaultMinSamples, DefaultMaxSamples)
+	}
+	// The floor never drops below 2 (a t interval needs two samples) and
+	// the ceiling never undercuts the floor.
+	r = StopRule{RelPrecision: 0.05, MinSamples: 1}.WithDefaults()
+	if r.MinSamples != 2 {
+		t.Errorf("MinSamples = %d, want clamped to 2", r.MinSamples)
+	}
+	r = StopRule{RelPrecision: 0.05, MinSamples: 10, MaxSamples: 5}.WithDefaults()
+	if r.MaxSamples != 10 {
+		t.Errorf("MaxSamples = %d, want raised to MinSamples", r.MaxSamples)
+	}
+}
+
+func TestStopRuleValidate(t *testing.T) {
+	valid := StopRule{RelPrecision: 0.05, MinSamples: 3, MaxSamples: 64}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid rule rejected: %v", err)
+	}
+	for _, r := range []StopRule{
+		{RelPrecision: 0},
+		{RelPrecision: -0.1},
+		{RelPrecision: 1.5},
+		{RelPrecision: 0.05, MinSamples: -1},
+		{RelPrecision: 0.05, MaxSamples: -1},
+		{RelPrecision: 0.05, MinSamples: 10, MaxSamples: 5},
+	} {
+		if err := r.Validate(); err == nil {
+			t.Errorf("rule %+v validated, want error", r)
+		}
+	}
+}
+
+func TestStopRuleSatisfied(t *testing.T) {
+	r := StopRule{RelPrecision: 0.10, MinSamples: 3, MaxSamples: 64}
+	tight := Summary{N: 5, Mean: 100, Lo: 95, Hi: 105}  // ±5%
+	loose := Summary{N: 5, Mean: 100, Lo: 50, Hi: 150}  // ±50%
+	early := Summary{N: 2, Mean: 100, Lo: 100, Hi: 100} // below the floor
+	zero := Summary{N: 10, Mean: 0, Lo: 0, Hi: 0}       // undefined precision
+	if !r.Satisfied(tight) {
+		t.Error("±5% at n=5 not satisfied under a 10% target")
+	}
+	if r.Satisfied(loose) {
+		t.Error("±50% satisfied under a 10% target")
+	}
+	if r.Satisfied(early) {
+		t.Error("satisfied below MinSamples")
+	}
+	if r.Satisfied(zero) {
+		t.Error("zero mean satisfied (relative precision is undefined)")
+	}
+	if !r.Done(Summary{N: 64, Mean: 100, Lo: 0, Hi: 200}) {
+		t.Error("not done at the MaxSamples ceiling")
+	}
+}
+
+func TestStopRuleNextDeterministicGrowth(t *testing.T) {
+	r := StopRule{RelPrecision: 0.05, MinSamples: 3, MaxSamples: 20}
+	var schedule []int
+	for n := r.MinSamples; n < r.MaxSamples; n = r.Next(n) {
+		schedule = append(schedule, n)
+		if len(schedule) > 32 {
+			t.Fatal("growth schedule does not converge")
+		}
+	}
+	want := []int{3, 4, 6, 9, 13, 19}
+	if len(schedule) != len(want) {
+		t.Fatalf("schedule %v, want %v", schedule, want)
+	}
+	for i := range want {
+		if schedule[i] != want[i] {
+			t.Fatalf("schedule %v, want %v", schedule, want)
+		}
+	}
+	if next := r.Next(19); next != 20 {
+		t.Errorf("Next(19) = %d, want clamped to 20", next)
+	}
+}
+
+// TestStopRuleRealSamples drives the rule over an actual converging
+// sample stream: precision improves with n, so the rule stops, and the
+// stop point is a pure function of the samples (run twice, same n).
+func TestStopRuleRealSamples(t *testing.T) {
+	r := StopRule{RelPrecision: 0.02}.WithDefaults()
+	sample := func(i int) float64 { return 100 + 5*math.Sin(float64(i)) }
+	stopAt := func() int {
+		var xs []float64
+		n := r.MinSamples
+		for {
+			for len(xs) < n {
+				xs = append(xs, sample(len(xs)))
+			}
+			s := Summarise(xs)
+			if r.Done(s) {
+				return s.N
+			}
+			n = r.Next(n)
+		}
+	}
+	first, second := stopAt(), stopAt()
+	if first != second {
+		t.Fatalf("stop point nondeterministic: %d then %d", first, second)
+	}
+	if first <= r.MinSamples || first >= r.MaxSamples {
+		t.Logf("stopped at n=%d (bounds %d..%d)", first, r.MinSamples, r.MaxSamples)
+	}
+}

@@ -162,11 +162,22 @@ func runBatch(ctx context.Context, cl *client.Client, id string, eng *engine.Eng
 				Hi:         job.Litmus.Hi,
 			})
 		} else {
-			res, err = eng.RunExperiment(batchCtx, job.Experiment, engine.RunOptions{
+			opts := engine.RunOptions{
 				Samples: job.Samples,
 				Seed:    job.Seed,
 				Short:   job.Short,
-			})
+			}
+			if job.Adaptive != nil {
+				// Same normalisation as the coordinator: the stop decision
+				// is a pure function of positionally-seeded samples, so the
+				// worker stops at the same n with the same values.
+				opts.Adaptive = (&engine.AdaptiveSpec{
+					RelPrecision: job.Adaptive.RelPrecision,
+					MinSamples:   job.Adaptive.MinSamples,
+					MaxSamples:   job.Adaptive.MaxSamples,
+				}).Rule()
+			}
+			res, err = eng.RunExperiment(batchCtx, job.Experiment, opts)
 		}
 		if err != nil {
 			// Unknown experiment or malformed shard — a protocol-level

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# cache-smoke.sh — submit the same sweep twice to a real wmmd and assert
+# the second run is served from the content-addressed result cache:
+# byte-identical canonical JSON, cache provenance on every experiment,
+# and dedupe hits visible on /metrics.
+#
+# This is the out-of-process counterpart of TestDispatchCacheReuse: the
+# Go test drives an in-process server; this script exercises the real
+# binary, the persistent cache layer under -data, and the /metrics
+# exposition CI operators would actually alert on.
+set -euo pipefail
+
+ADDR="127.0.0.1:8353"
+BASE="http://$ADDR"
+DATA="$(mktemp -d)"
+LOG="$DATA/wmmd.log"
+trap 'kill -9 "$PID" 2>/dev/null || true; rm -rf "$DATA"' EXIT
+
+go build -o "$DATA/wmmd" ./cmd/wmmd
+go build -o "$DATA/wmmctl" ./cmd/wmmctl
+CTL="$DATA/wmmctl -server $BASE"
+
+"$DATA/wmmd" -addr "$ADDR" -data "$DATA/runs" >>"$LOG" 2>&1 &
+PID=$!
+$CTL -timeout 30s ready || { echo "cache-smoke: wmmd never became ready" >&2; cat "$LOG" >&2; exit 1; }
+
+SPEC='{"experiments":["fig4","txt3"],"short":true,"samples":2,"seed":3,"parallel":2}'
+
+RUN1=$($CTL submit "$SPEC")
+$CTL -timeout 10m wait "$RUN1" || { echo "cache-smoke: first run failed" >&2; cat "$LOG" >&2; exit 1; }
+$CTL canonical "$RUN1" > "$DATA/first.json"
+
+RUN2=$($CTL submit "$SPEC")
+$CTL -timeout 10m wait "$RUN2" || { echo "cache-smoke: second run failed" >&2; cat "$LOG" >&2; exit 1; }
+$CTL canonical "$RUN2" > "$DATA/second.json"
+
+# The cached pass must be byte-identical to the executed pass.
+diff -u "$DATA/first.json" "$DATA/second.json" \
+  || { echo "cache-smoke: cached run diverged from executed run" >&2; exit 1; }
+
+# Every experiment of the second run carries cache provenance.
+STATUS=$($CTL status "$RUN2")
+CACHED=$(echo "$STATUS" | grep -c '"cache": *"' || true)
+[ "$CACHED" -ge 2 ] || {
+  echo "cache-smoke: second run has $CACHED cache-provenance entries, want >= 2" >&2
+  echo "$STATUS" >&2
+  exit 1
+}
+
+# The dedupe is visible on /metrics: at least the second run's two
+# experiments must have hit the result cache.
+METRICS=$(curl -fsS "$BASE/metrics")
+HITS=$(echo "$METRICS" | awk '/^wmm_resultcache_hits_total({[^}]*})? /{sum += $2} END {print int(sum)}')
+[ "${HITS:-0}" -ge 2 ] || {
+  echo "cache-smoke: wmm_resultcache_hits_total = ${HITS:-missing}, want >= 2" >&2
+  echo "$METRICS" | grep wmm_resultcache >&2 || true
+  exit 1
+}
+
+echo "cache-smoke: ok ($RUN2 served from cache, $HITS hits, canonical JSON identical)"

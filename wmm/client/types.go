@@ -21,6 +21,26 @@ type RunSpec struct {
 	Parallel int `json:"parallel,omitempty"`
 	// TimeoutMs bounds the whole run; 0 = no deadline.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Adaptive opts in to sequential stopping: each measurement draws
+	// samples until its Student-t 95% CI is tight enough, instead of the
+	// fixed count.
+	Adaptive *AdaptiveSpec `json:"adaptive,omitempty"`
+	// NoCache bypasses the server's content-addressed result cache for
+	// this run: every job executes and nothing is committed.
+	NoCache bool `json:"nocache,omitempty"`
+}
+
+// AdaptiveSpec is the sequential stopping rule carried by RunSpec and
+// leased jobs, mirroring the server's.
+type AdaptiveSpec struct {
+	// RelPrecision stops sampling once (CI half-width)/|mean| is at or
+	// below it; must be in (0, 1].
+	RelPrecision float64 `json:"rel_precision"`
+	// MinSamples floors the sample count before the precision test
+	// applies (0 = server default, 3).
+	MinSamples int `json:"min_samples,omitempty"`
+	// MaxSamples is the hard ceiling (0 = server default, 64).
+	MaxSamples int `json:"max_samples,omitempty"`
 }
 
 // Submitted acknowledges an accepted run.
@@ -45,6 +65,10 @@ type Result struct {
 	WallNs       int64             `json:"wall_ns"`
 	Output       string            `json:"output"`
 	Err          string            `json:"error,omitempty"`
+	// Cache is the result's provenance when it was served from the
+	// server's result cache ("memory", "store", or "singleflight")
+	// instead of executed; empty for an actual execution.
+	Cache string `json:"cache,omitempty"`
 }
 
 // Run states, mirroring the server's.
@@ -124,12 +148,13 @@ type CancelResponse struct {
 // the job is a litmus shard (Experiment carries the shard name and the
 // samples/seed/short fields are unused).
 type Job struct {
-	RunID      string     `json:"run_id"`
-	Experiment string     `json:"experiment"`
-	Samples    int        `json:"samples,omitempty"`
-	Seed       int64      `json:"seed,omitempty"`
-	Short      bool       `json:"short"`
-	Litmus     *LitmusJob `json:"litmus,omitempty"`
+	RunID      string        `json:"run_id"`
+	Experiment string        `json:"experiment"`
+	Samples    int           `json:"samples,omitempty"`
+	Seed       int64         `json:"seed,omitempty"`
+	Short      bool          `json:"short"`
+	Adaptive   *AdaptiveSpec `json:"adaptive,omitempty"`
+	Litmus     *LitmusJob    `json:"litmus,omitempty"`
 }
 
 // LitmusSpec is the body of POST /api/v1/litmus: a campaign of
