@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	wmmctl -server http://host:8347 <command> [args]
+//	wmmctl -server http://host:8347 [-tenant NAME] <command> [args]
+//
+// -tenant stamps every request with the X-WMM-Tenant header, accounting
+// submissions to that tenant's fair-share queue and quotas.
 //
 // Commands:
 //
@@ -60,14 +63,19 @@ func main() {
 	log.SetFlags(0)
 	server := flag.String("server", "http://127.0.0.1:8347", "wmmd base URL")
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall command deadline")
+	tenant := flag.String("tenant", "", "tenant to account submissions to (X-WMM-Tenant header)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		log.Fatal("wmmctl: usage: wmmctl [-server URL] <experiments|submit|status|wait|canonical|cancel|litmus-submit|litmus-wait|litmus-canonical|ready> [args]")
+		log.Fatal("wmmctl: usage: wmmctl [-server URL] [-tenant NAME] <experiments|submit|status|wait|canonical|cancel|litmus-submit|litmus-wait|litmus-canonical|ready> [args]")
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	cl := client.New(*server)
+	var opts []client.Option
+	if *tenant != "" {
+		opts = append(opts, client.WithTenant(*tenant))
+	}
+	cl := client.New(*server, opts...)
 
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	if err := run(ctx, cl, cmd, args); err != nil {

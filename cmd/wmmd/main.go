@@ -5,9 +5,12 @@
 // Usage:
 //
 //	wmmd [-addr :8347] [-workers N] [-parallel N] [-retain 24h]
-//	     [-data DIR] [-sample-timeout 5m] [-sample-retries 2]
-//	     [-local-slots N] [-lease-ttl 15s] [-max-batch 4]
-//	     [-max-queue 1024] [-cache-entries 256] [-cache-retain 168h]
+//	     [-data DIR] [-store jsonl|segment] [-sample-timeout 5m]
+//	     [-sample-retries 2] [-local-slots N] [-lease-ttl 15s]
+//	     [-max-batch 4] [-max-queue 1024] [-cache-entries 256]
+//	     [-cache-retain 168h] [-tenant-max-queued N]
+//	     [-tenant-max-running N] [-tenant-weights a=2,b=1]
+//	     [-ha] [-ha-id ID] [-ha-ttl 10s] [-ops-addr :8348]
 //	     [-debug]
 //
 // API (versioned surface; see docs/API.md for the full contract):
@@ -64,11 +67,31 @@
 // forever).  Every request is access-logged as one JSON line on stderr.
 //
 // With -data DIR, runs are durable: specs and completed experiment
-// results are checkpointed to append-only JSON files under DIR, and on
-// startup finished runs are restored into the catalogue while
-// interrupted runs resume from their last checkpoint.  Positional seed
-// derivation makes a resumed run's results identical to an
-// uninterrupted one (see docs/ROBUSTNESS.md).
+// results are checkpointed under DIR, and on startup finished runs are
+// restored into the catalogue while interrupted runs resume from their
+// last checkpoint.  Positional seed derivation makes a resumed run's
+// results identical to an uninterrupted one (see docs/ROBUSTNESS.md).
+// -store picks the layout: "jsonl" (one append-only file per run, the
+// default) or "segment" (shared immutable segments with crash-safe
+// compaction — fewer files, bounded by background folding).
+//
+// Submissions are accounted to tenants (X-WMM-Tenant header or the
+// spec's "tenant" field; default "default").  The dispatcher dequeues
+// across tenants by weighted round-robin (-tenant-weights), so one
+// tenant's flood cannot starve another's runs; -tenant-max-queued and
+// -tenant-max-running bound each tenant's admitted jobs and concurrent
+// runs, refused with 429 + Retry-After.
+//
+// With -ha (requires -data), the process joins leader election over the
+// store's coordinator lease: at most one wmmd serves the API while the
+// others stand by, watching the lease.  A standby binds -addr only when
+// promoted; -ops-addr (optional) is an always-on listener answering
+// /healthz 200 and /readyz 503 {"role": "standby"} so operators can
+// distinguish a healthy standby from a dead process.  When the leader
+// dies, a standby takes over after the lease grace window, replays the
+// store, and resumes interrupted runs.  A deposed leader exits with
+// status 3 — restart it (e.g. a process supervisor) to rejoin as
+// standby.
 //
 // On SIGINT/SIGTERM the server shuts down in order: stop accepting
 // runs, cancel in-flight runs and wait for their executors, drain HTTP,
@@ -81,15 +104,20 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/ha"
 	"repro/internal/resultcache"
 	"repro/internal/runstore"
 )
@@ -167,6 +195,14 @@ func main() {
 	maxQueue := flag.Int("max-queue", 1024, "max unfinished jobs admitted before submissions get 429")
 	cacheEntries := flag.Int("cache-entries", 256, "in-memory result-cache entries (0 = default, -1 = disable result caching)")
 	cacheRetain := flag.Duration("cache-retain", 7*24*time.Hour, "garbage-collect persisted result-cache entries after this long (0 = keep forever)")
+	storeKind := flag.String("store", runstore.KindJSONL, "run-store layout under -data: jsonl or segment")
+	tenantMaxQueued := flag.Int("tenant-max-queued", 0, "max unfinished jobs admitted per tenant (0 = only -max-queue applies)")
+	tenantMaxRunning := flag.Int("tenant-max-running", 0, "max concurrently executing runs per tenant (0 = unbounded)")
+	tenantWeights := flag.String("tenant-weights", "", "fair-share weights as tenant=N[,tenant=N...] (default weight 1)")
+	haMode := flag.Bool("ha", false, "join leader election over the run store's coordinator lease (requires -data)")
+	haID := flag.String("ha-id", "", "lease owner identity for -ha (default hostname-pid)")
+	haTTL := flag.Duration("ha-ttl", 10*time.Second, "coordinator lease TTL for -ha")
+	opsAddr := flag.String("ops-addr", "", "always-on operational listener (healthz/readyz) for -ha standbys (empty = none)")
 	debug := flag.Bool("debug", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
@@ -205,98 +241,266 @@ func main() {
 	if *cacheRetain < 0 {
 		log.Fatalf("wmmd: -cache-retain must be >= 0 (0 = keep forever), got %v", *cacheRetain)
 	}
+	if *tenantMaxQueued < 0 || *tenantMaxRunning < 0 {
+		log.Fatalf("wmmd: -tenant-max-queued and -tenant-max-running must be >= 0 (0 = unbounded)")
+	}
+	weights, err := parseWeights(*tenantWeights)
+	if err != nil {
+		log.Fatalf("wmmd: -tenant-weights: %v", err)
+	}
+	if *haMode && *dataDir == "" {
+		log.Fatal("wmmd: -ha requires -data (the lease lives in the run store)")
+	}
+	if *haTTL <= 0 {
+		log.Fatalf("wmmd: -ha-ttl must be > 0, got %v", *haTTL)
+	}
 
-	var store *runstore.Store
+	var store runstore.Storage
 	if *dataDir != "" {
-		var err error
-		store, err = runstore.Open(*dataDir)
+		store, err = runstore.OpenBackend(*storeKind, *dataDir)
 		if err != nil {
 			log.Fatalf("wmmd: -data %s: %v", *dataDir, err)
 		}
+	} else if *storeKind != runstore.KindJSONL {
+		log.Fatalf("wmmd: -store %s needs -data", *storeKind)
 	}
 
-	eng := engine.New(engine.Options{
-		Workers:       *workers,
-		SampleTimeout: *sampleTimeout,
-		Retry:         engine.RetryPolicy{Max: *sampleRetries},
-	})
-	// Content-addressed result reuse: the dispatcher consults the cache
-	// before enqueueing jobs, and with -data the persistent layer makes
-	// deduplication survive restarts.
-	var cache *resultcache.Cache
-	if *cacheEntries >= 0 {
-		copt := resultcache.Options{MaxEntries: *cacheEntries, Registry: eng.Metrics()}
+	// buildAPI assembles the full serving stack: engine, result cache,
+	// server, store replay.  Non-HA wmmd calls it immediately; an HA
+	// process calls it on promotion, so a standby holds no engine and
+	// replays nothing until it actually leads.
+	var api *engine.Server
+	var eng *engine.Engine
+	buildAPI := func() (http.Handler, error) {
+		eng = engine.New(engine.Options{
+			Workers:       *workers,
+			SampleTimeout: *sampleTimeout,
+			Retry:         engine.RetryPolicy{Max: *sampleRetries},
+		})
+		// Content-addressed result reuse: the dispatcher consults the
+		// cache before enqueueing jobs, and with -data the persistent
+		// layer makes deduplication survive restarts.
+		var cache *resultcache.Cache
+		if *cacheEntries >= 0 {
+			copt := resultcache.Options{MaxEntries: *cacheEntries, Registry: eng.Metrics()}
+			if store != nil {
+				copt.Persist = store
+			}
+			cache = resultcache.New(copt)
+		}
+		api = engine.NewServer(eng, engine.ServerOptions{
+			Parallel:         *parallel,
+			Retain:           *retain,
+			CacheRetain:      *cacheRetain,
+			Store:            store,
+			TenantMaxRunning: *tenantMaxRunning,
+			Dispatch: &engine.DispatchOptions{
+				LocalSlots:      *localSlots,
+				LeaseTTL:        *leaseTTL,
+				MaxBatch:        *maxBatch,
+				MaxQueue:        *maxQueue,
+				TenantMaxQueued: *tenantMaxQueued,
+				TenantWeights:   weights,
+				Cache:           cache,
+			},
+		})
 		if store != nil {
-			copt.Persist = store
+			resumed, restored, err := api.Restore()
+			if err != nil {
+				return nil, fmt.Errorf("restoring runs from %s: %w", *dataDir, err)
+			}
+			log.Printf("wmmd: run store %s (%s): %d finished runs restored, %d interrupted runs resumed",
+				*dataDir, store.Kind(), restored, resumed)
 		}
-		cache = resultcache.New(copt)
-	}
-	api := engine.NewServer(eng, engine.ServerOptions{
-		Parallel:    *parallel,
-		Retain:      *retain,
-		CacheRetain: *cacheRetain,
-		Store:       store,
-		Dispatch: &engine.DispatchOptions{
-			LocalSlots: *localSlots,
-			LeaseTTL:   *leaseTTL,
-			MaxBatch:   *maxBatch,
-			MaxQueue:   *maxQueue,
-			Cache:      cache,
-		},
-	})
-	if store != nil {
-		resumed, restored, err := api.Restore()
-		if err != nil {
-			log.Fatalf("wmmd: restoring runs from %s: %v", *dataDir, err)
+
+		mux := http.NewServeMux()
+		mux.Handle("/", api.Handler())
+		if *debug {
+			mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+			mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 		}
-		log.Printf("wmmd: run store %s: %d finished runs restored, %d interrupted runs resumed", *dataDir, restored, resumed)
+		return mux, nil
 	}
 
-	mux := http.NewServeMux()
-	mux.Handle("/", api.Handler())
-	if *debug {
-		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	}
+	logger := log.New(os.Stderr, "", 0)
+	srv := &http.Server{Addr: *addr}
 
-	srv := &http.Server{
-		Addr:    *addr,
-		Handler: &accessLog{h: mux, out: log.New(os.Stderr, "", 0)},
-	}
-
-	shutdownDone := make(chan struct{})
-	go func() {
-		defer close(shutdownDone)
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		log.Print("wmmd: shutting down")
+	// shutdown drains in order: stop accepting runs, cancel in-flight
+	// runs and wait for their executors (api.Shutdown), drain HTTP, and
+	// let main close the engine last.  Closing the engine while a run is
+	// mid-Measure is a send on a closed channel.
+	shutdown := func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
-		// Order matters: cancel in-flight runs and wait for their
-		// executors first (api.Shutdown), then drain HTTP
-		// (srv.Shutdown), and let main close the engine last.  Closing
-		// the engine while a run is mid-Measure is a send on a closed
-		// channel.
-		if err := api.Shutdown(ctx); err != nil {
-			log.Printf("wmmd: run shutdown: %v", err)
+		if api != nil {
+			if err := api.Shutdown(ctx); err != nil {
+				log.Printf("wmmd: run shutdown: %v", err)
+			}
 		}
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("wmmd: http shutdown: %v", err)
 		}
-	}()
+	}
 
 	dataDesc := *dataDir
 	if dataDesc == "" {
 		dataDesc = "none"
 	}
-	log.Printf("wmmd: serving on %s (%d workers, retain %v, data %s, debug %v)", *addr, eng.Workers(), *retain, dataDesc, *debug)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+
+	if !*haMode {
+		h, err := buildAPI()
+		if err != nil {
+			log.Fatalf("wmmd: %v", err)
+		}
+		srv.Handler = &accessLog{h: h, out: logger}
+
+		shutdownDone := make(chan struct{})
+		go func() {
+			defer close(shutdownDone)
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+			<-sig
+			log.Print("wmmd: shutting down")
+			shutdown()
+		}()
+
+		log.Printf("wmmd: serving on %s (%d workers, retain %v, data %s, debug %v)", *addr, eng.Workers(), *retain, dataDesc, *debug)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("wmmd: %v", err)
+		}
+		<-shutdownDone
+		eng.Close()
+		return
+	}
+
+	// HA mode: stand by until the coordinator lease is won, then build
+	// the API and bind -addr.  The lease is acquired BEFORE binding, so
+	// two HA processes can share one -addr: only the leader listens.
+	ctrl, err := ha.New(ha.Options{
+		Store: store,
+		ID:    *haID,
+		TTL:   *haTTL,
+		OnPromote: func(ctx context.Context) (http.Handler, error) {
+			h, err := buildAPI()
+			if err != nil {
+				return nil, err
+			}
+			srv.Handler = &accessLog{h: ctrlHandler(), out: logger}
+			ln, err := listenRetry(*addr, *haTTL)
+			if err != nil {
+				return nil, err
+			}
+			go func() {
+				if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+					log.Printf("wmmd: serve: %v", err)
+				}
+			}()
+			log.Printf("wmmd: leader serving on %s (data %s, store %s)", *addr, dataDesc, store.Kind())
+			return h, nil
+		},
+	})
+	if err != nil {
 		log.Fatalf("wmmd: %v", err)
 	}
-	<-shutdownDone
-	eng.Close()
+	haCtrl = ctrl
+
+	// The ops listener is up from the first moment, leader or standby:
+	// /healthz says alive, /readyz says whether (and as what) this
+	// process can take traffic.
+	if *opsAddr != "" {
+		opsSrv := &http.Server{Addr: *opsAddr, Handler: &accessLog{h: ctrl.Handler(), out: logger}}
+		go func() {
+			if err := opsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("wmmd: ops listener %s: %v", *opsAddr, err)
+			}
+		}()
+		defer opsSrv.Close()
+	}
+
+	runCtx, stopRun := context.WithCancel(context.Background())
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("wmmd: shutting down")
+		shutdown()
+		stopRun() // releases the lease for a fast standby takeover
+	}()
+
+	log.Printf("wmmd: HA %s standing by for coordinator lease (ttl %v, data %s)", ctrlID(ctrl, *haID), *haTTL, dataDesc)
+	err = ctrl.Run(runCtx)
+	switch {
+	case err == nil:
+		// Clean shutdown: drain finished above.
+		if eng != nil {
+			eng.Close()
+		}
+	case errors.Is(err, ha.ErrDeposed):
+		// Another process leads.  Serving on would risk split-brain, and
+		// the engine may hold half-executed runs — exit hard and let the
+		// supervisor restart this process as a standby.
+		log.Print("wmmd: deposed, exiting (restart to rejoin as standby)")
+		os.Exit(3)
+	default:
+		log.Fatalf("wmmd: %v", err)
+	}
+}
+
+// haCtrl lets the promoted access-log handler reach the controller; set
+// once before Run starts.
+var haCtrl *ha.Controller
+
+// ctrlHandler defers to the HA controller's surface so the main
+// listener and the ops listener answer identically.
+func ctrlHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		haCtrl.Handler().ServeHTTP(w, r)
+	})
+}
+
+func ctrlID(c *ha.Controller, flagID string) string {
+	if flagID != "" {
+		return flagID
+	}
+	return "node"
+}
+
+// listenRetry binds addr, retrying for one lease TTL: after a failover
+// the old leader's socket may take a moment to die.
+func listenRetry(addr string, ttl time.Duration) (net.Listener, error) {
+	deadline := time.Now().Add(2 * ttl)
+	for {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("bind %s: %w", addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// parseWeights parses -tenant-weights ("a=2,b=1") into the dispatcher's
+// weight map.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad entry %q, want tenant=N", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad weight in %q, want an integer >= 1", part)
+		}
+		out[name] = w
+	}
+	return out, nil
 }

@@ -17,6 +17,16 @@ import (
 // run's jobs.  The server maps it to 429 with a Retry-After hint.
 var ErrSaturated = errors.New("dispatch queue saturated")
 
+// ErrTenantSaturated is returned when a run's jobs would exceed its
+// tenant's queued-jobs quota while the global queue still has room.
+// The server maps it to the same 429 envelope as ErrSaturated.
+var ErrTenantSaturated = errors.New("tenant queue quota exceeded")
+
+// DefaultTenant is the tenant a request without an X-WMM-Tenant header
+// or spec field belongs to.  Pre-tenancy clients all land here, which
+// keeps their behaviour identical to the single-queue era.
+const DefaultTenant = "default"
+
 // DispatchOptions configures the sharded execution backend: a queue of
 // experiment jobs served by local executor slots and by remote
 // wmmworker processes leasing batches over HTTP.
@@ -42,6 +52,14 @@ type DispatchOptions struct {
 	// SweepEvery is the lease-expiry reaper interval; LeaseTTL/4
 	// clamped to [10ms, 5s] if 0.
 	SweepEvery time.Duration
+	// TenantMaxQueued bounds one tenant's admitted-but-unfinished jobs;
+	// a run that would exceed it is refused with ErrTenantSaturated.
+	// 0 means only the global MaxQueue applies.
+	TenantMaxQueued int
+	// TenantWeights sets per-tenant fair-share weights for the
+	// weighted round-robin dequeue (default weight 1).  A tenant with
+	// weight 2 gets two dequeues per rotation where the others get one.
+	TenantWeights map[string]int
 	// OnAssign, when non-nil, observes every remote assignment (a job
 	// handed to a worker under a lease).  The server uses it to write
 	// assignment records to the run store.
@@ -90,9 +108,10 @@ func (o DispatchOptions) withDefaults(defaultSlots int) DispatchOptions {
 // the done flag, so a late result upload for a job that was already
 // re-executed (or cancelled) is dropped instead of delivered twice.
 type dispatchJob struct {
-	runID string
-	name  string
-	opts  RunOptions
+	runID  string
+	tenant string
+	name   string
+	opts   RunOptions
 	// litmus, when non-nil, makes this a litmus-shard job instead of an
 	// experiment job; name then carries the shard name.
 	litmus *LitmusShard
@@ -132,6 +151,11 @@ type dispatchMetrics struct {
 	leasesActive  *metrics.Gauge
 	requeues      *metrics.Counter // jobs returned to the queue from lost leases
 	rejected      *metrics.Counter // run submissions refused by admission control
+
+	tenantDepth    *metrics.Gauge   // queued jobs, by tenant
+	tenantInflight *metrics.Gauge   // admitted-not-finished jobs, by tenant
+	tenantDone     *metrics.Counter // finished jobs, by tenant
+	tenantRejected *metrics.Counter // quota refusals, by tenant and reason
 }
 
 func newDispatchMetrics(r *metrics.Registry) *dispatchMetrics {
@@ -144,7 +168,19 @@ func newDispatchMetrics(r *metrics.Registry) *dispatchMetrics {
 		leasesActive:  r.Gauge("wmm_dispatch_leases_active", "Leases currently outstanding."),
 		requeues:      r.Counter("wmm_dispatch_requeues_total", "Jobs re-queued from expired or partially completed leases."),
 		rejected:      r.Counter("wmm_dispatch_rejected_total", "Run submissions refused by admission control (429)."),
+
+		tenantDepth:    r.Gauge("wmm_tenant_queue_depth", "Experiment jobs waiting in a tenant's fair-share queue.", "tenant"),
+		tenantInflight: r.Gauge("wmm_tenant_jobs_inflight", "Experiment jobs admitted for a tenant and not yet finished.", "tenant"),
+		tenantDone:     r.Counter("wmm_tenant_jobs_completed_total", "Experiment jobs finished, by tenant.", "tenant"),
+		tenantRejected: r.Counter("wmm_tenant_rejected_total", "Submissions refused by quota, by tenant and reason.", "tenant", "reason"),
 	}
+}
+
+// tenantQueue is one tenant's slice of the shared dispatch queue.
+type tenantQueue struct {
+	jobs     []*dispatchJob
+	credits  int // dequeues left in the current fair-share rotation
+	admitted int // jobs admitted for this tenant, not yet finished
 }
 
 // Dispatcher shards runs' experiment jobs across local executor slots
@@ -154,13 +190,21 @@ func newDispatchMetrics(r *metrics.Registry) *dispatchMetrics {
 // executes a job, how often it is re-executed after a lost lease, or in
 // what order jobs complete: the assembled run is byte-identical to a
 // purely local one.
+// Queued jobs live in per-tenant queues drained by a credit-based
+// weighted round-robin, so one tenant flooding the queue delays its own
+// later jobs, not other tenants' — a saturating tenant cannot starve a
+// light one.  Within a tenant the order stays FIFO with lost-lease
+// requeues at the front, exactly as the old single queue behaved.
 type Dispatcher struct {
 	eng *Engine
 	opt DispatchOptions
 	met *dispatchMetrics
 
 	mu       sync.Mutex
-	pending  []*dispatchJob
+	queues   map[string]*tenantQueue
+	rr       []string // round-robin rotation over tenants with queues
+	rrNext   int
+	queued   int // total jobs across all tenant queues
 	leases   map[string]*lease
 	leaseSeq int
 	admitted int // jobs admitted, not yet finished
@@ -178,6 +222,7 @@ func NewDispatcher(eng *Engine, o DispatchOptions, defaultSlots int) *Dispatcher
 		eng:    eng,
 		opt:    o,
 		met:    newDispatchMetrics(eng.Metrics()),
+		queues: map[string]*tenantQueue{},
 		leases: map[string]*lease{},
 		notify: make(chan struct{}, 1),
 		stop:   make(chan struct{}),
@@ -199,28 +244,88 @@ func (d *Dispatcher) Close() {
 // RetryAfter is the backpressure hint for saturation refusals.
 func (d *Dispatcher) RetryAfter() time.Duration { return d.opt.RetryAfter }
 
-// TryAdmit reserves queue capacity for n jobs, refusing with false when
-// the queue is saturated.  The reservation is released job by job as
-// they finish.
-func (d *Dispatcher) TryAdmit(n int) bool {
+// weight returns a tenant's fair-share weight (>= 1).
+func (d *Dispatcher) weight(tenant string) int {
+	if w := d.opt.TenantWeights[tenant]; w > 1 {
+		return w
+	}
+	return 1
+}
+
+// tenantLocked returns the tenant's queue, creating it — and entering
+// the tenant into the round-robin rotation — on first use.
+func (d *Dispatcher) tenantLocked(tenant string) *tenantQueue {
+	q := d.queues[tenant]
+	if q == nil {
+		q = &tenantQueue{credits: d.weight(tenant)}
+		d.queues[tenant] = q
+		d.rr = append(d.rr, tenant)
+	}
+	return q
+}
+
+// dropTenantLocked retires an idle tenant (nothing queued, nothing
+// admitted) from the rotation so the map tracks active tenants only.
+func (d *Dispatcher) dropTenantLocked(tenant string) {
+	q := d.queues[tenant]
+	if q == nil || q.admitted > 0 || len(q.jobs) > 0 {
+		return
+	}
+	delete(d.queues, tenant)
+	for i, name := range d.rr {
+		if name == tenant {
+			d.rr = append(d.rr[:i], d.rr[i+1:]...)
+			if d.rrNext > i {
+				d.rrNext--
+			}
+			break
+		}
+	}
+	if d.rrNext >= len(d.rr) {
+		d.rrNext = 0
+	}
+}
+
+// TryAdmit reserves queue capacity for n of the tenant's jobs, refusing
+// with ErrSaturated when the global queue is full and ErrTenantSaturated
+// when the tenant's own quota is.  The reservation is released job by
+// job as they finish.
+func (d *Dispatcher) TryAdmit(tenant string, n int) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.admitted+n > d.opt.MaxQueue {
 		d.met.rejected.Inc()
-		return false
+		d.met.tenantRejected.Inc(tenant, "queue_full")
+		return ErrSaturated
+	}
+	q := d.tenantLocked(tenant)
+	if d.opt.TenantMaxQueued > 0 && q.admitted+n > d.opt.TenantMaxQueued {
+		d.met.rejected.Inc()
+		d.met.tenantRejected.Inc(tenant, "tenant_quota")
+		d.dropTenantLocked(tenant)
+		return ErrTenantSaturated
 	}
 	d.admitted += n
+	q.admitted += n
 	d.met.inflight.Set(float64(d.admitted))
-	return true
+	d.met.tenantInflight.Set(float64(q.admitted), tenant)
+	return nil
 }
 
 // admitForce reserves capacity unconditionally (resumed runs must never
 // be refused; a brief overshoot beats losing checkpointed work).  n may
 // be negative to release an over-reservation.
-func (d *Dispatcher) admitForce(n int) {
+func (d *Dispatcher) admitForce(tenant string, n int) {
 	d.mu.Lock()
 	d.admitted += n
+	q := d.tenantLocked(tenant)
+	q.admitted += n
+	if q.admitted < 0 {
+		q.admitted = 0
+	}
 	d.met.inflight.Set(float64(d.admitted))
+	d.met.tenantInflight.Set(float64(q.admitted), tenant)
+	d.dropTenantLocked(tenant)
 	d.mu.Unlock()
 }
 
@@ -229,7 +334,11 @@ func (d *Dispatcher) admitForce(n int) {
 // Engine.Run: the first failure in request order is returned alongside
 // the full result set.  reserved is how many jobs the caller already
 // admitted via TryAdmit (0 for resumed runs, which bypass admission).
-func (d *Dispatcher) Run(ctx context.Context, runID string, names []string, o RunOptions, sink Sink, reserved int) ([]*Result, error) {
+// tenant names the fair-share queue the jobs join ("" = "default").
+func (d *Dispatcher) Run(ctx context.Context, runID, tenant string, names []string, o RunOptions, sink Sink, reserved int) ([]*Result, error) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
 	var exps []experiments.Experiment
 	if len(names) == 0 {
 		exps = experiments.All()
@@ -237,7 +346,7 @@ func (d *Dispatcher) Run(ctx context.Context, runID string, names []string, o Ru
 		for _, name := range names {
 			ex, err := experiments.ByName(name)
 			if err != nil {
-				d.admitForce(-reserved)
+				d.admitForce(tenant, -reserved)
 				return nil, err
 			}
 			exps = append(exps, ex)
@@ -267,11 +376,12 @@ func (d *Dispatcher) Run(ctx context.Context, runID string, names []string, o Ru
 		i := i
 		wg.Add(1)
 		j := &dispatchJob{
-			runID: runID,
-			name:  ex.Name,
-			opts:  RunOptions{Samples: o.Samples, Seed: o.Seed, Short: o.Short, Adaptive: o.Adaptive},
-			ctx:   ctx,
-			sem:   sem,
+			runID:  runID,
+			tenant: tenant,
+			name:   ex.Name,
+			opts:   RunOptions{Samples: o.Samples, Seed: o.Seed, Short: o.Short, Adaptive: o.Adaptive},
+			ctx:    ctx,
+			sem:    sem,
 		}
 		if d.opt.Cache != nil && !o.NoCache {
 			j.cacheKey = ResultKey(ex.Name, j.opts)
@@ -291,14 +401,17 @@ func (d *Dispatcher) Run(ctx context.Context, runID string, names []string, o Ru
 		jobs = append(jobs, j)
 	}
 
-	return d.drive(ctx, jobs, sem, &wg, results, reserved)
+	return d.drive(ctx, tenant, jobs, sem, &wg, results, reserved)
 }
 
 // RunLitmus shards a litmus campaign across the queue, exactly as Run
 // shards experiments: shard jobs mix with experiment jobs on the same
 // queue, under the same leases, with the same finish-once and requeue
 // semantics.  Results come back in shard order.
-func (d *Dispatcher) RunLitmus(ctx context.Context, runID string, shards []LitmusShard, parallel int, sink Sink, reserved int) ([]*Result, error) {
+func (d *Dispatcher) RunLitmus(ctx context.Context, runID, tenant string, shards []LitmusShard, parallel int, sink Sink, reserved int) ([]*Result, error) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
 	if parallel <= 0 {
 		parallel = 1
 	}
@@ -315,6 +428,7 @@ func (d *Dispatcher) RunLitmus(ctx context.Context, runID string, shards []Litmu
 		wg.Add(1)
 		j := &dispatchJob{
 			runID:  runID,
+			tenant: tenant,
 			name:   sh.name(),
 			litmus: &sh,
 			ctx:    ctx,
@@ -335,16 +449,16 @@ func (d *Dispatcher) RunLitmus(ctx context.Context, runID string, shards []Litmu
 		}
 		jobs = append(jobs, j)
 	}
-	return d.drive(ctx, jobs, sem, &wg, results, reserved)
+	return d.drive(ctx, tenant, jobs, sem, &wg, results, reserved)
 }
 
 // drive is the shared dispatch tail: reconcile the admission
 // reservation, arm the cancellation watcher, enqueue under the run's
 // parallelism budget, and assemble the first failure in request order.
-func (d *Dispatcher) drive(ctx context.Context, jobs []*dispatchJob, sem chan struct{}, wg *sync.WaitGroup, results []*Result, reserved int) ([]*Result, error) {
+func (d *Dispatcher) drive(ctx context.Context, tenant string, jobs []*dispatchJob, sem chan struct{}, wg *sync.WaitGroup, results []*Result, reserved int) ([]*Result, error) {
 	// Reconcile the caller's reservation with the jobs actually created
 	// (a resumed run reserves nothing; restored experiments need no slot).
-	d.admitForce(len(jobs) - reserved)
+	d.admitForce(tenant, len(jobs)-reserved)
 
 	// The watcher resolves every unfinished job the moment the run's
 	// context ends: queued jobs are withdrawn, leased jobs are written
@@ -468,8 +582,8 @@ func decodeCachedResult(data []byte, name string) *Result {
 	return &res
 }
 
-// push appends a job to the queue, reporting false if the job was
-// already finished (cancelled before enqueue).  Marks the job as
+// push appends a job to its tenant's queue, reporting false if the job
+// was already finished (cancelled before enqueue).  Marks the job as
 // holding one of its run's parallel slots.
 func (d *Dispatcher) push(j *dispatchJob) bool {
 	d.mu.Lock()
@@ -478,15 +592,18 @@ func (d *Dispatcher) push(j *dispatchJob) bool {
 		return false
 	}
 	j.semHeld = true
-	d.pending = append(d.pending, j)
-	d.met.queueDepth.Set(float64(len(d.pending)))
+	q := d.tenantLocked(j.tenant)
+	q.jobs = append(q.jobs, j)
+	d.queued++
+	d.met.queueDepth.Set(float64(d.queued))
+	d.met.tenantDepth.Set(float64(len(q.jobs)), j.tenant)
 	d.mu.Unlock()
 	d.wake()
 	return true
 }
 
-// requeue returns lost-lease jobs to the front of the queue so they are
-// retried before newer work.
+// requeue returns lost-lease jobs to the front of their tenants' queues
+// so they are retried before newer work.
 func (d *Dispatcher) requeue(jobs []*dispatchJob) int {
 	d.mu.Lock()
 	n := 0
@@ -494,11 +611,14 @@ func (d *Dispatcher) requeue(jobs []*dispatchJob) int {
 		if j.done {
 			continue
 		}
-		d.pending = append([]*dispatchJob{j}, d.pending...)
+		q := d.tenantLocked(j.tenant)
+		q.jobs = append([]*dispatchJob{j}, q.jobs...)
+		d.queued++
+		d.met.tenantDepth.Set(float64(len(q.jobs)), j.tenant)
 		n++
 	}
 	if n > 0 {
-		d.met.queueDepth.Set(float64(len(d.pending)))
+		d.met.queueDepth.Set(float64(d.queued))
 		d.met.requeues.Add(float64(n))
 	}
 	d.mu.Unlock()
@@ -516,20 +636,61 @@ func (d *Dispatcher) wake() {
 	}
 }
 
-// pop removes the next live job, or nil if the queue is empty.
+// popLocked removes the next job under weighted round-robin: the
+// rotation visits tenants in arrival order, each tenant spending one
+// fair-share credit per dequeue; when every tenant with queued work is
+// out of credits, all credits replenish to the tenants' weights and the
+// rotation starts a new round.  Jobs already resolved (cancelled while
+// queued) are returned like any other and skipped by the caller.
+func (d *Dispatcher) popLocked() *dispatchJob {
+	if d.queued == 0 {
+		return nil
+	}
+	for pass := 0; pass < 2; pass++ {
+		n := len(d.rr)
+		for i := 0; i < n; i++ {
+			idx := (d.rrNext + i) % n
+			q := d.queues[d.rr[idx]]
+			if len(q.jobs) == 0 || q.credits <= 0 {
+				continue
+			}
+			j := q.jobs[0]
+			q.jobs = q.jobs[1:]
+			q.credits--
+			d.queued--
+			d.met.tenantDepth.Set(float64(len(q.jobs)), d.rr[idx])
+			if q.credits > 0 && len(q.jobs) > 0 {
+				d.rrNext = idx // tenant may spend its remaining credits
+			} else {
+				d.rrNext = (idx + 1) % n
+			}
+			return j
+		}
+		// Work is queued but every tenant holding it is out of credits:
+		// replenish and take a second pass.
+		for _, name := range d.rr {
+			d.queues[name].credits = d.weight(name)
+		}
+	}
+	return nil
+}
+
+// pop removes the next live job, or nil if the queues are empty.
 func (d *Dispatcher) pop() *dispatchJob {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for len(d.pending) > 0 {
-		j := d.pending[0]
-		d.pending = d.pending[1:]
-		d.met.queueDepth.Set(float64(len(d.pending)))
+	for {
+		j := d.popLocked()
+		if j == nil {
+			d.met.queueDepth.Set(float64(d.queued))
+			return nil
+		}
 		if j.done {
 			continue
 		}
+		d.met.queueDepth.Set(float64(d.queued))
 		return j
 	}
-	return nil
 }
 
 // localSlot is one local executor: it pulls jobs from the shared queue
@@ -599,6 +760,15 @@ func (d *Dispatcher) finish(j *dispatchJob, res *Result, mode string) bool {
 	semHeld := j.semHeld
 	d.admitted--
 	d.met.inflight.Set(float64(d.admitted))
+	if q := d.queues[j.tenant]; q != nil {
+		q.admitted--
+		if q.admitted < 0 {
+			q.admitted = 0
+		}
+		d.met.tenantInflight.Set(float64(q.admitted), j.tenant)
+		d.dropTenantLocked(j.tenant)
+	}
+	d.met.tenantDone.Inc(j.tenant)
 	d.mu.Unlock()
 	d.settleCache(j, res, mode)
 	d.met.jobsDone.Inc(mode)
@@ -634,20 +804,25 @@ func (d *Dispatcher) cancelJobs(jobs []*dispatchJob, cause error) {
 		cause = context.Canceled
 	}
 	d.mu.Lock()
-	live := d.pending[:0]
 	doomed := map[*dispatchJob]bool{}
 	for _, j := range jobs {
 		if !j.done {
 			doomed[j] = true
 		}
 	}
-	for _, p := range d.pending {
-		if !doomed[p] {
-			live = append(live, p)
+	for tenant, q := range d.queues {
+		live := q.jobs[:0]
+		for _, p := range q.jobs {
+			if !doomed[p] {
+				live = append(live, p)
+			} else {
+				d.queued--
+			}
 		}
+		q.jobs = live
+		d.met.tenantDepth.Set(float64(len(q.jobs)), tenant)
 	}
-	d.pending = live
-	d.met.queueDepth.Set(float64(len(d.pending)))
+	d.met.queueDepth.Set(float64(d.queued))
 	d.mu.Unlock()
 	for _, j := range jobs {
 		d.finish(j, d.cancelledResult(j, cause), "cancelled")
@@ -673,15 +848,19 @@ func (d *Dispatcher) Lease(worker string, max int) (id string, ttl time.Duration
 	}
 	var granted []*dispatchJob
 	d.mu.Lock()
-	for len(granted) < max && len(d.pending) > 0 {
-		j := d.pending[0]
-		d.pending = d.pending[1:]
+	// Batches draw through the same weighted round-robin as local slots,
+	// so remote capacity is fair-shared exactly like local capacity.
+	for len(granted) < max {
+		j := d.popLocked()
+		if j == nil {
+			break
+		}
 		if j.done {
 			continue
 		}
 		granted = append(granted, j)
 	}
-	d.met.queueDepth.Set(float64(len(d.pending)))
+	d.met.queueDepth.Set(float64(d.queued))
 	if len(granted) == 0 {
 		d.mu.Unlock()
 		return "", 0, nil

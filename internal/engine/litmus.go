@@ -40,6 +40,9 @@ type LitmusSpec struct {
 	Parallel int `json:"parallel,omitempty"`
 	// TimeoutMs bounds the whole campaign; 0 = no deadline.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Tenant names the fair-share queue and quota bucket the campaign is
+	// accounted to (the X-WMM-Tenant header wins; empty = "default").
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // maxLitmusCount bounds a campaign; the recipe space saturates long

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
 )
@@ -125,6 +124,11 @@ func (s *Server) handleLitmusSubmit(w http.ResponseWriter, r *http.Request) {
 	if spec.Parallel <= 0 {
 		spec.Parallel = s.defaultParallel
 	}
+	tenant, tok := resolveTenant(w, r, spec.Tenant)
+	if !tok {
+		return
+	}
+	spec.Tenant = tenant
 	shards := spec.shards()
 
 	// Admission control shares the dispatch queue's budget with
@@ -132,17 +136,16 @@ func (s *Server) handleLitmusSubmit(w http.ResponseWriter, r *http.Request) {
 	// than flooding the queue.
 	admitted := 0
 	if s.disp != nil {
-		if !s.disp.TryAdmit(len(shards)) {
-			retry := int(s.disp.RetryAfter().Seconds())
-			if retry < 1 {
-				retry = 1
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(retry))
-			writeErr(w, http.StatusTooManyRequests, ErrCodeSaturated,
-				"dispatch queue saturated (%d shards refused); retry after %ds", len(shards), retry)
+		switch err := s.disp.TryAdmit(tenant, len(shards)); err {
+		case nil:
+			admitted = len(shards)
+		case ErrTenantSaturated:
+			s.writeSaturated(w, "tenant %q queue quota exceeded (%d shards refused)", tenant, len(shards))
+			return
+		default:
+			s.writeSaturated(w, "dispatch queue saturated (%d shards refused)", len(shards))
 			return
 		}
-		admitted = len(shards)
 	}
 
 	ctx := context.Background()
@@ -158,9 +161,19 @@ func (s *Server) handleLitmusSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		cancel()
 		if s.disp != nil {
-			s.disp.admitForce(-admitted)
+			s.disp.admitForce(tenant, -admitted)
 		}
 		writeErr(w, http.StatusServiceUnavailable, ErrCodeUnavailable, "server shutting down")
+		return
+	}
+	if !s.tenantAdmitRunningLocked(tenant) {
+		s.mu.Unlock()
+		cancel()
+		if s.disp != nil {
+			s.disp.admitForce(tenant, -admitted)
+		}
+		s.met.tenantRejected.Inc(tenant, "tenant_running")
+		s.writeSaturated(w, "tenant %q already has %d runs executing", tenant, s.tenantMaxRunning)
 		return
 	}
 	s.litmusSeq++
@@ -188,10 +201,15 @@ func (s *Server) handleLitmusSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) executeLitmus(ctx context.Context, cancel context.CancelFunc, run *litmusRun) {
 	defer s.active.Done()
 	defer cancel()
+	tenant := run.spec.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	defer s.tenantRunningDone(tenant)
 	var results []*Result
 	var err error
 	if s.disp != nil {
-		results, err = s.disp.RunLitmus(ctx, run.id, run.shards, run.spec.Parallel, (*litmusSink)(run), run.admitted)
+		results, err = s.disp.RunLitmus(ctx, run.id, tenant, run.shards, run.spec.Parallel, (*litmusSink)(run), run.admitted)
 	} else {
 		results, err = runLitmusLocal(ctx, run.shards, run.spec.Parallel, (*litmusSink)(run))
 	}

@@ -39,6 +39,11 @@ type RunSpec struct {
 	// settable per-request with ?nocache=1): every job executes and
 	// nothing is committed.
 	NoCache bool `json:"nocache,omitempty"`
+	// Tenant names the fair-share queue and quota bucket the run is
+	// accounted to.  The X-WMM-Tenant request header takes precedence;
+	// empty means "default".  Tenancy never affects result bytes — the
+	// result cache deduplicates identical jobs across tenants.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Run states.
@@ -135,6 +140,9 @@ type serverMetrics struct {
 	litmusRuns  *metrics.Counter // litmus campaign lifecycle transitions, by state
 	litmusSwept *metrics.Counter // litmus campaigns removed by GC or DELETE
 	cacheSwept  *metrics.Counter // persisted cache entries removed by retention
+
+	tenantRuns     *metrics.Gauge   // runs + campaigns executing, by tenant
+	tenantRejected *metrics.Counter // refused submissions, by tenant and reason
 }
 
 func newServerMetrics(r *metrics.Registry) *serverMetrics {
@@ -155,6 +163,9 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 		litmusRuns:  r.Counter("wmm_litmus_runs_total", "Litmus campaign lifecycle transitions (submitted/done/failed/cancelled/partial).", "state"),
 		litmusSwept: r.Counter("wmm_litmus_runs_swept_total", "Finished litmus campaigns removed by the retention sweep or DELETE."),
 		cacheSwept:  r.Counter("wmm_resultcache_persist_swept_total", "Persisted result-cache entries removed by the retention sweep."),
+
+		tenantRuns:     r.Gauge("wmm_tenant_runs_running", "Runs and litmus campaigns currently executing, by tenant.", "tenant"),
+		tenantRejected: r.Counter("wmm_tenant_rejected_total", "Submissions refused by admission control, by tenant and reason.", "tenant", "reason"),
 	}
 }
 
@@ -175,8 +186,9 @@ type ServerOptions struct {
 	// experiment results are checkpointed as they happen, and Restore
 	// replays them after a restart — resuming interrupted runs from
 	// their last checkpoint.  A nil Store is the in-memory-only
-	// behaviour.
-	Store *runstore.Store
+	// behaviour.  Any runstore backend works (JSONL or segment); take
+	// care to leave this nil rather than storing a typed-nil pointer.
+	Store runstore.Storage
 	// Dispatch, when non-nil, enables the sharded execution backend:
 	// runs are decomposed into experiment jobs on a shared queue served
 	// by local executor slots and by remote wmmworker processes leasing
@@ -189,6 +201,12 @@ type ServerOptions struct {
 	// Store's cache/ directory) survive; the retention sweep removes
 	// older ones.  0 keeps them forever.
 	CacheRetain time.Duration
+	// TenantMaxRunning bounds how many runs and litmus campaigns one
+	// tenant may have executing at once; submissions beyond it are
+	// refused with 429 + Retry-After.  0 = unbounded.  Resumed runs
+	// bypass the quota — losing checkpointed work is worse than a brief
+	// overshoot.
+	TenantMaxRunning int
 }
 
 // Server exposes the engine over HTTP: a queryable catalogue of
@@ -197,20 +215,22 @@ type ServerOptions struct {
 // before Engine.Close — it cancels in-flight runs and waits for them,
 // so the engine's job channel is never closed mid-send.
 type Server struct {
-	eng             *Engine
-	defaultParallel int
-	retain          time.Duration
-	cacheRetain     time.Duration
-	store           *runstore.Store
-	disp            *Dispatcher
-	met             *serverMetrics
+	eng              *Engine
+	defaultParallel  int
+	retain           time.Duration
+	cacheRetain      time.Duration
+	store            runstore.Storage
+	disp             *Dispatcher
+	met              *serverMetrics
+	tenantMaxRunning int
 
-	mu        sync.Mutex
-	runs      map[string]*serverRun
-	seq       int
-	litmus    map[string]*litmusRun
-	litmusSeq int
-	closed    bool
+	mu            sync.Mutex
+	runs          map[string]*serverRun
+	seq           int
+	litmus        map[string]*litmusRun
+	litmusSeq     int
+	tenantRunning map[string]int // executing runs + campaigns, by tenant
+	closed        bool
 
 	active   sync.WaitGroup // one per executing run
 	stopOnce sync.Once
@@ -223,15 +243,17 @@ func NewServer(eng *Engine, o ServerOptions) *Server {
 		o.Parallel = eng.Workers()
 	}
 	s := &Server{
-		eng:             eng,
-		defaultParallel: o.Parallel,
-		retain:          o.Retain,
-		cacheRetain:     o.CacheRetain,
-		store:           o.Store,
-		met:             newServerMetrics(eng.Metrics()),
-		runs:            map[string]*serverRun{},
-		litmus:          map[string]*litmusRun{},
-		stop:            make(chan struct{}),
+		eng:              eng,
+		defaultParallel:  o.Parallel,
+		retain:           o.Retain,
+		cacheRetain:      o.CacheRetain,
+		store:            o.Store,
+		met:              newServerMetrics(eng.Metrics()),
+		tenantMaxRunning: o.TenantMaxRunning,
+		runs:             map[string]*serverRun{},
+		litmus:           map[string]*litmusRun{},
+		tenantRunning:    map[string]int{},
+		stop:             make(chan struct{}),
 	}
 	if s.store != nil {
 		// Continue the run-N sequence past anything already on disk so
@@ -411,6 +433,13 @@ func (s *Server) Restore() (resumed, restored int, err error) {
 		}
 		s.runs[rec.ID] = run
 		s.active.Add(1)
+		// Resumed runs bypass the running quota: abandoning checkpointed
+		// work is worse than a brief overshoot after failover.
+		tenant := spec.Tenant
+		if tenant == "" {
+			tenant = DefaultTenant
+		}
+		s.tenantRunningAddLocked(tenant, 1)
 		s.met.runsKept.Set(float64(len(s.runs)))
 		s.mu.Unlock()
 		s.met.runsActive.Add(1)
@@ -712,6 +741,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		ready = false
 		out["store"] = err.Error()
 	}
+	// An embedded Server is always the leader; the HA wrapper answers
+	// /readyz itself (role "standby") until it promotes and delegates here.
+	out["role"] = "leader"
 	out["ready"] = ready
 	code := http.StatusOK
 	if !ready {
@@ -790,6 +822,81 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request, legac
 	writeJSON(w, http.StatusOK, out)
 }
 
+// TenantHeader carries the tenant on API requests; it wins over the
+// spec's tenant field so operators can route through proxies that stamp
+// identity without rewriting bodies.
+const TenantHeader = "X-WMM-Tenant"
+
+// resolveTenant picks the effective tenant for a submission: header,
+// then spec field, then DefaultTenant.  ok=false means the name was
+// invalid and the error envelope has been written.
+func resolveTenant(w http.ResponseWriter, r *http.Request, specTenant string) (string, bool) {
+	tenant := r.Header.Get(TenantHeader)
+	if tenant == "" {
+		tenant = specTenant
+	}
+	if tenant == "" {
+		return DefaultTenant, true
+	}
+	if len(tenant) > 64 {
+		writeErr(w, http.StatusBadRequest, ErrCodeInvalidArgument,
+			"tenant name longer than 64 characters")
+		return "", false
+	}
+	for _, c := range tenant {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			writeErr(w, http.StatusBadRequest, ErrCodeInvalidArgument,
+				"tenant name %q: only [A-Za-z0-9._-] allowed", tenant)
+			return "", false
+		}
+	}
+	return tenant, true
+}
+
+// tenantAdmitRunning enforces the per-tenant running-run quota and, when
+// admitted, counts the run.  Callers must hold s.mu.
+func (s *Server) tenantAdmitRunningLocked(tenant string) bool {
+	if s.tenantMaxRunning > 0 && s.tenantRunning[tenant] >= s.tenantMaxRunning {
+		return false
+	}
+	s.tenantRunningAddLocked(tenant, 1)
+	return true
+}
+
+func (s *Server) tenantRunningAddLocked(tenant string, d int) {
+	n := s.tenantRunning[tenant] + d
+	if n <= 0 {
+		n = 0
+		delete(s.tenantRunning, tenant)
+	} else {
+		s.tenantRunning[tenant] = n
+	}
+	s.met.tenantRuns.Set(float64(n), tenant)
+}
+
+func (s *Server) tenantRunningDone(tenant string) {
+	s.mu.Lock()
+	s.tenantRunningAddLocked(tenant, -1)
+	s.mu.Unlock()
+}
+
+// writeSaturated is the shared 429 envelope for queue and quota
+// refusals: Retry-After plus the standard error body.
+func (s *Server) writeSaturated(w http.ResponseWriter, format string, args ...any) {
+	retry := 1
+	if s.disp != nil {
+		if r := int(s.disp.RetryAfter().Seconds()); r > retry {
+			retry = r
+		}
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	args = append(args, retry)
+	writeErr(w, http.StatusTooManyRequests, ErrCodeSaturated, format+"; retry after %ds", args...)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec RunSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
@@ -821,28 +928,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if spec.Parallel <= 0 {
 		spec.Parallel = s.defaultParallel
 	}
+	tenant, ok := resolveTenant(w, r, spec.Tenant)
+	if !ok {
+		return
+	}
+	spec.Tenant = tenant // persist and echo the effective tenant
 
 	total := len(spec.Experiments)
 	if total == 0 {
 		total = len(experiments.All())
 	}
 
-	// Admission control: refuse work the dispatch queue cannot absorb,
-	// with a Retry-After hint, before anything is recorded.  The
-	// reservation is released job by job as the run's jobs finish.
+	// Admission control: refuse work the dispatch queue cannot absorb —
+	// globally or within this tenant's quota — with a Retry-After hint,
+	// before anything is recorded.  The reservation is released job by
+	// job as the run's jobs finish.
 	admitted := 0
 	if s.disp != nil {
-		if !s.disp.TryAdmit(total) {
-			retry := int(s.disp.RetryAfter().Seconds())
-			if retry < 1 {
-				retry = 1
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(retry))
-			writeErr(w, http.StatusTooManyRequests, ErrCodeSaturated,
-				"dispatch queue saturated (%d jobs refused); retry after %ds", total, retry)
+		switch err := s.disp.TryAdmit(tenant, total); err {
+		case nil:
+			admitted = total
+		case ErrTenantSaturated:
+			s.writeSaturated(w, "tenant %q queue quota exceeded (%d jobs refused)", tenant, total)
+			return
+		default:
+			s.writeSaturated(w, "dispatch queue saturated (%d jobs refused)", total)
 			return
 		}
-		admitted = total
 	}
 
 	ctx := context.Background()
@@ -858,9 +970,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		cancel()
 		if s.disp != nil {
-			s.disp.admitForce(-admitted)
+			s.disp.admitForce(tenant, -admitted)
 		}
 		writeErr(w, http.StatusServiceUnavailable, ErrCodeUnavailable, "server shutting down")
+		return
+	}
+	if !s.tenantAdmitRunningLocked(tenant) {
+		s.mu.Unlock()
+		cancel()
+		if s.disp != nil {
+			s.disp.admitForce(tenant, -admitted)
+		}
+		s.met.tenantRejected.Inc(tenant, "tenant_running")
+		s.writeSaturated(w, "tenant %q already has %d runs executing", tenant, s.tenantMaxRunning)
 		return
 	}
 	s.seq++
@@ -915,13 +1037,18 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, run *se
 		Adaptive:  run.spec.Adaptive.Rule(),
 		NoCache:   run.spec.NoCache,
 	}
+	tenant := run.spec.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
 	var results []*Result
 	var err error
 	if s.disp != nil {
-		results, err = s.disp.Run(ctx, run.id, run.spec.Experiments, opts, (*runSink)(run), run.admitted)
+		results, err = s.disp.Run(ctx, run.id, tenant, run.spec.Experiments, opts, (*runSink)(run), run.admitted)
 	} else {
 		results, err = s.eng.Run(ctx, run.spec.Experiments, opts, (*runSink)(run))
 	}
+	defer s.tenantRunningDone(tenant)
 
 	run.mu.Lock()
 	run.final = results

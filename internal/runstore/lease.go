@@ -1,0 +1,218 @@
+package runstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Coordinator lease layer, shared by both backends.
+//
+// HA failover (internal/ha) elects the coordinator through a single
+// lease record in the store: `coordlease.json`, holding the current
+// owner, a monotonically increasing term, and an expiry.  The protocol
+// is designed for two-or-three wmmd processes sharing one store
+// directory (local disk or a shared filesystem), with no locking
+// primitive beyond what POSIX rename and O_EXCL give us:
+//
+//   - Acquire: read the record.  A live foreign lease — or one inside a
+//     full-TTL grace window past its expiry — blocks the claim.  Beyond
+//     the grace window, claim term+1 by creating `coordlease.claim-<term>`
+//     with O_EXCL (the arbiter when two standbys race: exactly one
+//     create succeeds), write the new record into it, fsync, and rename
+//     it over `coordlease.json`.  Then re-read: only the record on disk
+//     says who won.
+//   - Renew: verify the record still names this owner and term and has
+//     not expired, rewrite it with a fresh expiry (temp+fsync+rename),
+//     and re-read to confirm.  An expired lease cannot be renewed — the
+//     deposed owner must re-acquire, which forces it through the grace
+//     window like everyone else.
+//   - Release: remove the record iff it still names this owner and term.
+//
+// Split-brain argument: a standby only claims at `expires + TTL`, while
+// a live leader renews every TTL/3 and steps down on its own if it
+// cannot confirm a renewal within one TTL (internal/ha).  For two
+// leaders to coexist, the old one would have to stall *inside*
+// RenewLease — after its expiry check, before its write lands — for
+// longer than a full TTL, then have that stale write land exactly after
+// the rival's claim.  The re-read confirm plus the expiry check shrink
+// the window to a single write syscall; true elimination would need
+// fencing tokens checked by every storage operation, which
+// docs/ROBUSTNESS.md discusses.
+
+// leaseFile is the lease record's name inside the store directory.
+const leaseFile = "coordlease.json"
+
+// CoordLease is the on-disk coordinator-lease record.
+type CoordLease struct {
+	Owner   string    `json:"owner"`
+	Term    int64     `json:"term"`
+	Expires time.Time `json:"expires"`
+}
+
+// leaseFS implements the lease layer over a store root directory.
+type leaseFS struct {
+	root string
+	mu   sync.Mutex
+}
+
+func (l *leaseFS) leasePath() string { return filepath.Join(l.root, leaseFile) }
+
+// readLease reads the current record.  A missing or unparseable file
+// reports absent — a torn lease blocks nobody, it just gets reclaimed.
+func (l *leaseFS) readLease() (CoordLease, bool, error) {
+	data, err := os.ReadFile(l.leasePath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return CoordLease{}, false, nil
+		}
+		return CoordLease{}, false, fmt.Errorf("runstore: read lease: %w", err)
+	}
+	var c CoordLease
+	if err := json.Unmarshal(data, &c); err != nil || c.Owner == "" {
+		return CoordLease{}, false, nil
+	}
+	return c, true, nil
+}
+
+// ReadLease reports the current coordinator lease, if any.
+func (l *leaseFS) ReadLease() (CoordLease, bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.readLease()
+}
+
+// TryAcquireLease attempts to take the coordinator lease for owner with
+// the given TTL.  It returns the resulting record and whether this
+// owner now holds it.  Holding the lease already refreshes it in place;
+// a foreign lease blocks until one full TTL past its expiry (the
+// takeover grace window).
+func (l *leaseFS) TryAcquireLease(owner string, ttl time.Duration) (CoordLease, bool, error) {
+	if owner == "" || ttl <= 0 {
+		return CoordLease{}, false, fmt.Errorf("runstore: lease needs an owner and a positive ttl")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now()
+	cur, ok, err := l.readLease()
+	if err != nil {
+		return CoordLease{}, false, err
+	}
+	if ok && cur.Owner == owner && now.Before(cur.Expires) {
+		next := CoordLease{Owner: owner, Term: cur.Term, Expires: now.Add(ttl)}
+		if err := l.commitLease(next); err != nil {
+			return CoordLease{}, false, err
+		}
+		return l.confirm(owner, next.Term)
+	}
+	if ok && cur.Owner != owner && now.Before(cur.Expires.Add(ttl)) {
+		// Live, or inside the grace window: the holder gets one full TTL
+		// of silence before anyone may take over.
+		return cur, false, nil
+	}
+	claim := CoordLease{Owner: owner, Term: cur.Term + 1, Expires: now.Add(ttl)}
+	claimPath := filepath.Join(l.root, fmt.Sprintf("coordlease.claim-%d", claim.Term))
+	f, err := os.OpenFile(claimPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			// A rival claimed this term first.  If the claim file is
+			// crash debris (no rename followed for two TTLs), clear it so
+			// the next attempt is not blocked forever.
+			if info, statErr := os.Stat(claimPath); statErr == nil && now.Sub(info.ModTime()) > 2*ttl {
+				os.Remove(claimPath)
+			}
+			return cur, false, nil
+		}
+		return CoordLease{}, false, fmt.Errorf("runstore: lease claim: %w", err)
+	}
+	data, _ := json.Marshal(claim)
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		os.Remove(claimPath)
+		return CoordLease{}, false, fmt.Errorf("runstore: lease claim write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(claimPath)
+		return CoordLease{}, false, fmt.Errorf("runstore: lease claim sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(claimPath)
+		return CoordLease{}, false, fmt.Errorf("runstore: lease claim close: %w", err)
+	}
+	if err := os.Rename(claimPath, l.leasePath()); err != nil {
+		os.Remove(claimPath)
+		return CoordLease{}, false, fmt.Errorf("runstore: lease claim rename: %w", err)
+	}
+	syncDir(l.root)
+	return l.confirm(owner, claim.Term)
+}
+
+// RenewLease extends the lease iff it still names this owner and term
+// and has not expired.  A false return with a nil error means deposed:
+// the caller must stop acting as coordinator immediately.
+func (l *leaseFS) RenewLease(owner string, term int64, ttl time.Duration) (CoordLease, bool, error) {
+	if owner == "" || ttl <= 0 {
+		return CoordLease{}, false, fmt.Errorf("runstore: lease needs an owner and a positive ttl")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now()
+	cur, ok, err := l.readLease()
+	if err != nil {
+		return CoordLease{}, false, err
+	}
+	if !ok || cur.Owner != owner || cur.Term != term || now.After(cur.Expires) {
+		// Deposed, or too late: an expired lease is never renewed in
+		// place, the owner must go back through acquisition.
+		return cur, false, nil
+	}
+	next := CoordLease{Owner: owner, Term: term, Expires: now.Add(ttl)}
+	if err := l.commitLease(next); err != nil {
+		return CoordLease{}, false, err
+	}
+	return l.confirm(owner, term)
+}
+
+// ReleaseLease surrenders the lease iff it still names this owner and
+// term, letting a standby take over without waiting out the TTL.  The
+// record stays on disk with a zeroed expiry rather than being removed:
+// terms must grow monotonically across releases for the term number to
+// work as a fencing token.
+func (l *leaseFS) ReleaseLease(owner string, term int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur, ok, err := l.readLease()
+	if err != nil {
+		return err
+	}
+	if !ok || cur.Owner != owner || cur.Term != term {
+		return nil
+	}
+	return l.commitLease(CoordLease{Owner: owner, Term: term})
+}
+
+// commitLease durably replaces the lease record.
+func (l *leaseFS) commitLease(c CoordLease) error {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("runstore: marshal lease: %w", err)
+	}
+	return commitFile(l.leasePath(), append(data, '\n'))
+}
+
+// confirm re-reads the record after a write: with rename-based commits,
+// only the file on disk says which writer won a race.
+func (l *leaseFS) confirm(owner string, term int64) (CoordLease, bool, error) {
+	got, ok, err := l.readLease()
+	if err != nil {
+		return CoordLease{}, false, err
+	}
+	if !ok || got.Owner != owner || got.Term != term {
+		return got, false, nil
+	}
+	return got, true, nil
+}

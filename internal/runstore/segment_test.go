@@ -1,0 +1,274 @@
+package runstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openSmallSegment(t *testing.T, dir string) *SegmentStore {
+	t.Helper()
+	s, err := OpenSegment(dir)
+	if err != nil {
+		t.Fatalf("OpenSegment: %v", err)
+	}
+	s.MaxSegmentBytes = 512
+	s.CompactAfter = 0 // explicit Compact() only, unless a test opts in
+	return s
+}
+
+// countFiles returns how many directory entries match the suffix.
+func countFiles(t *testing.T, dir, contains string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if strings.Contains(e.Name(), contains) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSegmentSealAndCompact drives the store past several seal
+// thresholds, compacts, and proves replay is identical before and
+// after — including across a reopen — while the file count shrinks.
+func TestSegmentSealAndCompact(t *testing.T) {
+	dir := t.TempDir()
+	s := openSmallSegment(t, dir)
+	for i := 1; i <= 5; i++ {
+		id := fmt.Sprintf("run-%d", i)
+		if err := s.Begin(id, json.RawMessage(`{"n":`+fmt.Sprint(i)+`}`), time.Now()); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 6; j++ {
+			if err := s.Checkpoint(id, fmt.Sprintf("e%d", j), json.RawMessage(`{"pad":"`+strings.Repeat("x", 64)+`"}`)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%2 == 0 {
+			if err := s.End(id, "done", ""); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Delete("run-3"); err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != 4 {
+		t.Fatalf("before compact: %d runs, want 4", len(before))
+	}
+	if sealed := countFiles(t, dir, "seg-"); sealed < 3 {
+		t.Fatalf("expected several segments before compact, found %d", sealed)
+	}
+
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if n := countFiles(t, dir, "compact-"); n != 1 {
+		t.Fatalf("after compact: %d compact files, want 1", n)
+	}
+	after, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRuns(t, before, after)
+
+	// Replay is also stable across close + reopen.
+	s.Close()
+	s2 := openSmallSegment(t, dir)
+	defer s2.Close()
+	reopened, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRuns(t, before, reopened)
+
+	// The tombstoned run is physically gone from disk after compaction.
+	data, err := os.ReadFile(filepath.Join(dir, s2.man.Sealed[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"run-3"`) {
+		t.Fatal("compaction did not reclaim the deleted run")
+	}
+}
+
+func assertSameRuns(t *testing.T, want, got []*RunRecord) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("run count: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.ID != g.ID || w.EndState != g.EndState || w.EndError != g.EndError {
+			t.Fatalf("run %d: got %s/%q, want %s/%q", i, g.ID, g.EndState, w.ID, w.EndState)
+		}
+		if len(w.Experiments) != len(g.Experiments) {
+			t.Fatalf("%s: %d experiments, want %d", g.ID, len(g.Experiments), len(w.Experiments))
+		}
+		for j := range w.Experiments {
+			if w.Experiments[j].Name != g.Experiments[j].Name ||
+				string(w.Experiments[j].Result) != string(g.Experiments[j].Result) {
+				t.Fatalf("%s experiment %d differs", g.ID, j)
+			}
+		}
+	}
+}
+
+// TestSegmentAutoCompact lets the append path trigger compaction on
+// its own and verifies the sealed count stays bounded.
+func TestSegmentAutoCompact(t *testing.T) {
+	dir := t.TempDir()
+	s := openSmallSegment(t, dir)
+	defer s.Close()
+	s.CompactAfter = 3
+	for i := 1; i <= 8; i++ {
+		id := fmt.Sprintf("run-%d", i)
+		if err := s.Begin(id, json.RawMessage(`{}`), time.Now()); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 8; j++ {
+			if err := s.Checkpoint(id, fmt.Sprintf("e%d", j), json.RawMessage(`{"pad":"`+strings.Repeat("y", 80)+`"}`)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.End(id, "done", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mu.Lock()
+	sealed := len(s.man.Sealed)
+	s.mu.Unlock()
+	if sealed >= 2*s.CompactAfter {
+		t.Fatalf("auto-compaction not bounding sealed segments: %d", sealed)
+	}
+	runs, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 8 {
+		t.Fatalf("replay after auto-compact: %d runs, want 8", len(runs))
+	}
+	for _, r := range runs {
+		if len(r.Experiments) != 8 || r.EndState != "done" {
+			t.Fatalf("%s incomplete after auto-compact", r.ID)
+		}
+	}
+}
+
+// TestSegmentOrphanCleanup simulates the two compaction crash windows:
+// an orphaned compact file (manifest never committed) must be removed,
+// and replay must not double-apply it.
+func TestSegmentOrphanCleanup(t *testing.T) {
+	dir := t.TempDir()
+	s := openSmallSegment(t, dir)
+	fill(t, s)
+	s.Close()
+	// A compact file the manifest does not reference = crash before the
+	// manifest commit.
+	orphan := filepath.Join(dir, "compact-00009999.log")
+	if err := os.WriteFile(orphan, []byte(`{"rec":"spec","id":"run-666","spec":{}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openSmallSegment(t, dir)
+	defer s2.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphan compact file survived recovery")
+	}
+	runs, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		if r.ID == "run-666" {
+			t.Fatal("orphan compact file leaked into replay")
+		}
+	}
+	checkFill(t, s2)
+}
+
+// TestSegmentTornActiveTrimmed proves a partial final line is truncated
+// on recovery so the first post-restart append is not silently merged
+// into garbage.
+func TestSegmentTornActiveTrimmed(t *testing.T) {
+	dir := t.TempDir()
+	s := openSmallSegment(t, dir)
+	if err := s.Begin("run-1", json.RawMessage(`{}`), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	active := s.activeName
+	s.Close()
+	f, err := os.OpenFile(filepath.Join(dir, active), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"rec":"end","id":"run-1","sta`) // no newline: torn
+	f.Close()
+
+	s2 := openSmallSegment(t, dir)
+	defer s2.Close()
+	if err := s2.Checkpoint("run-1", "a", json.RawMessage(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].EndState != "" {
+		t.Fatalf("torn end record applied: %+v", runs)
+	}
+	if string(runs[0].Experiment("a")) != `{"v":1}` {
+		t.Fatal("post-recovery checkpoint lost to the torn tail")
+	}
+}
+
+// TestLeaseContention races many claimants for one lease and asserts
+// exactly one wins each term.
+func TestLeaseContention(t *testing.T) {
+	for _, b := range backends {
+		t.Run(b.kind, func(t *testing.T) {
+			s := b.open(t, t.TempDir())
+			defer s.Close()
+			const claimants = 8
+			var wg sync.WaitGroup
+			winners := make(chan string, claimants)
+			for i := 0; i < claimants; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					if _, ok, err := s.TryAcquireLease(fmt.Sprintf("node-%d", i), time.Minute); err != nil {
+						t.Errorf("TryAcquireLease: %v", err)
+					} else if ok {
+						winners <- fmt.Sprintf("node-%d", i)
+					}
+				}(i)
+			}
+			wg.Wait()
+			close(winners)
+			var won []string
+			for w := range winners {
+				won = append(won, w)
+			}
+			if len(won) != 1 {
+				t.Fatalf("winners: %v, want exactly 1", won)
+			}
+			lease, ok, err := s.ReadLease()
+			if err != nil || !ok || lease.Owner != won[0] {
+				t.Fatalf("lease after contention: %+v ok=%v err=%v (winner %s)", lease, ok, err, won[0])
+			}
+		})
+	}
+}

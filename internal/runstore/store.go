@@ -29,7 +29,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -95,9 +94,12 @@ func (r *RunRecord) Experiment(name string) json.RawMessage {
 	return nil
 }
 
-// Store is a directory of per-run append-only record files.  All methods
-// are safe for concurrent use.
+// Store is a directory of per-run append-only record files — the JSONL
+// Storage backend.  All methods are safe for concurrent use.
 type Store struct {
+	cacheFS
+	leaseFS
+
 	dir string
 
 	mu sync.Mutex
@@ -118,33 +120,30 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runstore: create %s: %w", dir, err)
 	}
-	s := &Store{dir: dir}
+	s := &Store{dir: dir, cacheFS: cacheFS{root: dir}, leaseFS: leaseFS{root: dir}}
 	if err := s.Ping(); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
+// Kind names the backend.
+func (s *Store) Kind() string { return KindJSONL }
+
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
 
 // Ping probes that the store is writable (backs GET /readyz).
-func (s *Store) Ping() error {
-	f, err := os.CreateTemp(s.dir, ".probe-*")
-	if err != nil {
-		return fmt.Errorf("runstore: %s not writable: %w", s.dir, err)
-	}
-	name := f.Name()
-	f.Close()
-	os.Remove(name)
-	return nil
-}
+func (s *Store) Ping() error { return pingDir(s.dir) }
+
+// Close releases backend resources; the JSONL layout holds none.
+func (s *Store) Close() error { return nil }
 
 // path returns the record file for a run, rejecting IDs that would
 // escape the store directory.
 func (s *Store) path(id string) (string, error) {
-	if id == "" || strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") {
-		return "", fmt.Errorf("runstore: invalid run id %q", id)
+	if err := validateRunID(id); err != nil {
+		return "", err
 	}
 	return filepath.Join(s.dir, id+".jsonl"), nil
 }
@@ -240,13 +239,7 @@ func (s *Store) Load() ([]*RunRecord, error) {
 		}
 		runs = append(runs, rec)
 	}
-	sort.Slice(runs, func(i, j int) bool {
-		a, b := runs[i].ID, runs[j].ID
-		if len(a) != len(b) {
-			return len(a) < len(b)
-		}
-		return a < b
-	})
+	sortRuns(runs)
 	return runs, nil
 }
 
@@ -327,110 +320,4 @@ func (s *Store) MaxSeq() int {
 		}
 	}
 	return max
-}
-
-// --- Content-addressed result cache layer --------------------------------
-//
-// Alongside per-run record files, the store can hold a flat namespace of
-// content-addressed cache entries under dir/cache/: one <key>.json file
-// per entry, where the key is the engine's canonical content hash of
-// everything that determines the result's bytes.  The layer is
-// deliberately dumb — opaque bytes in, opaque bytes out — so the engine
-// owns the hash definition and the store owns only durability.  Writes
-// go through a temp file + rename, so a crash mid-put never leaves a
-// torn entry (a reader sees the old file or the new one, never half).
-
-// cacheDir is the store subdirectory holding cache entries.
-const cacheDir = "cache"
-
-// cachePath validates a cache key (lowercase hex, as produced by the
-// engine's content hash) and returns its file path.  Validation is the
-// traversal guard: keys come from request-derived hashes, but defence in
-// depth is cheap.
-func (s *Store) cachePath(key string) (string, error) {
-	if key == "" || len(key) > 128 {
-		return "", fmt.Errorf("runstore: invalid cache key %q", key)
-	}
-	for _, r := range key {
-		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
-			return "", fmt.Errorf("runstore: invalid cache key %q", key)
-		}
-	}
-	return filepath.Join(s.dir, cacheDir, key+".json"), nil
-}
-
-// CacheGet reads a cache entry, reporting false on any miss (absent,
-// unreadable, invalid key).  It satisfies resultcache.Persist.
-func (s *Store) CacheGet(key string) ([]byte, bool) {
-	path, err := s.cachePath(key)
-	if err != nil {
-		return nil, false
-	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, false
-	}
-	return data, true
-}
-
-// CachePut durably writes a cache entry (write-to-temp + fsync +
-// rename).  It satisfies resultcache.Persist.
-func (s *Store) CachePut(key string, data []byte) error {
-	path, err := s.cachePath(key)
-	if err != nil {
-		return err
-	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("runstore: create cache dir: %w", err)
-	}
-	f, err := os.CreateTemp(filepath.Dir(path), ".cache-*")
-	if err != nil {
-		return fmt.Errorf("runstore: cache temp: %w", err)
-	}
-	tmp := f.Name()
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("runstore: cache write: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("runstore: cache sync: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("runstore: cache close: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("runstore: cache rename: %w", err)
-	}
-	return nil
-}
-
-// CacheSweep removes cache entries not modified since the cutoff,
-// returning how many were removed.  The server's retention GC calls it
-// so the persistent cache — unlike the pre-PR calibration cache and
-// litmus catalogue — cannot grow without bound on a long-lived server.
-func (s *Store) CacheSweep(olderThan time.Time) int {
-	dir := filepath.Join(s.dir, cacheDir)
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return 0
-	}
-	removed := 0
-	for _, ent := range entries {
-		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".json") {
-			continue
-		}
-		info, err := ent.Info()
-		if err != nil || !info.ModTime().Before(olderThan) {
-			continue
-		}
-		if os.Remove(filepath.Join(dir, ent.Name())) == nil {
-			removed++
-		}
-	}
-	return removed
 }

@@ -9,7 +9,11 @@
 // Non-2xx responses decode the uniform error envelope {"error":
 // {"code", "message"}} into *Error.  Submissions refused by admission
 // control (429) are retried automatically, honouring the server's
-// Retry-After hint, up to the configured attempt budget.
+// Retry-After hint; 503s and connection-refused dial errors — a
+// coordinator restarting or failing over to a standby — are retried
+// with capped exponential backoff from the same attempt budget, so
+// workers and clients ride out a failover without surfacing transient
+// errors.
 package client
 
 import (
@@ -20,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -36,8 +41,9 @@ func asError(err error, target **Error) bool { return errors.As(err, target) }
 type Client struct {
 	base       string
 	hc         *http.Client
-	maxRetries int           // extra attempts after a 429 (0 = no retry)
-	maxWait    time.Duration // cap on one Retry-After pause
+	maxRetries int           // extra attempts after a retryable failure (0 = no retry)
+	maxWait    time.Duration // cap on one backoff pause
+	tenant     string        // X-WMM-Tenant header value ("" = none)
 }
 
 // Option configures a Client.
@@ -47,8 +53,9 @@ type Option func(*Client)
 // transports, test doubles).
 func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
 
-// WithRetry sets how many times a 429-refused request is retried
-// (default 4) and the cap on one Retry-After pause (default 30s).
+// WithRetry sets how many times a retryable failure (429, 503, dial
+// refused) is retried (default 4) and the cap on one backoff pause
+// (default 30s).
 func WithRetry(attempts int, maxWait time.Duration) Option {
 	return func(c *Client) {
 		c.maxRetries = attempts
@@ -57,6 +64,11 @@ func WithRetry(attempts int, maxWait time.Duration) Option {
 		}
 	}
 }
+
+// WithTenant stamps every request with the X-WMM-Tenant header, naming
+// the fair-share queue and quota bucket submissions are accounted to.
+// The header wins over any tenant field in a submitted spec.
+func WithTenant(name string) Option { return func(c *Client) { c.tenant = name } }
 
 // New returns a client for the server at base (e.g.
 // "http://127.0.0.1:8347").
@@ -95,9 +107,58 @@ func apiErr(resp *http.Response, body []byte) *Error {
 	return e
 }
 
-// do performs one API call: marshal in (if non-nil), retry on 429
-// honouring Retry-After, decode the envelope on failure and out (if
-// non-nil) on success.
+// newRequest builds a request with the client's standing headers (the
+// tenant identity), so the raw-response paths (canonical JSON, NDJSON
+// streaming) carry them like the typed ones.
+func (c *Client) newRequest(ctx context.Context, method, url string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if c.tenant != "" {
+		req.Header.Set("X-WMM-Tenant", c.tenant)
+	}
+	return req, nil
+}
+
+// retryableDialErr reports a connection-level failure worth retrying:
+// nothing was accepting on the port (coordinator restarting, standby
+// not yet promoted).  Failures after the connection was established are
+// not retried — the request may have executed.
+func retryableDialErr(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// backoff computes the pause before retry attempt n: the server's
+// Retry-After when given, else exponential from 250ms, capped.
+func (c *Client) backoff(hint time.Duration, attempt int) time.Duration {
+	wait := hint
+	if wait <= 0 {
+		wait = 250 * time.Millisecond << attempt
+	}
+	if wait > c.maxWait {
+		wait = c.maxWait
+	}
+	return wait
+}
+
+// sleep pauses for d or until ctx ends.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		t.Stop()
+		return ctx.Err()
+	}
+}
+
+// do performs one API call: marshal in (if non-nil), retry retryable
+// failures (429 honouring Retry-After, 503, dial refused) with capped
+// backoff, decode the envelope on failure and out (if non-nil) on
+// success.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body []byte
 	if in != nil {
@@ -111,7 +172,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if in != nil {
 			rd = bytes.NewReader(body)
 		}
-		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		req, err := c.newRequest(ctx, method, c.base+path, rd)
 		if err != nil {
 			return fmt.Errorf("client: %s %s: %w", method, path, err)
 		}
@@ -120,6 +181,12 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
+			if retryableDialErr(err) && attempt < c.maxRetries {
+				if serr := sleep(ctx, c.backoff(0, attempt)); serr != nil {
+					return serr
+				}
+				continue
+			}
 			return fmt.Errorf("client: %s %s: %w", method, path, err)
 		}
 		raw, err := io.ReadAll(resp.Body)
@@ -137,22 +204,13 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			return nil
 		}
 		apiE := apiErr(resp, raw)
-		if resp.StatusCode == http.StatusTooManyRequests && attempt < c.maxRetries {
-			wait := apiE.RetryAfter
-			if wait <= 0 {
-				wait = time.Second
+		retryable := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if retryable && attempt < c.maxRetries {
+			if serr := sleep(ctx, c.backoff(apiE.RetryAfter, attempt)); serr != nil {
+				return serr
 			}
-			if wait > c.maxWait {
-				wait = c.maxWait
-			}
-			t := time.NewTimer(wait)
-			select {
-			case <-t.C:
-				continue
-			case <-ctx.Done():
-				t.Stop()
-				return ctx.Err()
-			}
+			continue
 		}
 		return apiE
 	}
@@ -221,7 +279,7 @@ func (c *Client) Run(ctx context.Context, id string, includeResults bool) (RunSt
 // be identical for local, sharded and resumed executions of the same
 // spec and seed.
 func (c *Client) CanonicalRun(ctx context.Context, id string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+	req, err := c.newRequest(ctx, http.MethodGet,
 		c.base+"/api/v1/runs/"+url.PathEscape(id)+"?canonical=1", nil)
 	if err != nil {
 		return nil, err
@@ -279,7 +337,7 @@ func (c *Client) WaitRun(ctx context.Context, id string, poll time.Duration) (Ru
 // non-nil error (which aborts the watch and is returned).
 func (c *Client) WatchRun(ctx context.Context, id string, fn func(Event) error) (RunStatus, error) {
 	var snap RunStatus
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+	req, err := c.newRequest(ctx, http.MethodGet,
 		c.base+"/api/v1/runs/"+url.PathEscape(id)+"?stream=1", nil)
 	if err != nil {
 		return snap, err
@@ -370,7 +428,7 @@ func (c *Client) WaitLitmus(ctx context.Context, id string, poll time.Duration) 
 // ordered shard results with wall times zeroed, byte-identical for
 // local, sharded and re-executed campaigns of the same spec.
 func (c *Client) CanonicalLitmus(ctx context.Context, id string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+	req, err := c.newRequest(ctx, http.MethodGet,
 		c.base+"/api/v1/litmus/"+url.PathEscape(id)+"?canonical=1", nil)
 	if err != nil {
 		return nil, err

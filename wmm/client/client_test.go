@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -181,5 +182,132 @@ func TestContextCancellation(t *testing.T) {
 	}
 	if time.Since(start) > 5*time.Second {
 		t.Errorf("cancellation took %v; the Retry-After sleep was not interrupted", time.Since(start))
+	}
+}
+
+// TestRetryOn503 verifies the client rides out "unavailable" responses
+// — a coordinator restarting, or an HA standby not yet promoted — with
+// backoff, then succeeds once the leader answers.
+func TestRetryOn503(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]any{"error": map[string]string{
+				"code": "unavailable", "message": "standby coordinator: not the leader",
+			}})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(Submitted{ID: "run-9", State: StateRunning, Total: 1})
+	}))
+	defer ts.Close()
+
+	sub, err := New(ts.URL, WithRetry(4, 50*time.Millisecond)).
+		SubmitRun(context.Background(), RunSpec{Experiments: []string{"fig4"}})
+	if err != nil {
+		t.Fatalf("submit across 503s: %v", err)
+	}
+	if sub.ID != "run-9" || calls.Load() != 3 {
+		t.Errorf("sub=%+v after %d calls, want run-9 after 3", sub, calls.Load())
+	}
+}
+
+// TestUnavailableSurfacesWithoutRetry pins that WithRetry(0, 0) turns
+// retries off entirely: the first 503 comes straight back, classified
+// by IsUnavailable.
+func TestUnavailableSurfacesWithoutRetry(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"error": map[string]string{
+			"code": "unavailable", "message": "shutting down",
+		}})
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL, WithRetry(0, 0)).SubmitRun(context.Background(), RunSpec{})
+	if !IsUnavailable(err) {
+		t.Fatalf("err = %v, want IsUnavailable", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("server saw %d calls, want 1 (no retries)", calls.Load())
+	}
+}
+
+// TestRetryOnDialError verifies a connection-refused dial is retried:
+// the client outlives a short window where nothing listens on the
+// coordinator's port — exactly the window of an HA failover.
+func TestRetryOnDialError(t *testing.T) {
+	// Reserve a port, then free it so the first attempts get ECONNREFUSED.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	srvUp := make(chan *httptest.Server, 1)
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Errorf("rebind %s: %v", addr, err)
+			close(srvUp)
+			return
+		}
+		ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(Submitted{ID: "run-up", State: StateRunning, Total: 1})
+		}))
+		ts.Listener = ln2
+		ts.Start()
+		srvUp <- ts
+	}()
+
+	sub, err := New("http://"+addr, WithRetry(6, 300*time.Millisecond)).
+		SubmitRun(context.Background(), RunSpec{Experiments: []string{"fig4"}})
+	if ts, ok := <-srvUp; ok {
+		defer ts.Close()
+	}
+	if err != nil {
+		t.Fatalf("submit across dial failures: %v", err)
+	}
+	if sub.ID != "run-up" {
+		t.Errorf("sub = %+v, want run-up", sub)
+	}
+}
+
+// TestTenantHeader verifies WithTenant stamps X-WMM-Tenant on the typed
+// calls AND the raw-response paths (canonical JSON), and that a client
+// without the option sends none.
+func TestTenantHeader(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("X-WMM-Tenant"))
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	cl := New(ts.URL, WithTenant("team-a"))
+	if _, err := cl.Run(context.Background(), "run-1", false); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "team-a" {
+		t.Errorf("typed call tenant header = %q, want team-a", got.Load())
+	}
+	if _, err := cl.CanonicalRun(context.Background(), "run-1"); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "team-a" {
+		t.Errorf("canonical call tenant header = %q, want team-a", got.Load())
+	}
+	if _, err := New(ts.URL).Run(context.Background(), "run-1", false); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "" {
+		t.Errorf("default client sent tenant header %q, want none", got.Load())
 	}
 }

@@ -28,6 +28,10 @@ type RunSpec struct {
 	// NoCache bypasses the server's content-addressed result cache for
 	// this run: every job executes and nothing is committed.
 	NoCache bool `json:"nocache,omitempty"`
+	// Tenant names the fair-share queue and quota bucket the run is
+	// accounted to.  The X-WMM-Tenant header (see WithTenant) takes
+	// precedence; empty = "default".
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // AdaptiveSpec is the sequential stopping rule carried by RunSpec and
@@ -180,6 +184,9 @@ type LitmusSpec struct {
 	Parallel int `json:"parallel,omitempty"`
 	// TimeoutMs bounds the whole campaign; 0 = no deadline.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Tenant names the fair-share queue and quota bucket the campaign
+	// is accounted to (the X-WMM-Tenant header wins; empty = "default").
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // LitmusJob is the shard descriptor carried by a leased litmus job:
@@ -266,4 +273,13 @@ func IsNotFound(err error) bool {
 func IsSaturated(err error) bool {
 	var e *Error
 	return asError(err, &e) && e.Status == 429
+}
+
+// IsUnavailable reports whether err is a 503 — the server is shutting
+// down, or an HA standby has not (yet) been promoted to leader.  The
+// client retries these itself; seeing one here means the retry budget
+// ran out.
+func IsUnavailable(err error) bool {
+	var e *Error
+	return asError(err, &e) && e.Status == 503
 }
