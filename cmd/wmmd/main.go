@@ -89,9 +89,11 @@
 // /healthz 200 and /readyz 503 {"role": "standby"} so operators can
 // distinguish a healthy standby from a dead process.  When the leader
 // dies, a standby takes over after the lease grace window, replays the
-// store, and resumes interrupted runs.  A deposed leader exits with
-// status 3 — restart it (e.g. a process supervisor) to rejoin as
-// standby.
+// store, and resumes interrupted runs.  The lease term is enforced as a
+// fencing token by the store itself: once a rival claims, every store
+// write from the old leader is refused (so a stalled process cannot
+// corrupt the store), and a deposed or fenced leader exits with status
+// 3 — restart it (e.g. a process supervisor) to rejoin as standby.
 //
 // On SIGINT/SIGTERM the server shuts down in order: stop accepting
 // runs, cancel in-flight runs and wait for their executors, drain HTTP,
@@ -118,6 +120,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/ha"
+	"repro/internal/metrics"
 	"repro/internal/resultcache"
 	"repro/internal/runstore"
 )
@@ -265,6 +268,12 @@ func main() {
 		log.Fatalf("wmmd: -store %s needs -data", *storeKind)
 	}
 
+	// One registry serves the whole process, created before the engine
+	// exists: the HA controller's wmm_ha_* instruments live next to the
+	// engine's, so one /metrics scrape sees role, term and fenced-write
+	// counts alongside everything else.
+	reg := metrics.NewRegistry()
+
 	// buildAPI assembles the full serving stack: engine, result cache,
 	// server, store replay.  Non-HA wmmd calls it immediately; an HA
 	// process calls it on promotion, so a standby holds no engine and
@@ -276,6 +285,7 @@ func main() {
 			Workers:       *workers,
 			SampleTimeout: *sampleTimeout,
 			Retry:         engine.RetryPolicy{Max: *sampleRetries},
+			Registry:      reg,
 		})
 		// Content-addressed result reuse: the dispatcher consults the
 		// cache before enqueueing jobs, and with -data the persistent
@@ -294,6 +304,15 @@ func main() {
 			CacheRetain:      *cacheRetain,
 			Store:            store,
 			TenantMaxRunning: *tenantMaxRunning,
+			// A fenced store write means another process coordinates:
+			// depose immediately (→ exit 3) rather than waiting for the
+			// renew loop to notice.  No-op outside -ha, where the fence
+			// is never armed.
+			OnFenced: func() {
+				if haCtrl != nil {
+					haCtrl.NoteFenced()
+				}
+			},
 			Dispatch: &engine.DispatchOptions{
 				LocalSlots:      *localSlots,
 				LeaseTTL:        *leaseTTL,
@@ -380,9 +399,10 @@ func main() {
 	// the API and bind -addr.  The lease is acquired BEFORE binding, so
 	// two HA processes can share one -addr: only the leader listens.
 	ctrl, err := ha.New(ha.Options{
-		Store: store,
-		ID:    *haID,
-		TTL:   *haTTL,
+		Store:   store,
+		ID:      *haID,
+		TTL:     *haTTL,
+		Metrics: reg,
 		OnPromote: func(ctx context.Context) (http.Handler, error) {
 			h, err := buildAPI()
 			if err != nil {

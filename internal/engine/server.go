@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -133,6 +134,7 @@ type serverMetrics struct {
 
 	checkpoints  *metrics.Counter // experiment results durably checkpointed
 	storeErrors  *metrics.Counter // failed store operations, by op
+	storeFenced  *metrics.Counter // store mutations refused by the fencing token
 	runsResumed  *metrics.Counter // interrupted runs resumed on startup
 	runsRestored *metrics.Counter // finished runs replayed into the catalogue
 
@@ -156,6 +158,7 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 
 		checkpoints:  r.Counter("wmm_store_checkpoints_written_total", "Experiment results durably checkpointed to the run store."),
 		storeErrors:  r.Counter("wmm_store_errors_total", "Failed run-store operations, by operation.", "op"),
+		storeFenced:  r.Counter("wmm_store_fenced_writes_total", "Store mutations refused by the lease fencing token (this process was deposed)."),
 		runsResumed:  r.Counter("wmm_runs_resumed_total", "Interrupted runs resumed from the store on startup."),
 		runsRestored: r.Counter("wmm_runs_restored_total", "Finished runs replayed from the store into the catalogue."),
 
@@ -207,6 +210,12 @@ type ServerOptions struct {
 	// bypass the quota — losing checkpointed work is worse than a brief
 	// overshoot.
 	TenantMaxRunning int
+	// OnFenced is called (once) when a store mutation is refused by the
+	// lease fencing token (runstore.ErrFenced): another process holds a
+	// newer coordinator claim, so this one must stop serving.  Under
+	// -ha, wmmd wires it to the controller's NoteFenced, which deposes
+	// immediately instead of waiting for the next renew tick.
+	OnFenced func()
 }
 
 // Server exposes the engine over HTTP: a queryable catalogue of
@@ -223,6 +232,8 @@ type Server struct {
 	disp             *Dispatcher
 	met              *serverMetrics
 	tenantMaxRunning int
+	onFenced         func()
+	fencedOnce       sync.Once
 
 	mu            sync.Mutex
 	runs          map[string]*serverRun
@@ -250,6 +261,7 @@ func NewServer(eng *Engine, o ServerOptions) *Server {
 		store:            o.Store,
 		met:              newServerMetrics(eng.Metrics()),
 		tenantMaxRunning: o.TenantMaxRunning,
+		onFenced:         o.OnFenced,
 		runs:             map[string]*serverRun{},
 		litmus:           map[string]*litmusRun{},
 		tenantRunning:    map[string]int{},
@@ -267,7 +279,7 @@ func NewServer(eng *Engine, o ServerOptions) *Server {
 				s.met.assignments.Inc()
 				if s.store != nil {
 					if err := s.store.Assign(runID, experiment, worker); err != nil {
-						s.met.storeErrors.Inc("assign")
+						s.storeFailed("assign", err)
 					}
 				}
 			}
@@ -291,6 +303,20 @@ func NewServer(eng *Engine, o ServerOptions) *Server {
 		go s.sweep(every)
 	}
 	return s
+}
+
+// storeFailed accounts a failed store mutation.  When the failure is
+// the fencing token refusing a deposed coordinator's write, it is
+// counted separately and reported upward exactly once, so the HA
+// controller deposes without waiting for its next renew tick.
+func (s *Server) storeFailed(op string, err error) {
+	s.met.storeErrors.Inc(op)
+	if errors.Is(err, runstore.ErrFenced) {
+		s.met.storeFenced.Inc()
+		if s.onFenced != nil {
+			s.fencedOnce.Do(s.onFenced)
+		}
+	}
 }
 
 // specOrder is the request order of a spec's experiments: the names it
@@ -510,7 +536,7 @@ func (s *Server) gc(now time.Time) int {
 		if s.store != nil {
 			for _, id := range victims {
 				if err := s.store.Delete(id); err != nil {
-					s.met.storeErrors.Inc("delete")
+					s.storeFailed("delete", err)
 				}
 			}
 		}
@@ -1001,21 +1027,39 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.active.Add(1)
 	s.met.runsKept.Set(float64(len(s.runs)))
 	s.mu.Unlock()
-	s.met.runs.Inc("submitted")
-	s.met.runsActive.Add(1)
 
 	// Persist the spec before any work happens, so a crash at any later
 	// point leaves a resumable record.  Durability is best-effort: a
-	// store failure degrades to the in-memory behaviour and is counted.
+	// store failure degrades to the in-memory behaviour and is counted —
+	// except a *fenced* write, which proves another coordinator owns the
+	// store: that refuses the run outright, because work accepted here
+	// could never be recorded and this process is about to exit.
 	if s.store != nil {
 		raw, err := json.Marshal(spec)
 		if err == nil {
 			err = s.store.Begin(run.id, raw, run.started)
 		}
 		if err != nil {
-			s.met.storeErrors.Inc("begin")
+			s.storeFailed("begin", err)
+			if errors.Is(err, runstore.ErrFenced) {
+				s.mu.Lock()
+				delete(s.runs, run.id)
+				s.met.runsKept.Set(float64(len(s.runs)))
+				s.tenantRunningAddLocked(tenant, -1)
+				s.mu.Unlock()
+				s.active.Done()
+				cancel()
+				if s.disp != nil {
+					s.disp.admitForce(tenant, -admitted)
+				}
+				writeErr(w, http.StatusServiceUnavailable, ErrCodeUnavailable,
+					"coordinator deposed: run store is fenced at a newer lease term")
+				return
+			}
 		}
 	}
+	s.met.runs.Inc("submitted")
+	s.met.runsActive.Add(1)
 
 	go s.execute(ctx, cancel, run)
 	writeJSON(w, http.StatusAccepted, map[string]any{"id": run.id, "state": StateRunning, "total": total})
@@ -1084,7 +1128,7 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, run *se
 		s.mu.Unlock()
 		if state != StateCancelled || userCancelled || !closing {
 			if err := s.store.End(run.id, state, errMsg); err != nil {
-				s.met.storeErrors.Inc("end")
+				s.storeFailed("end", err)
 			}
 		}
 	}
@@ -1153,7 +1197,7 @@ func (r *serverRun) checkpoint(res *Result) {
 		err = s.store.Checkpoint(r.id, res.Experiment, raw)
 	}
 	if err != nil {
-		s.met.storeErrors.Inc("checkpoint")
+		s.storeFailed("checkpoint", err)
 		return
 	}
 	s.met.checkpoints.Inc()
@@ -1425,7 +1469,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 			s.met.runsSwept.Inc()
 			if s.store != nil {
 				if err := s.store.Delete(id); err != nil {
-					s.met.storeErrors.Inc("delete")
+					s.storeFailed("delete", err)
 				}
 			}
 		} else {

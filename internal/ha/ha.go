@@ -13,7 +13,12 @@
 //
 // A leader renews at TTL/3 and deposes itself when it cannot confirm a
 // renewal within one TTL — before the standby's takeover point, which is
-// one full TTL past expiry.  See runstore/lease.go and
+// one full TTL past expiry.  On promotion the controller also arms the
+// store's fencing token (runstore.Fence), so even a leader stalled past
+// both deadlines cannot mutate the store after a rival's claim: the
+// write comes back runstore.ErrFenced, the server reports it via
+// NoteFenced, and the controller deposes immediately instead of waiting
+// for its next renew tick.  See runstore/lease.go and
 // docs/ROBUSTNESS.md for the split-brain argument.
 package ha
 
@@ -28,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/runstore"
 )
 
@@ -66,6 +72,31 @@ type Options struct {
 	OnPromote func(ctx context.Context) (http.Handler, error)
 	// Log receives role transitions; nil uses the standard logger.
 	Log *log.Logger
+	// Metrics, when non-nil, receives the wmm_ha_* instruments (role,
+	// term, promotions, deposals by cause).  Pass the same registry the
+	// engine exposes on /metrics so one scrape sees both.
+	Metrics *metrics.Registry
+}
+
+// haMetrics are the controller's instruments; nil when no registry was
+// supplied.
+type haMetrics struct {
+	leader     *metrics.Gauge   // 1 while leading, 0 as standby
+	term       *metrics.Gauge   // lease term held, 0 as standby
+	promotions *metrics.Counter // promotions to leader
+	deposals   *metrics.Counter // leaderships lost, by cause
+}
+
+func newHAMetrics(r *metrics.Registry) *haMetrics {
+	if r == nil {
+		return nil
+	}
+	return &haMetrics{
+		leader:     r.Gauge("wmm_ha_leader", "1 while this process holds the coordinator lease, 0 as standby."),
+		term:       r.Gauge("wmm_ha_term", "Coordinator lease term currently held (0 while standby)."),
+		promotions: r.Counter("wmm_ha_promotions_total", "Lease acquisitions that promoted this process to leader."),
+		deposals:   r.Counter("wmm_ha_deposals_total", "Leaderships lost, by cause (superseded, renew_timeout, fenced).", "cause"),
+	}
 }
 
 // Controller runs the standby→leader lifecycle for one process.
@@ -76,6 +107,12 @@ type Controller struct {
 	poll  time.Duration
 	promo func(ctx context.Context) (http.Handler, error)
 	log   *log.Logger
+	met   *haMetrics
+
+	// fenced receives one signal per NoteFenced burst (buffered,
+	// non-blocking sends); the renew loop selects on it to depose
+	// without waiting for the next tick.
+	fenced chan struct{}
 
 	mu    sync.Mutex
 	role  string
@@ -109,14 +146,28 @@ func New(o Options) (*Controller, error) {
 		o.Log = log.Default()
 	}
 	return &Controller{
-		store: o.Store,
-		id:    o.ID,
-		ttl:   o.TTL,
-		poll:  o.Poll,
-		promo: o.OnPromote,
-		log:   o.Log,
-		role:  RoleStandby,
+		store:  o.Store,
+		id:     o.ID,
+		ttl:    o.TTL,
+		poll:   o.Poll,
+		promo:  o.OnPromote,
+		log:    o.Log,
+		met:    newHAMetrics(o.Metrics),
+		fenced: make(chan struct{}, 1),
+		role:   RoleStandby,
 	}, nil
+}
+
+// NoteFenced reports that a store mutation was refused by the fencing
+// check (runstore.ErrFenced): the on-disk lease names a newer claim, so
+// another process coordinates.  The controller deposes immediately
+// instead of waiting for its next renew tick.  Safe to call from any
+// goroutine, idempotent, a no-op while standing by.
+func (c *Controller) NoteFenced() {
+	select {
+	case c.fenced <- struct{}{}:
+	default:
+	}
 }
 
 // Role reports "standby" or "leader".
@@ -145,10 +196,25 @@ func (c *Controller) Run(ctx context.Context) error {
 		return err
 	}
 
+	// Arm the storage fence before a single request is served: from
+	// here on every store mutation re-validates this (owner, term)
+	// against the on-disk lease, so even a write from a leader stalled
+	// past its own deposal deadline is refused once a rival claims.
+	if err := c.store.Fence(c.id, lease.Term); err != nil {
+		c.release(lease.Term, "fence arming failed")
+		return fmt.Errorf("ha: arm fence: %w", err)
+	}
+	// Drop any fence signal left over from an earlier leadership of a
+	// reused controller.
+	select {
+	case <-c.fenced:
+	default:
+	}
+
 	c.log.Printf("ha: %s acquired coordinator lease (term %d), promoting", c.id, lease.Term)
 	inner, err := c.promo(ctx)
 	if err != nil {
-		c.store.ReleaseLease(c.id, lease.Term)
+		c.release(lease.Term, "promotion failed")
 		return fmt.Errorf("ha: promotion failed: %w", err)
 	}
 	c.mu.Lock()
@@ -156,15 +222,32 @@ func (c *Controller) Run(ctx context.Context) error {
 	c.term = lease.Term
 	c.inner = inner
 	c.mu.Unlock()
+	if c.met != nil {
+		c.met.leader.Set(1)
+		c.met.term.Set(float64(lease.Term))
+		c.met.promotions.Inc()
+	}
 
 	err = c.renewLoop(ctx, lease.Term)
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		// Clean shutdown: hand the lease over instead of making the
-		// standby wait out expiry + grace.
-		c.store.ReleaseLease(c.id, lease.Term)
+		// standby wait out expiry + grace, and reset to standby so a
+		// reused controller doesn't keep reporting leader state.
+		c.release(lease.Term, "shutdown")
+		c.depose("")
 		return nil
 	}
 	return err
+}
+
+// release surrenders the lease and disarms the fence, logging a failed
+// release rather than swallowing it — the standby then has to wait out
+// expiry + grace, which an operator reading the logs should know.
+func (c *Controller) release(term int64, why string) {
+	if err := c.store.ReleaseLease(c.id, term); err != nil {
+		c.log.Printf("ha: %s lease release (%s): %v", c.id, why, err)
+	}
+	c.store.Fence("", 0)
 }
 
 // acquire polls until this controller owns the lease or the context
@@ -205,6 +288,10 @@ func (c *Controller) renewLoop(ctx context.Context, term int64) error {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
+		case <-c.fenced:
+			c.log.Printf("ha: %s deposed (store mutation fenced: term %d superseded on disk)", c.id, term)
+			c.depose("fenced")
+			return ErrDeposed
 		case <-t.C:
 		}
 		_, ok, err := c.store.RenewLease(c.id, term, c.ttl)
@@ -213,12 +300,12 @@ func (c *Controller) renewLoop(ctx context.Context, term int64) error {
 			lastOK = time.Now()
 		case err == nil:
 			c.log.Printf("ha: %s deposed (term %d superseded)", c.id, term)
-			c.depose()
+			c.depose("superseded")
 			return ErrDeposed
 		default:
 			if time.Since(lastOK) > c.ttl {
 				c.log.Printf("ha: %s deposed (no confirmed renewal in %v: %v)", c.id, c.ttl, err)
-				c.depose()
+				c.depose("renew_timeout")
 				return ErrDeposed
 			}
 			c.log.Printf("ha: %s renew failed (retrying): %v", c.id, err)
@@ -226,11 +313,23 @@ func (c *Controller) renewLoop(ctx context.Context, term int64) error {
 	}
 }
 
-func (c *Controller) depose() {
+// depose resets the controller to standby — role, term AND handler, so
+// Term()'s "0 while standby" contract holds after deposal too.  cause
+// is the deposal-counter label; empty for a clean shutdown, which is a
+// reset rather than a lost leadership.
+func (c *Controller) depose(cause string) {
 	c.mu.Lock()
 	c.role = RoleStandby
+	c.term = 0
 	c.inner = nil
 	c.mu.Unlock()
+	if c.met != nil {
+		c.met.leader.Set(0)
+		c.met.term.Set(0)
+		if cause != "" {
+			c.met.deposals.Inc(cause)
+		}
+	}
 }
 
 // Handler returns the controller's HTTP surface, serveable from the

@@ -1,12 +1,15 @@
 package ha
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -333,5 +336,161 @@ func TestHAPromotionFailure(t *testing.T) {
 	// without waiting out the grace window.
 	if _, ok, err := store.TryAcquireLease("healthy", time.Minute); err != nil || !ok {
 		t.Fatalf("lease after failed promotion: ok=%v err=%v", ok, err)
+	}
+}
+
+// failingReleaseStore wraps a Storage so ReleaseLease always fails —
+// the shape of an NFS server going away right at shutdown.
+type failingReleaseStore struct {
+	runstore.Storage
+}
+
+func (f *failingReleaseStore) ReleaseLease(owner string, term int64) error {
+	return fmt.Errorf("release rejected: stale file handle")
+}
+
+// TestHAFencedWriteDeposesImmediately is the tentpole's HA half: a
+// leader whose renew tick is an hour away (TTL deliberately huge, so
+// the renew loop alone could never notice) has a store write refused by
+// the fence after a rival claims, reports it via NoteFenced, and
+// deposes within moments — ErrDeposed from Run, standby role, term 0.
+func TestHAFencedWriteDeposesImmediately(t *testing.T) {
+	dir := t.TempDir()
+	store, err := runstore.OpenSegment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	var promotions atomic.Int32
+	c, err := New(Options{
+		Store:     store,
+		ID:        "stalled-leader",
+		TTL:       time.Hour, // renewals cannot save it; only NoteFenced can
+		Poll:      20 * time.Millisecond,
+		OnPromote: fakeAPI("stalled-leader", &promotions),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- c.Run(ctx) }()
+	waitRole(t, c, RoleLeader, 5*time.Second)
+	term := c.Term()
+
+	// An operator forces a handover; a rival process (its own handle on
+	// the same directory) claims the next term.
+	if err := store.ReleaseLease("stalled-leader", term); err != nil {
+		t.Fatal(err)
+	}
+	rival, err := runstore.OpenSegment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rival.Close()
+	if _, ok, err := rival.TryAcquireLease("rival", time.Hour); err != nil || !ok {
+		t.Fatalf("rival acquire: ok=%v err=%v", ok, err)
+	}
+
+	// The stalled leader's next mutation hits the fence Run armed at
+	// promotion: the on-disk lease now names the rival's newer term.
+	err = store.Begin("run-1", json.RawMessage(`{}`), time.Now())
+	if !errors.Is(err, runstore.ErrFenced) {
+		t.Fatalf("stalled leader's write = %v, want ErrFenced", err)
+	}
+	// The server reports it exactly once; the controller must depose
+	// immediately, not in an hour.
+	c.NoteFenced()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrDeposed) {
+			t.Fatalf("fenced leader Run = %v, want ErrDeposed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fenced leader did not depose — still waiting on its renew tick")
+	}
+	if c.Role() != RoleStandby {
+		t.Fatalf("fenced leader role = %s, want standby", c.Role())
+	}
+	if c.Term() != 0 {
+		t.Fatalf("fenced leader Term() = %d, want 0 while standby", c.Term())
+	}
+}
+
+// TestHACleanShutdownResetsController pins the clean-shutdown contract:
+// Run returns nil, the controller is standby with term 0 (not a stale
+// leader snapshot), and the same controller can run — and lead — again.
+func TestHACleanShutdownResetsController(t *testing.T) {
+	store, err := runstore.OpenSegment(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	var promotions atomic.Int32
+	c, err := New(Options{
+		Store:     store,
+		ID:        "recycled",
+		TTL:       250 * time.Millisecond,
+		Poll:      20 * time.Millisecond,
+		OnPromote: fakeAPI("recycled", &promotions),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= 2; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- c.Run(ctx) }()
+		waitRole(t, c, RoleLeader, 10*time.Second)
+		if c.Term() == 0 {
+			t.Fatalf("round %d: leading with term 0", round)
+		}
+		cancel()
+		if err := <-done; err != nil {
+			t.Fatalf("round %d: clean shutdown Run = %v, want nil", round, err)
+		}
+		if c.Role() != RoleStandby || c.Term() != 0 {
+			t.Fatalf("round %d: after shutdown role=%s term=%d, want standby/0", round, c.Role(), c.Term())
+		}
+	}
+	if got := promotions.Load(); got != 2 {
+		t.Fatalf("promotions = %d, want 2 (one per round)", got)
+	}
+}
+
+// TestHAReleaseErrorLogged pins that a failed ReleaseLease on clean
+// shutdown is logged — the standby will have to wait out expiry plus
+// grace, and the operator deserves to know why — rather than swallowed.
+func TestHAReleaseErrorLogged(t *testing.T) {
+	store, err := runstore.OpenSegment(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	var buf bytes.Buffer
+	var promotions atomic.Int32
+	c, err := New(Options{
+		Store:     &failingReleaseStore{Storage: store},
+		ID:        "unlucky",
+		TTL:       250 * time.Millisecond,
+		Poll:      20 * time.Millisecond,
+		OnPromote: fakeAPI("unlucky", &promotions),
+		Log:       log.New(&buf, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- c.Run(ctx) }()
+	waitRole(t, c, RoleLeader, 10*time.Second)
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Run = %v, want nil even when the release fails", err)
+	}
+	logged := buf.String()
+	if !strings.Contains(logged, "lease release") || !strings.Contains(logged, "stale file handle") {
+		t.Fatalf("release failure not logged; log was:\n%s", logged)
 	}
 }

@@ -2,6 +2,7 @@ package runstore
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -51,6 +52,8 @@ func TestStorageConformance(t *testing.T) {
 			t.Run("invalid-id", func(t *testing.T) { conformInvalidID(t, b.open) })
 			t.Run("cache", func(t *testing.T) { conformCache(t, b.open) })
 			t.Run("lease", func(t *testing.T) { conformLease(t, b.open) })
+			t.Run("lease-grace", func(t *testing.T) { conformLeaseGraceHolderTTL(t, b.open) })
+			t.Run("fencing", func(t *testing.T) { conformFencing(t, b.open) })
 			t.Run("concurrent", func(t *testing.T) { conformConcurrent(t, b.open) })
 		})
 	}
@@ -308,6 +311,156 @@ func conformLease(t *testing.T, open func(*testing.T, string) Storage) {
 	}
 	if lease3.Term != 3 {
 		t.Fatalf("takeover term: %+v", lease3)
+	}
+}
+
+// conformLeaseGraceHolderTTL pins that the takeover grace window is
+// sized by the *holder's* recorded TTL, not the acquirer's: a rival
+// configured with a tiny -ha-ttl must still grant the holder its full
+// TTL of silence before claiming.
+func conformLeaseGraceHolderTTL(t *testing.T, open func(*testing.T, string) Storage) {
+	s := open(t, t.TempDir())
+	defer s.Close()
+	const holderTTL = 600 * time.Millisecond
+	const rivalTTL = 50 * time.Millisecond
+
+	acquired := time.Now()
+	lease, ok, err := s.TryAcquireLease("slow", holderTTL)
+	if err != nil || !ok {
+		t.Fatalf("acquire: ok=%v err=%v", ok, err)
+	}
+	if lease.TTLMs != holderTTL.Milliseconds() {
+		t.Fatalf("holder TTL not recorded: %+v", lease)
+	}
+	// Past expiry plus several rival TTLs — where sizing the grace by
+	// the acquirer's TTL would already admit the claim — but well inside
+	// the holder's full-TTL grace.
+	time.Sleep(time.Until(acquired.Add(holderTTL + 4*rivalTTL)))
+	if got, ok, _ := s.TryAcquireLease("fast", rivalTTL); ok {
+		t.Fatalf("rival claimed inside the holder's grace window: %+v", got)
+	}
+	// One full holder TTL past expiry, the claim goes through.
+	time.Sleep(time.Until(acquired.Add(2*holderTTL + 4*rivalTTL)))
+	lease2, ok, err := s.TryAcquireLease("fast", rivalTTL)
+	if err != nil || !ok {
+		t.Fatalf("claim after holder grace: ok=%v err=%v", ok, err)
+	}
+	if lease2.Term != lease.Term+1 || lease2.TTLMs != rivalTTL.Milliseconds() {
+		t.Fatalf("claim after holder grace: %+v", lease2)
+	}
+}
+
+// conformFencing is the split-brain acceptance test, in process: a
+// term-T leader's store handle pauses (no renewals), a rival handle on
+// the same directory waits out expiry + grace and claims term T+1, and
+// from that moment every mutation through the old handle — Begin,
+// Checkpoint, Assign, End, Delete, CachePut, and segment compaction —
+// is refused with ErrFenced, while reads stay open and the rival writes
+// freely.  Two separate handles model two processes; run under -race.
+func conformFencing(t *testing.T, open func(*testing.T, string) Storage) {
+	dir := t.TempDir()
+	old := open(t, dir)
+	defer old.Close()
+	const ttl = 200 * time.Millisecond
+
+	lease, ok, err := old.TryAcquireLease("old-leader", ttl)
+	if err != nil || !ok {
+		t.Fatalf("acquire: ok=%v err=%v", ok, err)
+	}
+	if err := old.Fence("old-leader", lease.Term); err != nil {
+		t.Fatalf("Fence: %v", err)
+	}
+	// While its lease stands, the armed handle mutates freely.
+	if err := old.Begin("run-1", json.RawMessage(`{"experiments":["a"]}`), time.Now()); err != nil {
+		t.Fatalf("Begin while leading: %v", err)
+	}
+	if err := old.Checkpoint("run-1", "a", json.RawMessage(`{"v":1}`)); err != nil {
+		t.Fatalf("Checkpoint while leading: %v", err)
+	}
+
+	// The leader stalls: no renewals, no release.  A second process —
+	// its own handle on the same directory — waits out expiry + grace
+	// and takes the next term.
+	rival := open(t, dir)
+	defer rival.Close()
+	var lease2 CoordLease
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		lease2, ok, err = rival.TryAcquireLease("rival", ttl)
+		if err != nil {
+			t.Fatalf("rival acquire: %v", err)
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("rival never took the lease")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if lease2.Term != lease.Term+1 {
+		t.Fatalf("takeover term = %d, want %d", lease2.Term, lease.Term+1)
+	}
+	if err := rival.Fence("rival", lease2.Term); err != nil {
+		t.Fatalf("rival Fence: %v", err)
+	}
+
+	// The stalled leader wakes up and tries to keep writing: every
+	// mutation must come back ErrFenced.
+	fenced := func(op string, err error) {
+		t.Helper()
+		if !errors.Is(err, ErrFenced) {
+			t.Fatalf("%s after takeover: %v, want ErrFenced", op, err)
+		}
+	}
+	fenced("Begin", old.Begin("run-9", json.RawMessage(`{}`), time.Now()))
+	fenced("Checkpoint", old.Checkpoint("run-1", "a", json.RawMessage(`{"v":2}`)))
+	fenced("Assign", old.Assign("run-1", "a", "w1"))
+	fenced("End", old.End("run-1", "done", ""))
+	fenced("Delete", old.Delete("run-1"))
+	fenced("CachePut", old.CachePut("00ff", []byte(`{"x":1}`)))
+	if seg, isSeg := old.(*SegmentStore); isSeg {
+		fenced("Compact", seg.Compact())
+	}
+
+	// Reads are never fenced: the deposed process may still inspect.
+	if _, err := old.Load(); err != nil {
+		t.Fatalf("Load on fenced handle: %v", err)
+	}
+	if _, _, err := old.ReadLease(); err != nil {
+		t.Fatalf("ReadLease on fenced handle: %v", err)
+	}
+
+	// The new leader's writes all land, and the old leader's fenced
+	// attempts left no trace: run-1 still has its original checkpoint,
+	// run-9 does not exist.
+	if err := rival.End("run-1", "done", ""); err != nil {
+		t.Fatalf("rival End: %v", err)
+	}
+	runs, err := rival.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].ID != "run-1" {
+		t.Fatalf("replay after fencing: %d runs", len(runs))
+	}
+	if string(runs[0].Experiment("a")) != `{"v":1}` || runs[0].EndState != "done" {
+		t.Fatalf("run-1 after fencing: exp=%s state=%q", runs[0].Experiment("a"), runs[0].EndState)
+	}
+
+	// Disarming reopens the handle (a restarted process re-arming under
+	// a fresh term); the invalid arms are rejected.
+	if err := old.Fence("x", -1); err == nil {
+		t.Fatal("Fence(-1): no error")
+	}
+	if err := old.Fence("", 7); err == nil {
+		t.Fatal("Fence without owner: no error")
+	}
+	if err := old.Fence("", 0); err != nil {
+		t.Fatalf("disarm: %v", err)
+	}
+	if err := old.Checkpoint("run-1", "b", json.RawMessage(`{"v":3}`)); err != nil {
+		t.Fatalf("write after disarm: %v", err)
 	}
 }
 

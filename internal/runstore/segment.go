@@ -273,6 +273,9 @@ func (s *SegmentStore) appendRec(rec Record) error {
 	if s.closed {
 		return fmt.Errorf("runstore: store closed")
 	}
+	if err := s.checkFence(); err != nil {
+		return err
+	}
 	if s.active == nil {
 		if err := s.newActiveLocked(); err != nil {
 			return err
@@ -321,6 +324,9 @@ func (s *SegmentStore) Compact() error {
 	if s.closed {
 		return fmt.Errorf("runstore: store closed")
 	}
+	if err := s.checkFence(); err != nil {
+		return err
+	}
 	if s.activeSize > 0 {
 		if err := s.sealLocked(); err != nil {
 			return err
@@ -368,6 +374,13 @@ func (s *SegmentStore) compactLocked() error {
 		return fmt.Errorf("runstore: close %s: %w", name, err)
 	}
 
+	// The manifest rewrite is compaction's commit point: re-validate the
+	// fence here, after the (potentially long) fold, so a coordinator
+	// deposed mid-compaction cannot publish a manifest over the rival's.
+	if err := s.checkFence(); err != nil {
+		os.Remove(filepath.Join(s.dir, name))
+		return err
+	}
 	old := s.man.Sealed
 	s.man = manifest{Sealed: []string{name}, Seq: seq}
 	if err := s.writeManifestLocked(); err != nil {
@@ -440,6 +453,15 @@ func (s *SegmentStore) End(id, state, errMsg string) error {
 // physically reclaims it.
 func (s *SegmentStore) Delete(id string) error {
 	return s.appendRec(Record{Rec: "delete", ID: id, Time: time.Now()})
+}
+
+// CachePut shadows the embedded cacheFS method with a fence check; see
+// (*Store).CachePut.
+func (s *SegmentStore) CachePut(key string, data []byte) error {
+	if err := s.checkFence(); err != nil {
+		return err
+	}
+	return s.cacheFS.CachePut(key, data)
 }
 
 // Load replays the manifest's sealed segments in order, then the active

@@ -60,6 +60,13 @@ type Storage interface {
 	TryAcquireLease(owner string, ttl time.Duration) (CoordLease, bool, error)
 	RenewLease(owner string, term int64, ttl time.Duration) (CoordLease, bool, error)
 	ReleaseLease(owner string, term int64) error
+	// Fence arms the lease term as an enforced fencing token: after
+	// Fence(owner, term), every mutation above (plus segment
+	// compaction) re-validates against the on-disk lease under the same
+	// lock as its commit and refuses with an error wrapping ErrFenced
+	// once the lease names a newer claim.  Reads are never fenced.
+	// Fence("", 0) disarms.
+	Fence(owner string, term int64) error
 }
 
 var (

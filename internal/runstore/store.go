@@ -165,6 +165,9 @@ func (s *Store) append(id string, rec Record) error {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.checkFence(); err != nil {
+		return err
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("runstore: open %s: %w", path, err)
@@ -213,10 +216,24 @@ func (s *Store) Delete(id string) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.checkFence(); err != nil {
+		return err
+	}
 	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("runstore: delete %s: %w", path, err)
 	}
 	return nil
+}
+
+// CachePut shadows the embedded cacheFS method with a fence check: a
+// deposed coordinator must not mutate the shared cache either.  (Reads
+// and CacheSweep stay unfenced — entries are immutable and content-
+// addressed, so removing one can at worst cost the rival a re-compute.)
+func (s *Store) CachePut(key string, data []byte) error {
+	if err := s.checkFence(); err != nil {
+		return err
+	}
+	return s.cacheFS.CachePut(key, data)
 }
 
 // Load replays every run file in the store, in run-ID order (run-2
