@@ -25,6 +25,12 @@
 //	litmus-wait <id>         poll until the campaign finishes; prints
 //	                         final state, exits non-zero unless "done"
 //	litmus-canonical <id>    print a finished campaign's canonical JSON
+//	optimize-submit <spec>   submit a fence-strategy optimizer job (spec
+//	                         JSON or "-"); prints the job id
+//	optimize-wait <id>       poll until the job finishes; prints final
+//	                         state, exits non-zero unless "done"
+//	optimize-status <id>     print an optimizer job's status JSON
+//	optimize-report <id>     print a finished job's canonical report JSON
 //	ready                    wait (up to -timeout) for /readyz
 package main
 
@@ -67,7 +73,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		log.Fatal("wmmctl: usage: wmmctl [-server URL] [-tenant NAME] <experiments|submit|status|wait|canonical|cancel|litmus-submit|litmus-wait|litmus-canonical|ready> [args]")
+		log.Fatal("wmmctl: usage: wmmctl [-server URL] [-tenant NAME] <experiments|submit|status|wait|canonical|cancel|litmus-submit|litmus-wait|litmus-canonical|optimize-submit|optimize-wait|optimize-status|optimize-report|ready> [args]")
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -217,6 +223,63 @@ func run(ctx context.Context, cl *client.Client, cmd string, args []string) erro
 		_, err = os.Stdout.Write(raw)
 		return err
 
+	case "optimize-submit":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: optimize-submit <spec-json|->")
+		}
+		raw := []byte(args[0])
+		if args[0] == "-" {
+			var err error
+			if raw, err = io.ReadAll(os.Stdin); err != nil {
+				return err
+			}
+		}
+		var spec client.OptimizeSpec
+		if err := unmarshalStrict(raw, &spec); err != nil {
+			return fmt.Errorf("bad spec: %w", err)
+		}
+		sub, err := cl.SubmitOptimize(ctx, spec)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sub.ID)
+		return nil
+
+	case "optimize-wait":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: optimize-wait <id>")
+		}
+		st, err := cl.WaitOptimize(ctx, args[0], 250*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		fmt.Println(st.State)
+		if st.State != client.StateDone {
+			return fmt.Errorf("optimize job %s finished %s: %s", st.ID, st.State, st.Error)
+		}
+		return nil
+
+	case "optimize-status":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: optimize-status <id>")
+		}
+		st, err := cl.Optimize(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+
+	case "optimize-report":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: optimize-report <id>")
+		}
+		raw, err := cl.CanonicalOptimize(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(raw)
+		return err
+
 	case "ready":
 		// Retry until the server answers /readyz or the deadline ends —
 		// the startup barrier for smoke scripts.
@@ -235,6 +298,6 @@ func run(ctx context.Context, cl *client.Client, cmd string, args []string) erro
 		}
 
 	default:
-		return fmt.Errorf("unknown command (want experiments|submit|status|wait|canonical|cancel|litmus-submit|litmus-wait|litmus-canonical|ready)")
+		return fmt.Errorf("unknown command (want experiments|submit|status|wait|canonical|cancel|litmus-submit|litmus-wait|litmus-canonical|optimize-submit|optimize-wait|optimize-status|optimize-report|ready)")
 	}
 }

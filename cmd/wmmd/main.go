@@ -11,7 +11,7 @@
 //	     [-cache-retain 168h] [-tenant-max-queued N]
 //	     [-tenant-max-running N] [-tenant-weights a=2,b=1]
 //	     [-ha] [-ha-id ID] [-ha-ttl 10s] [-ops-addr :8348]
-//	     [-debug]
+//	     [-legacy-routes=true] [-print-api-doc] [-debug]
 //
 // API (versioned surface; see docs/API.md for the full contract):
 //
@@ -33,15 +33,26 @@
 //	GET    /api/v1/litmus/{id}       one campaign; ?results=1 partial
 //	                                 results, ?canonical=1 canonical JSON
 //	DELETE /api/v1/litmus/{id}       cancel / remove a campaign
+//	POST   /api/v1/optimize          submit a fence-strategy optimizer
+//	                                 job {"platform": "jvm", "arch":
+//	                                 "armv8", "baseline": ...}
+//	GET    /api/v1/optimize          optimizer job statuses
+//	GET    /api/v1/optimize/{id}     one job; ?canonical=1 canonical
+//	                                 report JSON
+//	DELETE /api/v1/optimize/{id}     cancel / remove an optimizer job
 //	POST   /api/v1/leases            worker lease: grab a batch of jobs
 //	POST   /api/v1/leases/{id}/heartbeat   renew a lease
 //	POST   /api/v1/leases/{id}/results     upload a batch's results
 //	GET    /debug/pprof/             runtime profiling (only with -debug)
 //
 // Every non-2xx response carries the uniform JSON error envelope
-// {"error": {"code": "...", "message": "..."}}.  The original
+// {"error": {"code": "...", "message": "..."}} — including unknown v1
+// routes (404) and wrong methods (405 + Allow).  The original
 // unversioned routes (/experiments, /runs, ...) remain as deprecated
-// shims that answer identically plus a Deprecation header.
+// shims that answer identically plus Deprecation/Sunset headers;
+// -legacy-routes=off sunsets them early (410 gone naming the v1
+// successor).  -print-api-doc emits the machine-readable route table
+// (the committed copy is docs/api-v1.json) and exits.
 //
 // Execution is sharded: each run decomposes into per-experiment jobs on
 // a shared queue, served by -local-slots in-process executors and by
@@ -206,8 +217,15 @@ func main() {
 	haID := flag.String("ha-id", "", "lease owner identity for -ha (default hostname-pid)")
 	haTTL := flag.Duration("ha-ttl", 10*time.Second, "coordinator lease TTL for -ha")
 	opsAddr := flag.String("ops-addr", "", "always-on operational listener (healthz/readyz) for -ha standbys (empty = none)")
+	legacyRoutes := flag.String("legacy-routes", "on", "serve the deprecated unversioned routes (/runs, /experiments): on, or off (410 gone naming the v1 successor)")
+	printAPIDoc := flag.Bool("print-api-doc", false, "print the machine-readable API description (docs/api-v1.json) and exit")
 	debug := flag.Bool("debug", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	if *printAPIDoc {
+		os.Stdout.Write(engine.APIDoc())
+		return
+	}
 
 	// Validate flags up front with actionable errors, instead of letting
 	// a bad value surface later as a confusing runtime failure.
@@ -257,6 +275,14 @@ func main() {
 	if *haTTL <= 0 {
 		log.Fatalf("wmmd: -ha-ttl must be > 0, got %v", *haTTL)
 	}
+	var disableLegacy bool
+	switch *legacyRoutes {
+	case "on", "true":
+	case "off", "false":
+		disableLegacy = true
+	default:
+		log.Fatalf("wmmd: -legacy-routes must be on or off, got %q", *legacyRoutes)
+	}
 
 	var store runstore.Storage
 	if *dataDir != "" {
@@ -304,6 +330,7 @@ func main() {
 			CacheRetain:      *cacheRetain,
 			Store:            store,
 			TenantMaxRunning: *tenantMaxRunning,
+			DisableLegacy:    disableLegacy,
 			// A fenced store write means another process coordinates:
 			// depose immediately (→ exit 3) rather than waiting for the
 			// renew loop to notice.  No-op outside -ha, where the fence

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/optimize"
 	"repro/internal/resultcache"
 )
 
@@ -115,7 +116,10 @@ type dispatchJob struct {
 	// litmus, when non-nil, makes this a litmus-shard job instead of an
 	// experiment job; name then carries the shard name.
 	litmus *LitmusShard
-	ctx    context.Context
+	// optimize, when non-nil, makes this an optimizer-cell job; name
+	// then carries the cell name.
+	optimize *optimize.Cell
+	ctx      context.Context
 
 	started func(name string) // ExperimentStarted relay; fired once
 	deliver func(res *Result) // resolves the run's waiter; called once
@@ -452,6 +456,61 @@ func (d *Dispatcher) RunLitmus(ctx context.Context, runID, tenant string, shards
 	return d.drive(ctx, tenant, jobs, sem, &wg, results, reserved)
 }
 
+// RunOptimizeCells fans one wave of optimizer cells across the queue,
+// exactly as RunLitmus fans shards — same leases, same finish-once and
+// requeue semantics, results in cell order.  Unlike litmus shards,
+// cells are content-addressed: identical cells (same engine version,
+// cell identity and normalised spec) resolve from the result cache, so
+// a resubmitted job re-measures nothing.
+func (d *Dispatcher) RunOptimizeCells(ctx context.Context, runID, tenant string, cells []optimize.Cell, parallel int, noCache bool, sink Sink, reserved int) ([]*Result, error) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	if parallel <= 0 {
+		parallel = 1
+	}
+	if parallel > len(cells) {
+		parallel = len(cells)
+	}
+	sem := make(chan struct{}, parallel)
+
+	results := make([]*Result, len(cells))
+	var wg sync.WaitGroup
+	var jobs []*dispatchJob
+	for i, cell := range cells {
+		cell := cell
+		wg.Add(1)
+		j := &dispatchJob{
+			runID:    runID,
+			tenant:   tenant,
+			name:     cell.Name(),
+			optimize: &cell,
+			ctx:      ctx,
+			sem:      sem,
+		}
+		if d.opt.Cache != nil && !noCache {
+			if key, err := OptimizeCellKey(cell); err == nil {
+				j.cacheKey = key
+			}
+		}
+		j.started = func(name string) {
+			if sink != nil {
+				sink.ExperimentStarted(name)
+			}
+		}
+		i := i
+		j.deliver = func(res *Result) {
+			results[i] = res
+			if sink != nil {
+				sink.ExperimentDone(res)
+			}
+			wg.Done()
+		}
+		jobs = append(jobs, j)
+	}
+	return d.drive(ctx, tenant, jobs, sem, &wg, results, reserved)
+}
+
 // drive is the shared dispatch tail: reconcile the admission
 // reservation, arm the cancellation watcher, enqueue under the run's
 // parallelism budget, and assemble the first failure in request order.
@@ -721,6 +780,8 @@ func (d *Dispatcher) execute(j *dispatchJob) {
 		var rerr error
 		if j.litmus != nil {
 			res, rerr = RunLitmusShard(j.ctx, *j.litmus)
+		} else if j.optimize != nil {
+			res, rerr = RunOptimizeCell(j.ctx, *j.optimize)
 		} else {
 			res, rerr = d.eng.RunExperiment(j.ctx, j.name, j.opts)
 		}

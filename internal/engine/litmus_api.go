@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
 	"sync"
 	"time"
 )
@@ -43,13 +42,19 @@ type litmusRun struct {
 	err       string
 }
 
-// LitmusStatus is the snapshot served by GET /api/v1/litmus/{id}.
+// LitmusStatus is the snapshot served by GET /api/v1/litmus/{id}.  The
+// id / kind / state / tenant / started_at / finished_at header is the
+// envelope shared by every v1 job resource.
 type LitmusStatus struct {
-	ID        string     `json:"id"`
-	State     string     `json:"state"`
-	Spec      LitmusSpec `json:"spec"`
-	Total     int        `json:"total"`     // shards
-	Completed int        `json:"completed"` // shards finished
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	State  string `json:"state"`
+	Tenant string `json:"tenant,omitempty"`
+	// FinishedAt is set once the campaign leaves the running state.
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	Spec       LitmusSpec `json:"spec"`
+	Total      int        `json:"total"`     // shards
+	Completed  int        `json:"completed"` // shards finished
 	// Tests and Trials aggregate the completed shards' execution
 	// accounting (tests run, randomized trials performed).
 	Tests     int       `json:"tests"`
@@ -66,12 +71,18 @@ func (r *litmusRun) status(includeResults bool) LitmusStatus {
 	defer r.mu.Unlock()
 	st := LitmusStatus{
 		ID:        r.id,
+		Kind:      "litmus",
 		State:     r.state,
+		Tenant:    r.spec.Tenant,
 		Spec:      r.spec,
 		Total:     len(r.shards),
 		Completed: len(r.completed),
 		Error:     r.err,
 		StartedAt: r.started,
+	}
+	if !r.finished.IsZero() {
+		fin := r.finished
+		st.FinishedAt = &fin
 	}
 	counted := r.completed
 	if r.final != nil {
@@ -253,8 +264,7 @@ func (s *Server) handleLitmusList(w http.ResponseWriter, r *http.Request) {
 	for _, run := range runs {
 		out = append(out, run.status(false))
 	}
-	sort.Slice(out, func(i, j int) bool { return runIDLess(out[i].ID, out[j].ID) })
-	writeJSON(w, http.StatusOK, page[LitmusStatus]{Items: out})
+	writeJobPage(w, r, out, func(st LitmusStatus) string { return st.ID })
 }
 
 func (s *Server) handleLitmusStatus(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,430 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/optimize"
+)
+
+// Fence-strategy optimizer API:
+//
+//	POST   /api/v1/optimize       submit a job (OptimizeSpec), returns
+//	                              {"id", "state", "total"}; 429 under saturation
+//	GET    /api/v1/optimize       job statuses, in submission order (paginated)
+//	GET    /api/v1/optimize/{id}  status: phase, candidates tried / rejected
+//	                              unsound / scored, best-so-far; the final
+//	                              report once finished; ?canonical=1 serves
+//	                              the report's canonical JSON
+//	DELETE /api/v1/optimize/{id}  cancel a running job / remove a finished one
+//
+// A job runs in two waves: gate cells (one exhaustive litmus gate per
+// candidate strategy) and then score cells (one measurement per sound
+// survivor plus the sensitivity fits) — both fanned through the
+// dispatcher when one is configured.  Cells are content-addressed, so
+// resubmitting a spec resolves from the result cache; the canonical
+// report is byte-identical wherever the cells executed.
+
+// optimizeRun is one submitted optimizer job.
+type optimizeRun struct {
+	id         string
+	spec       OptimizeSpec
+	candidates int
+	cancel     context.CancelFunc
+	admitted   int
+
+	mu       sync.Mutex
+	state    string
+	phase    string // "gate" -> "measure" -> "done"
+	started  time.Time
+	finished time.Time
+	cells    int // cells completed so far (both waves)
+	tried    int // gate cells completed
+	rejected int // candidates the gate proved unsound
+	scored   int // measure cells completed
+	best     string
+	bestGeo  float64
+	report   *optimize.Report
+	err      string
+}
+
+// Optimizer job phases reported in OptimizeStatus.Phase.
+const (
+	PhaseGate    = "gate"
+	PhaseMeasure = "measure"
+	PhaseDone    = "done"
+)
+
+// OptimizeStatus is the snapshot served by GET /api/v1/optimize/{id}.
+type OptimizeStatus struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	State  string `json:"state"`
+	Tenant string `json:"tenant,omitempty"`
+	// Phase is where the search currently is: "gate" (soundness
+	// checking), "measure" (scoring survivors), "done".
+	Phase string       `json:"phase"`
+	Spec  OptimizeSpec `json:"spec"`
+	// Candidates is the size of the search space; Tried counts gate
+	// verdicts so far, RejectedUnsound the candidates the gate refused,
+	// Scored the survivors measured so far.
+	Candidates      int `json:"candidates"`
+	Tried           int `json:"tried"`
+	RejectedUnsound int `json:"rejected_unsound"`
+	Scored          int `json:"scored"`
+	// Best is the best-so-far candidate by measured throughput while the
+	// job runs, and the final winner once it finishes.
+	Best       string     `json:"best,omitempty"`
+	CellsDone  int        `json:"cells_done"`
+	Error      string     `json:"error,omitempty"`
+	StartedAt  time.Time  `json:"started_at"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	WallMs     int64      `json:"wall_ms"`
+	// Report is the final ranked report, present once the job is done.
+	Report *optimize.Report `json:"report,omitempty"`
+}
+
+// status snapshots the job.
+func (r *optimizeRun) status() OptimizeStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := OptimizeStatus{
+		ID:              r.id,
+		Kind:            "optimize",
+		State:           r.state,
+		Tenant:          r.spec.Tenant,
+		Phase:           r.phase,
+		Spec:            r.spec,
+		Candidates:      r.candidates,
+		Tried:           r.tried,
+		RejectedUnsound: r.rejected,
+		Scored:          r.scored,
+		Best:            r.best,
+		CellsDone:       r.cells,
+		Error:           r.err,
+		StartedAt:       r.started,
+		Report:          r.report,
+	}
+	end := r.finished
+	if end.IsZero() {
+		end = time.Now()
+	} else {
+		fin := r.finished
+		st.FinishedAt = &fin
+	}
+	st.WallMs = end.Sub(r.started).Milliseconds()
+	return st
+}
+
+// optimizeSink adapts an optimizeRun to the dispatcher's progress Sink:
+// completed cells update the job's phase counters and best-so-far.
+type optimizeSink optimizeRun
+
+func (os *optimizeSink) ExperimentStarted(string) {}
+
+func (os *optimizeSink) ExperimentDone(res *Result) {
+	if res == nil {
+		return
+	}
+	r := (*optimizeRun)(os)
+	var cr optimize.CellResult
+	decoded := res.Status == StatusOK && json.Unmarshal([]byte(res.Output), &cr) == nil
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cells++
+	switch {
+	case strings.HasPrefix(res.Experiment, "gate/"):
+		r.tried++
+		if decoded {
+			sound := len(cr.Gate) > 0
+			for _, g := range cr.Gate {
+				sound = sound && g.Sound
+			}
+			if !sound {
+				r.rejected++
+			}
+		}
+	case strings.HasPrefix(res.Experiment, "measure/"):
+		r.scored++
+		if decoded && cr.Perf != nil && cr.Perf.GeoMean > r.bestGeo {
+			r.bestGeo = cr.Perf.GeoMean
+			r.best = strings.TrimPrefix(res.Experiment, "measure/")
+		}
+	}
+}
+
+func (r *optimizeRun) setPhase(phase string) {
+	r.mu.Lock()
+	r.phase = phase
+	r.mu.Unlock()
+}
+
+func (s *Server) handleOptimizeSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec OptimizeSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, ErrCodeInvalidArgument, "bad optimize spec: %v", err)
+		return
+	}
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, ErrCodeInvalidArgument, "bad optimize spec: %v", err)
+		return
+	}
+	if spec.Parallel <= 0 {
+		spec.Parallel = s.defaultParallel
+	}
+	tenant, tok := resolveTenant(w, r, spec.Tenant)
+	if !tok {
+		return
+	}
+	spec.Tenant = tenant
+	gates, err := spec.GateCells()
+	if err != nil { // defensive: validate() already resolved the candidates
+		writeErr(w, http.StatusBadRequest, ErrCodeInvalidArgument, "bad optimize spec: %v", err)
+		return
+	}
+
+	// Admission control covers the first wave (one gate cell per
+	// candidate); the scoring wave is sized by the gate's verdicts and
+	// joins the queue when it exists, like lost-lease requeues.
+	admitted := 0
+	if s.disp != nil {
+		switch err := s.disp.TryAdmit(tenant, len(gates)); err {
+		case nil:
+			admitted = len(gates)
+		case ErrTenantSaturated:
+			s.writeSaturated(w, "tenant %q queue quota exceeded (%d cells refused)", tenant, len(gates))
+			return
+		default:
+			s.writeSaturated(w, "dispatch queue saturated (%d cells refused)", len(gates))
+			return
+		}
+	}
+
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if spec.TimeoutMs > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(spec.TimeoutMs)*time.Millisecond)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		if s.disp != nil {
+			s.disp.admitForce(tenant, -admitted)
+		}
+		writeErr(w, http.StatusServiceUnavailable, ErrCodeUnavailable, "server shutting down")
+		return
+	}
+	if !s.tenantAdmitRunningLocked(tenant) {
+		s.mu.Unlock()
+		cancel()
+		if s.disp != nil {
+			s.disp.admitForce(tenant, -admitted)
+		}
+		s.met.tenantRejected.Inc(tenant, "tenant_running")
+		s.writeSaturated(w, "tenant %q already has %d runs executing", tenant, s.tenantMaxRunning)
+		return
+	}
+	s.optimizeSeq++
+	run := &optimizeRun{
+		id:         fmt.Sprintf("optimize-%d", s.optimizeSeq),
+		spec:       spec,
+		candidates: len(gates),
+		cancel:     cancel,
+		admitted:   admitted,
+		state:      StateRunning,
+		phase:      PhaseGate,
+		started:    time.Now(),
+	}
+	s.optimize[run.id] = run
+	s.active.Add(1)
+	s.mu.Unlock()
+	s.met.optimizeRuns.Inc("submitted")
+
+	go s.executeOptimize(ctx, cancel, run)
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": run.id, "state": StateRunning, "total": len(gates)})
+}
+
+// executeOptimize drives a job to completion, through the sharded
+// dispatcher when one is configured and in-process otherwise.  Both
+// paths execute the same cells and assemble byte-identical reports.
+func (s *Server) executeOptimize(ctx context.Context, cancel context.CancelFunc, run *optimizeRun) {
+	defer s.active.Done()
+	defer cancel()
+	tenant := run.spec.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	defer s.tenantRunningDone(tenant)
+
+	rep, err := s.driveOptimize(ctx, run)
+
+	run.mu.Lock()
+	run.report = rep
+	run.finished = time.Now()
+	run.phase = PhaseDone
+	switch {
+	case err == nil:
+		run.state = StateDone
+		run.best = rep.Best
+	case ctx.Err() != nil:
+		run.state = StateCancelled
+		run.err = err.Error()
+	default:
+		run.state = StateFailed
+		run.err = err.Error()
+	}
+	state := run.state
+	run.mu.Unlock()
+	s.met.optimizeRuns.Inc(state)
+}
+
+// driveOptimize runs the two waves and assembles the report.  The first
+// error — a cell that failed, a gate that could not complete its
+// exploration, a baseline rejected as unsound — fails the job.
+func (s *Server) driveOptimize(ctx context.Context, run *optimizeRun) (*optimize.Report, error) {
+	sp := run.spec.Spec // normalised and validated at submission
+	sink := (*optimizeSink)(run)
+	results := map[string]optimize.CellResult{}
+
+	wave := func(cells []optimize.Cell, reserved int) error {
+		var rs []*Result
+		var err error
+		if s.disp != nil {
+			rs, err = s.disp.RunOptimizeCells(ctx, run.id, run.spec.Tenant, cells, run.spec.Parallel, run.spec.NoCache, sink, reserved)
+		} else {
+			rs, err = runOptimizeLocal(ctx, cells, run.spec.Parallel, sink)
+		}
+		for i, res := range rs {
+			cr, derr := decodeCellResult(res, cells[i].Name())
+			if derr != nil {
+				if err == nil {
+					err = derr
+				}
+				continue
+			}
+			results[cr.Cell] = cr
+		}
+		return err
+	}
+
+	gates, err := sp.GateCells()
+	if err != nil {
+		return nil, err
+	}
+	run.setPhase(PhaseGate)
+	if err := wave(gates, run.admitted); err != nil {
+		return nil, err
+	}
+	sound, err := optimize.SoundNames(sp, results)
+	if err != nil {
+		return nil, err
+	}
+	if !sound[sp.Baseline] {
+		// Fail before the scoring wave: without a sound baseline there is
+		// nothing to rank against.
+		return nil, fmt.Errorf("optimize: baseline strategy %q was rejected by the soundness gate", sp.Baseline)
+	}
+
+	score, err := sp.ScoreCells(sound)
+	if err != nil {
+		return nil, err
+	}
+	run.setPhase(PhaseMeasure)
+	if err := wave(score, 0); err != nil {
+		return nil, err
+	}
+	return optimize.Assemble(sp, results)
+}
+
+func (s *Server) lookupOptimize(r *http.Request) (*optimizeRun, string) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.optimize[id], id
+}
+
+func (s *Server) handleOptimizeList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	runs := make([]*optimizeRun, 0, len(s.optimize))
+	for _, run := range s.optimize {
+		runs = append(runs, run)
+	}
+	s.mu.Unlock()
+	out := make([]OptimizeStatus, 0, len(runs))
+	for _, run := range runs {
+		st := run.status()
+		st.Report = nil // list rows stay small; fetch the job for the report
+		out = append(out, st)
+	}
+	writeJobPage(w, r, out, func(st OptimizeStatus) string { return st.ID })
+}
+
+func (s *Server) handleOptimizeStatus(w http.ResponseWriter, r *http.Request) {
+	run, id := s.lookupOptimize(r)
+	if run == nil {
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, "unknown optimize job %q", id)
+		return
+	}
+	if r.URL.Query().Get("canonical") != "" {
+		run.mu.Lock()
+		state := run.state
+		rep := run.report
+		run.mu.Unlock()
+		if state == StateRunning {
+			writeErr(w, http.StatusConflict, ErrCodeConflict,
+				"optimize job %s is still running; canonical JSON exists only for finished jobs", run.id)
+			return
+		}
+		if rep == nil {
+			writeErr(w, http.StatusConflict, ErrCodeConflict,
+				"optimize job %s finished %s without a report", run.id, state)
+			return
+		}
+		raw, err := rep.CanonicalJSON()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "internal", "canonicalise optimize job %s: %v", run.id, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(raw)
+		return
+	}
+	writeJSON(w, http.StatusOK, run.status())
+}
+
+// handleOptimizeCancel cancels a running job; on a finished one it
+// removes it from the catalogue.
+func (s *Server) handleOptimizeCancel(w http.ResponseWriter, r *http.Request) {
+	run, id := s.lookupOptimize(r)
+	if run == nil {
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, "unknown optimize job %q", id)
+		return
+	}
+	run.mu.Lock()
+	state := run.state
+	run.mu.Unlock()
+	run.cancel()
+	if state != StateRunning {
+		s.mu.Lock()
+		_, present := s.optimize[id]
+		delete(s.optimize, id)
+		s.mu.Unlock()
+		if present {
+			s.met.optimizeSwept.Inc()
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"id": run.id, "state": state, "deleted": true})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": run.id, "state": "cancelling"})
+}

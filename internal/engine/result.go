@@ -20,7 +20,7 @@ import (
 // change to the engine's measurement semantics (sampling, seeding,
 // summarisation, driver output) must bump it — stale cached results from
 // an older engine then simply stop matching instead of being served.
-const EngineVersion = "wmm-engine-v7"
+const EngineVersion = "wmm-engine-v8"
 
 // ResultKey is the canonical content hash of one experiment execution:
 // everything that determines the result's bytes — experiment name, sample

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/optimize"
 	"repro/internal/runstore"
 )
 
@@ -59,14 +60,20 @@ const (
 	StatePartial = "partial"
 )
 
-// RunStatus is the snapshot served by GET /runs/{id}.
+// RunStatus is the snapshot served by GET /runs/{id}.  The id / kind /
+// state / tenant / started_at / finished_at header is the envelope
+// shared by every v1 job resource (runs, litmus, optimize).
 type RunStatus struct {
-	ID        string   `json:"id"`
-	State     string   `json:"state"`
-	Spec      RunSpec  `json:"spec"`
-	Total     int      `json:"total"`
-	Completed int      `json:"completed"`
-	Running   []string `json:"running,omitempty"`
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	State  string `json:"state"`
+	Tenant string `json:"tenant,omitempty"`
+	// FinishedAt is set once the run leaves the running state.
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	Spec       RunSpec    `json:"spec"`
+	Total      int        `json:"total"`
+	Completed  int        `json:"completed"`
+	Running    []string   `json:"running,omitempty"`
 	// Resumed marks a run restarted from a runstore checkpoint after a
 	// server restart.
 	Resumed bool `json:"resumed,omitempty"`
@@ -138,10 +145,12 @@ type serverMetrics struct {
 	runsResumed  *metrics.Counter // interrupted runs resumed on startup
 	runsRestored *metrics.Counter // finished runs replayed into the catalogue
 
-	assignments *metrics.Counter // jobs assigned to remote workers
-	litmusRuns  *metrics.Counter // litmus campaign lifecycle transitions, by state
-	litmusSwept *metrics.Counter // litmus campaigns removed by GC or DELETE
-	cacheSwept  *metrics.Counter // persisted cache entries removed by retention
+	assignments   *metrics.Counter // jobs assigned to remote workers
+	litmusRuns    *metrics.Counter // litmus campaign lifecycle transitions, by state
+	litmusSwept   *metrics.Counter // litmus campaigns removed by GC or DELETE
+	optimizeRuns  *metrics.Counter // optimizer job lifecycle transitions, by state
+	optimizeSwept *metrics.Counter // optimizer jobs removed by GC or DELETE
+	cacheSwept    *metrics.Counter // persisted cache entries removed by retention
 
 	tenantRuns     *metrics.Gauge   // runs + campaigns executing, by tenant
 	tenantRejected *metrics.Counter // refused submissions, by tenant and reason
@@ -162,10 +171,12 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 		runsResumed:  r.Counter("wmm_runs_resumed_total", "Interrupted runs resumed from the store on startup."),
 		runsRestored: r.Counter("wmm_runs_restored_total", "Finished runs replayed from the store into the catalogue."),
 
-		assignments: r.Counter("wmm_dispatch_assignments_total", "Experiment jobs assigned to remote workers under leases."),
-		litmusRuns:  r.Counter("wmm_litmus_runs_total", "Litmus campaign lifecycle transitions (submitted/done/failed/cancelled/partial).", "state"),
-		litmusSwept: r.Counter("wmm_litmus_runs_swept_total", "Finished litmus campaigns removed by the retention sweep or DELETE."),
-		cacheSwept:  r.Counter("wmm_resultcache_persist_swept_total", "Persisted result-cache entries removed by the retention sweep."),
+		assignments:   r.Counter("wmm_dispatch_assignments_total", "Experiment jobs assigned to remote workers under leases."),
+		litmusRuns:    r.Counter("wmm_litmus_runs_total", "Litmus campaign lifecycle transitions (submitted/done/failed/cancelled/partial).", "state"),
+		litmusSwept:   r.Counter("wmm_litmus_runs_swept_total", "Finished litmus campaigns removed by the retention sweep or DELETE."),
+		optimizeRuns:  r.Counter("wmm_optimize_runs_total", "Optimizer job lifecycle transitions (submitted/done/failed/cancelled).", "state"),
+		optimizeSwept: r.Counter("wmm_optimize_runs_swept_total", "Finished optimizer jobs removed by the retention sweep or DELETE."),
+		cacheSwept:    r.Counter("wmm_resultcache_persist_swept_total", "Persisted result-cache entries removed by the retention sweep."),
 
 		tenantRuns:     r.Gauge("wmm_tenant_runs_running", "Runs and litmus campaigns currently executing, by tenant.", "tenant"),
 		tenantRejected: r.Counter("wmm_tenant_rejected_total", "Submissions refused by admission control, by tenant and reason.", "tenant", "reason"),
@@ -216,6 +227,11 @@ type ServerOptions struct {
 	// -ha, wmmd wires it to the controller's NoteFenced, which deposes
 	// immediately instead of waiting for the next renew tick.
 	OnFenced func()
+	// DisableLegacy sunsets the pre-v1 unversioned routes (/runs,
+	// /experiments, ...): they answer 410 gone pointing at their v1
+	// successor instead of serving.  Off by default until the
+	// LegacySunset date; wmmd exposes it as -legacy-routes=off.
+	DisableLegacy bool
 }
 
 // Server exposes the engine over HTTP: a queryable catalogue of
@@ -234,12 +250,16 @@ type Server struct {
 	tenantMaxRunning int
 	onFenced         func()
 	fencedOnce       sync.Once
+	disableLegacy    bool
+	legacyWarn       sync.Once // one migration warning per process
 
 	mu            sync.Mutex
 	runs          map[string]*serverRun
 	seq           int
 	litmus        map[string]*litmusRun
 	litmusSeq     int
+	optimize      map[string]*optimizeRun
+	optimizeSeq   int
 	tenantRunning map[string]int // executing runs + campaigns, by tenant
 	closed        bool
 
@@ -262,8 +282,10 @@ func NewServer(eng *Engine, o ServerOptions) *Server {
 		met:              newServerMetrics(eng.Metrics()),
 		tenantMaxRunning: o.TenantMaxRunning,
 		onFenced:         o.OnFenced,
+		disableLegacy:    o.DisableLegacy,
 		runs:             map[string]*serverRun{},
 		litmus:           map[string]*litmusRun{},
+		optimize:         map[string]*optimizeRun{},
 		tenantRunning:    map[string]int{},
 		stop:             make(chan struct{}),
 	}
@@ -523,6 +545,17 @@ func (s *Server) gc(now time.Time) int {
 				litmusSwept++
 			}
 		}
+		// Optimizer jobs are in-memory only too, and age out identically.
+		optimizeSwept := 0
+		for id, run := range s.optimize {
+			run.mu.Lock()
+			expired := run.state != StateRunning && run.finished.Before(cutoff)
+			run.mu.Unlock()
+			if expired {
+				delete(s.optimize, id)
+				optimizeSwept++
+			}
+		}
 		s.met.runsKept.Set(float64(len(s.runs)))
 		s.mu.Unlock()
 		if len(victims) > 0 {
@@ -530,6 +563,9 @@ func (s *Server) gc(now time.Time) int {
 		}
 		if litmusSwept > 0 {
 			s.met.litmusSwept.Add(float64(litmusSwept))
+		}
+		if optimizeSwept > 0 {
+			s.met.optimizeSwept.Add(float64(optimizeSwept))
 		}
 		// Expired runs leave the store too, or they would resurrect at the
 		// next restart.
@@ -566,12 +602,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for _, run := range s.litmus {
 		campaigns = append(campaigns, run)
 	}
+	optimizes := make([]*optimizeRun, 0, len(s.optimize))
+	for _, run := range s.optimize {
+		optimizes = append(optimizes, run)
+	}
 	s.mu.Unlock()
 	s.stopOnce.Do(func() { close(s.stop) })
 	for _, run := range runs {
 		run.cancel()
 	}
 	for _, run := range campaigns {
+		run.cancel()
+	}
+	for _, run := range optimizes {
 		run.cancel()
 	}
 	if s.disp != nil {
@@ -607,60 +650,43 @@ func (s *Server) Shutdown(ctx context.Context) error {
 //	GET    /api/v1/litmus/{id}   campaign status; ?canonical=1 serves canonical
 //	                             shard-result JSON
 //	DELETE /api/v1/litmus/{id}   cancel / remove a campaign
+//	POST   /api/v1/optimize      submit a fence-strategy optimizer job
+//	                             (OptimizeSpec)
+//	GET    /api/v1/optimize      optimizer job statuses (paginated)
+//	GET    /api/v1/optimize/{id} job status; ?canonical=1 serves the
+//	                             canonical report JSON
+//	DELETE /api/v1/optimize/{id} cancel / remove an optimizer job
 //	POST   /api/v1/leases        worker job lease (sharded backend)
 //	POST   /api/v1/leases/{id}/heartbeat   renew a lease
 //	POST   /api/v1/leases/{id}/results     upload a lease's results
 //
 // plus the unversioned operational routes (/healthz, /readyz, /metrics)
 // and the legacy unversioned API (/experiments, /runs, /runs/{id}),
-// kept as thin shims over the v1 handlers that add a Deprecation
-// header.  Every non-2xx response carries the uniform error envelope
-// {"error": {"code", "message"}}.
+// kept as thin shims over the v1 handlers that add Deprecation and
+// Sunset headers (410 gone under ServerOptions.DisableLegacy).  The
+// registration is driven by routeTable (routes.go), the same table
+// that renders docs/api-v1.json; unknown v1 routes and wrong methods
+// answer 404/405 in the uniform error envelope {"error": {"code",
+// "message"}} carried by every non-2xx response.
 //
 // Every route is instrumented: wmm_http_requests_total and
 // wmm_http_request_seconds, labelled by route pattern (not raw path, so
 // run IDs do not explode the cardinality).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.Handle("GET /metrics", s.eng.Metrics().Handler())
-
-	// v1: the versioned surface.
-	mux.HandleFunc("GET /api/v1/experiments", func(w http.ResponseWriter, r *http.Request) { s.handleExperiments(w, r, false) })
-	mux.HandleFunc("POST /api/v1/runs", s.handleSubmit)
-	mux.HandleFunc("GET /api/v1/runs", func(w http.ResponseWriter, r *http.Request) { s.handleList(w, r, false) })
-	mux.HandleFunc("GET /api/v1/runs/{id}", s.handleStatus)
-	mux.HandleFunc("DELETE /api/v1/runs/{id}", s.handleCancel)
-	mux.HandleFunc("POST /api/v1/litmus", s.handleLitmusSubmit)
-	mux.HandleFunc("GET /api/v1/litmus", s.handleLitmusList)
-	mux.HandleFunc("GET /api/v1/litmus/{id}", s.handleLitmusStatus)
-	mux.HandleFunc("DELETE /api/v1/litmus/{id}", s.handleLitmusCancel)
-	mux.HandleFunc("POST /api/v1/leases", s.handleLease)
-	mux.HandleFunc("POST /api/v1/leases/{id}/heartbeat", s.handleHeartbeat)
-	mux.HandleFunc("POST /api/v1/leases/{id}/results", s.handleLeaseResults)
-
-	// Legacy unversioned routes: thin shims over the same handlers,
-	// flagged with a Deprecation header and a successor-version link.
-	// List responses keep their original bare-array shape.
-	mux.HandleFunc("GET /experiments", deprecated("/api/v1/experiments",
-		func(w http.ResponseWriter, r *http.Request) { s.handleExperiments(w, r, true) }))
-	mux.HandleFunc("POST /runs", deprecated("/api/v1/runs", s.handleSubmit))
-	mux.HandleFunc("GET /runs", deprecated("/api/v1/runs",
-		func(w http.ResponseWriter, r *http.Request) { s.handleList(w, r, true) }))
-	mux.HandleFunc("GET /runs/{id}", deprecated("/api/v1/runs/{id}", s.handleStatus))
-	mux.HandleFunc("DELETE /runs/{id}", deprecated("/api/v1/runs/{id}", s.handleCancel))
-	return s.instrument(mux)
-}
-
-// deprecated wraps a legacy shim with the deprecation headers (RFC
-// 8594-style): clients should migrate to the v1 successor.
-func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
-		h(w, r)
+	for _, rt := range routeTable {
+		h := rt.handler(s)
+		if rt.Legacy {
+			h = s.deprecated(rt.Successor, h)
+		}
+		mux.HandleFunc(rt.Method+" "+rt.Path, h)
 	}
+	// Method-less catch-all: anything under /api/v1/ the table did not
+	// match falls through here instead of Go's plain-text 404/405, so
+	// even "no such route" and "wrong method" answer in the error
+	// envelope (with an Allow header computed from the table).
+	mux.HandleFunc("/api/v1/", s.handleV1Fallback)
+	return s.instrument(mux)
 }
 
 // statusWriter records the response code for instrumentation while
@@ -734,6 +760,9 @@ const (
 	ErrCodeSaturated       = "saturated"        // admission control refused the run (429 + Retry-After)
 	ErrCodeUnavailable     = "unavailable"      // shutting down, or dispatch disabled
 	ErrCodeLeaseGone       = "lease_gone"       // lease expired or unknown; batch already re-queued
+
+	ErrCodeMethodNotAllowed = "method_not_allowed" // route exists, verb does not (405 + Allow)
+	ErrCodeGone             = "gone"               // legacy route sunset by -legacy-routes=off
 )
 
 func writeErr(w http.ResponseWriter, status int, code, format string, args ...any) {
@@ -803,6 +832,39 @@ func pageParams(w http.ResponseWriter, r *http.Request) (limit int, after string
 type page[T any] struct {
 	Items     []T    `json:"items"`
 	NextAfter string `json:"next_after,omitempty"`
+}
+
+// writeJobPage serves one page of a job listing — the shared shape of
+// every v1 job resource (runs, litmus, optimize): items sorted in
+// submission order by ID, cursor-paginated with ?limit=&after= and
+// wrapped in the {"items", "next_after"} envelope.  A malformed query
+// has its error envelope written here.
+func writeJobPage[T any](w http.ResponseWriter, r *http.Request, items []T, id func(T) string) {
+	sort.Slice(items, func(i, j int) bool { return runIDLess(id(items[i]), id(items[j])) })
+	limit, after, ok := pageParams(w, r)
+	if !ok {
+		return
+	}
+	start := 0
+	if after != "" {
+		for i := range items {
+			if !runIDLess(after, id(items[i])) {
+				start = i + 1
+			}
+		}
+	}
+	pg := page[T]{Items: []T{}}
+	end := start + limit
+	if end > len(items) {
+		end = len(items)
+	}
+	if start < len(items) {
+		pg.Items = items[start:end]
+	}
+	if end < len(items) {
+		pg.NextAfter = id(items[end-1])
+	}
+	writeJSON(w, http.StatusOK, pg)
 }
 
 // ExperimentInfo is one catalogue entry served by GET /api/v1/experiments.
@@ -1229,12 +1291,18 @@ func (r *serverRun) status(includeResults bool) RunStatus {
 func (r *serverRun) statusLocked(includeResults bool) RunStatus {
 	st := RunStatus{
 		ID:        r.id,
+		Kind:      "run",
 		State:     r.state,
+		Tenant:    r.spec.Tenant,
 		Spec:      r.spec,
 		Total:     r.total,
 		Completed: len(r.results),
 		Resumed:   r.resumed,
 		StartedAt: r.started,
+	}
+	if !r.finished.IsZero() {
+		fin := r.finished
+		st.FinishedAt = &fin
 	}
 	for name := range r.running {
 		st.Running = append(st.Running, name)
@@ -1320,35 +1388,12 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request, legacy bool)
 	for _, run := range runs {
 		out = append(out, run.status(false))
 	}
-	sort.Slice(out, func(i, j int) bool { return runIDLess(out[i].ID, out[j].ID) })
 	if legacy {
+		sort.Slice(out, func(i, j int) bool { return runIDLess(out[i].ID, out[j].ID) })
 		writeJSON(w, http.StatusOK, out)
 		return
 	}
-	limit, after, ok := pageParams(w, r)
-	if !ok {
-		return
-	}
-	start := 0
-	if after != "" {
-		for i, st := range out {
-			if !runIDLess(after, st.ID) {
-				start = i + 1
-			}
-		}
-	}
-	pg := page[RunStatus]{Items: []RunStatus{}}
-	end := start + limit
-	if end > len(out) {
-		end = len(out)
-	}
-	if start < len(out) {
-		pg.Items = out[start:end]
-	}
-	if end < len(out) {
-		pg.NextAfter = out[end-1].ID
-	}
-	writeJSON(w, http.StatusOK, pg)
+	writeJobPage(w, r, out, func(st RunStatus) string { return st.ID })
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -1511,6 +1556,10 @@ type wireJob struct {
 	Short      bool          `json:"short"`
 	Adaptive   *AdaptiveSpec `json:"adaptive,omitempty"`
 	Litmus     *LitmusShard  `json:"litmus,omitempty"`
+	// Optimize carries an optimizer-cell job (Experiment then holds the
+	// cell name): the cell descriptor from which the worker re-derives
+	// the exact gate or measurement a local execution would run.
+	Optimize *optimize.Cell `json:"optimize,omitempty"`
 }
 
 // leaseRequest is the body of POST /api/v1/leases.
@@ -1560,6 +1609,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 			Short:      j.opts.Short,
 			Adaptive:   SpecFromRule(j.opts.Adaptive),
 			Litmus:     j.litmus,
+			Optimize:   j.optimize,
 		})
 	}
 	writeJSON(w, http.StatusOK, grant)

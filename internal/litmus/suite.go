@@ -135,6 +135,21 @@ func sbThread(t int, mine, other int64, fence arch.BarrierKind) Thread {
 	}
 }
 
+// sbThreadRelAcq emits: stlr mine=1; r2 = ldar other; record r2 — the
+// JDK9 / C11-SC volatile mapping, whose RCsc stlr→ldar ordering forbids
+// the SB relaxation on ARMv8.
+func sbThreadRelAcq(t int, mine, other int64) Thread {
+	return Thread{
+		Setup: primeLines(mine, other),
+		Body: func(b *arch.Builder) {
+			b.MovImm(2, 1)
+			b.StoreRel(2, Base, mine)
+			b.LoadAcq(3, Base, other)
+			b.Store(3, Base, ResultAddr(t, 0))
+		},
+	}
+}
+
 func sbTest(name string, fence0, fence1 arch.BarrierKind, expect map[string]Expectation) *Test {
 	return &Test{
 		Name:    name,
@@ -277,6 +292,14 @@ func Suite(profile string) []*Test {
 	// --- Store buffering -------------------------------------------------
 	add(sbTest("SB", arch.BarrierNone, arch.BarrierNone, both(Allowed)))
 	add(sbTest("SB+ish+ish", arch.DMBIsh, arch.DMBIsh, armOnly(Forbidden)))
+	add(&Test{
+		Name:    "SB+rel+acq",
+		Threads: []Thread{sbThreadRelAcq(0, X, Y), sbThreadRelAcq(1, Y, X)},
+		Relaxed: func(mem func(int64) int64) bool {
+			return mem(ResultAddr(0, 0)) == 0 && mem(ResultAddr(1, 0)) == 0
+		},
+		Expect: armOnly(Forbidden),
+	})
 	add(sbTest("SB+sync+sync", arch.HwSync, arch.HwSync, powerOnly(Forbidden)))
 	// lwsync does not order store→load: SB stays observable.
 	add(sbTest("SB+lwsync+lwsync", arch.LwSync, arch.LwSync, powerOnly(Allowed)))

@@ -1,0 +1,407 @@
+// Package optimize implements the fence-strategy optimizer: a
+// deterministic search over the per-barrier lowering strategies each
+// platform exposes (the five read_barrier_depends implementations and
+// la/sr on the kernel, the JDK8 dmb-bracketed vs JDK9 ldar/stlr lowerings
+// plus generated hybrids on the JVM, the per-arch C11 mappings), where
+// every candidate must be proved SOUND by an exhaustive litmus gate before
+// it is scored FAST against a caller-chosen workload mix with the paper's
+// fitted cost model.
+//
+// The search is a pure function of its Spec: candidates come from the
+// platforms' enumerated strategy spaces in a stable order, the gate is an
+// exhaustive exploration (not sampling), measurement samples are
+// positionally seeded, and the final report is canonicalised — the same
+// spec and seed produce byte-identical reports no matter which workers ran
+// the cells.
+package optimize
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/platform/c11"
+	"repro/internal/platform/jvm"
+	"repro/internal/platform/kernel"
+	"repro/internal/workload"
+)
+
+// Spec describes one optimizer job.  WithDefaults materialises every
+// optional field, so a normalised spec is fully explicit; the canonical
+// report embeds the normalised form.
+type Spec struct {
+	// Platform is "jvm", "kernel" or "c11".
+	Platform string `json:"platform"`
+	// Arch is the architecture profile: "armv8" (MCA) or "power7"
+	// (non-MCA).
+	Arch string `json:"arch"`
+	// Strategies selects candidates by canonical name from the
+	// platform's enumerated space; empty means the whole space.
+	// Enumeration order is preserved regardless of selector order.
+	Strategies []string `json:"strategies,omitempty"`
+	// Baseline names the strategy ratios and predicted costs are
+	// computed against.  It must be among the selected candidates.
+	// Defaults: jvm "jdk8-barriers", kernel "base case", c11 "barriers".
+	Baseline string `json:"baseline,omitempty"`
+	// Gate configures the litmus soundness gate.
+	Gate GateSpec `json:"gate"`
+	// Workload configures the scoring workload.
+	Workload WorkloadSpec `json:"workload"`
+	// Samples is the number of measurement samples per cell (default 5).
+	Samples int `json:"samples,omitempty"`
+	// FitCosts are the injected per-invocation costs (ns) used to fit
+	// the benchmark's sensitivity k (default 8, 32, 128).
+	FitCosts []int64 `json:"fit_costs,omitempty"`
+	// Seed is the base seed for measurement and gate exploration
+	// (default 1).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// GateSpec configures the litmus soundness gate.
+type GateSpec struct {
+	// Shapes lists the litmus shapes every candidate must survive;
+	// empty selects the platform's full gate catalogue.
+	Shapes []string `json:"shapes,omitempty"`
+	// MaxDelay bounds the explorer's alignment-stagger ladder
+	// (default 32).
+	MaxDelay int64 `json:"max_delay,omitempty"`
+}
+
+// WorkloadSpec configures the scoring workload.
+type WorkloadSpec struct {
+	// Mix maps operation names (e.g. "volatile_loads", "rcu_derefs",
+	// "sc_stores", "compute") to per-iteration counts; empty selects the
+	// platform's default volatile-heavy mix.
+	Mix map[string]int `json:"mix,omitempty"`
+	// Cores is the simulated core count (default 4).
+	Cores int `json:"cores,omitempty"`
+	// MaxCycles bounds each measured run (default 120000).
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+}
+
+// gateCatalogue lists the soundness shapes per platform, in gate order.
+var gateCatalogue = map[string][]string{
+	"jvm":    {"volatile-sb", "volatile-mp"},
+	"kernel": {"rcu-mp", "acqrel-mp"},
+	"c11":    {"sc-sb", "acqrel-mp"},
+}
+
+// defaultBaseline is the stock strategy per platform.
+var defaultBaseline = map[string]string{
+	"jvm":    "jdk8-barriers",
+	"kernel": "base case",
+	"c11":    "barriers",
+}
+
+// defaultMix is the volatile-heavy scoring mix per platform (the paper's
+// DaCapo-style mixture: mostly private work with a meaningful synchronising
+// fraction).
+var defaultMix = map[string]map[string]int{
+	"jvm": {
+		"compute": 6, "priv_loads": 4, "priv_stores": 2, "shared_loads": 1,
+		"volatile_loads": 4, "volatile_stores": 2, "publishes": 1,
+	},
+	"kernel": {
+		"compute": 6, "priv_loads": 4, "priv_stores": 2, "shared_loads": 1,
+		"read_onces": 3, "rcu_derefs": 3, "rcu_assigns": 1, "write_onces": 1,
+	},
+	"c11": {
+		"compute": 6, "priv_loads": 4, "priv_stores": 2, "shared_loads": 1,
+		"sc_loads": 3, "sc_stores": 2, "rel_acq_pairs": 1,
+	},
+}
+
+// WithDefaults returns a copy of sp with every optional field materialised.
+func (sp Spec) WithDefaults() Spec {
+	if sp.Platform == "" {
+		sp.Platform = "jvm"
+	}
+	if sp.Arch == "" {
+		sp.Arch = "armv8"
+	}
+	if sp.Baseline == "" {
+		sp.Baseline = defaultBaseline[sp.Platform]
+	}
+	if len(sp.Gate.Shapes) == 0 {
+		sp.Gate.Shapes = append([]string(nil), gateCatalogue[sp.Platform]...)
+	}
+	if sp.Gate.MaxDelay == 0 {
+		sp.Gate.MaxDelay = 32
+	}
+	if len(sp.Workload.Mix) == 0 {
+		sp.Workload.Mix = make(map[string]int)
+		for k, v := range defaultMix[sp.Platform] {
+			sp.Workload.Mix[k] = v
+		}
+	}
+	if sp.Workload.Cores == 0 {
+		sp.Workload.Cores = 4
+	}
+	if sp.Workload.MaxCycles == 0 {
+		sp.Workload.MaxCycles = 120_000
+	}
+	if sp.Samples == 0 {
+		sp.Samples = 5
+	}
+	if len(sp.FitCosts) == 0 {
+		sp.FitCosts = []int64{8, 32, 128}
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	return sp
+}
+
+// Profile resolves the spec's architecture profile.
+func (sp Spec) Profile() (*arch.Profile, error) {
+	switch sp.Arch {
+	case "armv8":
+		return arch.ARMv8(), nil
+	case "power7":
+		return arch.POWER7(), nil
+	}
+	return nil, fmt.Errorf("optimize: unknown arch %q (want \"armv8\" or \"power7\")", sp.Arch)
+}
+
+// Validate checks a normalised spec.  Call on the WithDefaults form.
+func (sp Spec) Validate() error {
+	if _, ok := gateCatalogue[sp.Platform]; !ok {
+		return fmt.Errorf("optimize: unknown platform %q (want \"jvm\", \"kernel\" or \"c11\")", sp.Platform)
+	}
+	if _, err := sp.Profile(); err != nil {
+		return err
+	}
+	if _, err := sp.Candidates(); err != nil {
+		return err
+	}
+	known := map[string]bool{}
+	for _, s := range gateCatalogue[sp.Platform] {
+		known[s] = true
+	}
+	for _, s := range sp.Gate.Shapes {
+		if !known[s] {
+			return fmt.Errorf("optimize: unknown gate shape %q for platform %s", s, sp.Platform)
+		}
+	}
+	if sp.Gate.MaxDelay < 1 || sp.Gate.MaxDelay > 384 {
+		return fmt.Errorf("optimize: gate max_delay %d out of range [1,384]", sp.Gate.MaxDelay)
+	}
+	if _, err := sp.mix(); err != nil {
+		return err
+	}
+	if sp.Workload.Cores < 2 || sp.Workload.Cores > 8 {
+		return fmt.Errorf("optimize: cores %d out of range [2,8]", sp.Workload.Cores)
+	}
+	if sp.Workload.MaxCycles < 10_000 || sp.Workload.MaxCycles > 1_000_000 {
+		return fmt.Errorf("optimize: max_cycles %d out of range [10000,1000000]", sp.Workload.MaxCycles)
+	}
+	if sp.Samples < 2 || sp.Samples > 64 {
+		return fmt.Errorf("optimize: samples %d out of range [2,64]", sp.Samples)
+	}
+	if len(sp.FitCosts) < 2 {
+		return fmt.Errorf("optimize: need at least 2 fit_costs, have %d", len(sp.FitCosts))
+	}
+	prev := int64(0)
+	for _, a := range sp.FitCosts {
+		if a < 1 || a > 100_000 {
+			return fmt.Errorf("optimize: fit cost %d out of range [1,100000]", a)
+		}
+		if a <= prev {
+			return fmt.Errorf("optimize: fit_costs must be strictly increasing")
+		}
+		prev = a
+	}
+	if sp.Seed < 1 {
+		return fmt.Errorf("optimize: seed must be positive")
+	}
+	return nil
+}
+
+// Candidate is one strategy under consideration; exactly one of the
+// platform fields is non-nil.
+type Candidate struct {
+	Name   string
+	JVM    *jvm.Strategy
+	Kernel *kernel.Strategy
+	C11    *c11.Strategy
+}
+
+// Encoding returns the candidate's declarative spec encoding for the
+// report.
+func (c Candidate) Encoding() StrategyEncoding {
+	var e StrategyEncoding
+	switch {
+	case c.JVM != nil:
+		sp := c.JVM.Spec()
+		e.JVM = &sp
+	case c.Kernel != nil:
+		sp := c.Kernel.Spec()
+		e.Kernel = &sp
+	case c.C11 != nil:
+		sp := c.C11.Spec()
+		e.C11 = &sp
+	}
+	return e
+}
+
+// env binds the candidate strategy into a workload environment.
+func (c Candidate) env(prof *arch.Profile) workload.Env {
+	e := workload.DefaultEnv(prof)
+	switch {
+	case c.JVM != nil:
+		e.JVMStrategy = *c.JVM
+	case c.Kernel != nil:
+		e.KernelStrategy = *c.Kernel
+	case c.C11 != nil:
+		e.C11Strategy = *c.C11
+	}
+	return e
+}
+
+// space returns the platform's enumerated strategy space as candidates, in
+// enumeration order.
+func space(platform string) []Candidate {
+	var out []Candidate
+	switch platform {
+	case "jvm":
+		for _, st := range jvm.Enumerate() {
+			st := st
+			out = append(out, Candidate{Name: st.Name, JVM: &st})
+		}
+	case "kernel":
+		for _, st := range kernel.Enumerate() {
+			st := st
+			out = append(out, Candidate{Name: st.Name, Kernel: &st})
+		}
+	case "c11":
+		for _, st := range c11.Enumerate() {
+			st := st
+			out = append(out, Candidate{Name: st.Name, C11: &st})
+		}
+	}
+	return out
+}
+
+// Candidates resolves the spec's strategy selectors against the platform's
+// enumerated space, preserving enumeration order, and checks the baseline
+// is among them.
+func (sp Spec) Candidates() ([]Candidate, error) {
+	all := space(sp.Platform)
+	if len(sp.Strategies) == 0 {
+		return sp.checkBaseline(all)
+	}
+	want := make(map[string]bool, len(sp.Strategies))
+	for _, n := range sp.Strategies {
+		want[n] = true
+	}
+	var out []Candidate
+	for _, c := range all {
+		if want[c.Name] {
+			out = append(out, c)
+			delete(want, c.Name)
+		}
+	}
+	if len(want) > 0 {
+		var missing []string
+		for n := range want {
+			missing = append(missing, n)
+		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("optimize: unknown %s strategies %v", sp.Platform, missing)
+	}
+	return sp.checkBaseline(out)
+}
+
+func (sp Spec) checkBaseline(cands []Candidate) ([]Candidate, error) {
+	for _, c := range cands {
+		if c.Name == sp.Baseline {
+			return cands, nil
+		}
+	}
+	return nil, fmt.Errorf("optimize: baseline %q not among selected strategies", sp.Baseline)
+}
+
+// mixFields maps spec mix-operation names onto Mix fields, per platform
+// section.  The common section applies to every platform.
+var mixCommon = map[string]func(*workload.Mix) *int{
+	"compute":      func(m *workload.Mix) *int { return &m.Compute },
+	"priv_loads":   func(m *workload.Mix) *int { return &m.PrivLoads },
+	"priv_stores":  func(m *workload.Mix) *int { return &m.PrivStores },
+	"shared_loads": func(m *workload.Mix) *int { return &m.SharedLoads },
+}
+
+var mixPlatform = map[string]map[string]func(*workload.Mix) *int{
+	"jvm": {
+		"volatile_loads":  func(m *workload.Mix) *int { return &m.VolatileLoads },
+		"volatile_stores": func(m *workload.Mix) *int { return &m.VolatileStores },
+		"publishes":       func(m *workload.Mix) *int { return &m.Publishes },
+		"card_marks":      func(m *workload.Mix) *int { return &m.CardMarks },
+		"atomic_adds":     func(m *workload.Mix) *int { return &m.AtomicAdds },
+		"lock_pairs":      func(m *workload.Mix) *int { return &m.LockPairs },
+		"full_fences":     func(m *workload.Mix) *int { return &m.FullFences },
+		"load_fences":     func(m *workload.Mix) *int { return &m.LoadFences },
+	},
+	"kernel": {
+		"read_onces":   func(m *workload.Mix) *int { return &m.ReadOnces },
+		"write_onces":  func(m *workload.Mix) *int { return &m.WriteOnces },
+		"rcu_derefs":   func(m *workload.Mix) *int { return &m.RCUDerefs },
+		"rcu_assigns":  func(m *workload.Mix) *int { return &m.RCUAssigns },
+		"spin_pairs":   func(m *workload.Mix) *int { return &m.SpinPairs },
+		"atomic_incs":  func(m *workload.Mix) *int { return &m.AtomicIncs },
+		"syscalls":     func(m *workload.Mix) *int { return &m.Syscalls },
+		"seq_reads":    func(m *workload.Mix) *int { return &m.SeqReads },
+		"seq_writes":   func(m *workload.Mix) *int { return &m.SeqWrites },
+		"mbs":          func(m *workload.Mix) *int { return &m.MBs },
+		"mandatory_mb": func(m *workload.Mix) *int { return &m.MandatoryMB },
+	},
+	"c11": {
+		"sc_loads":      func(m *workload.Mix) *int { return &m.SCLoads },
+		"sc_stores":     func(m *workload.Mix) *int { return &m.SCStores },
+		"rel_acq_pairs": func(m *workload.Mix) *int { return &m.RelAcqPairs },
+		"relaxed_ops":   func(m *workload.Mix) *int { return &m.RelaxedOps },
+		"fetch_adds":    func(m *workload.Mix) *int { return &m.FetchAdds },
+	},
+}
+
+// MixNames returns the operation names a platform's workload mix accepts,
+// sorted (common section first is not guaranteed; names are unique).
+func MixNames(platform string) []string {
+	var out []string
+	for n := range mixCommon {
+		out = append(out, n)
+	}
+	for n := range mixPlatform[platform] {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mix decodes the spec's named mix into a workload.Mix and checks it
+// exercises at least one platform operation (otherwise every fencing
+// strategy scores identically and the search is vacuous).
+func (sp Spec) mix() (workload.Mix, error) {
+	var m workload.Mix
+	plat := mixPlatform[sp.Platform]
+	platOps := 0
+	for name, v := range sp.Workload.Mix {
+		if v < 0 || v > 64 {
+			return m, fmt.Errorf("optimize: mix[%q] = %d out of range [0,64]", name, v)
+		}
+		if f, ok := mixCommon[name]; ok {
+			*f(&m) = v
+			continue
+		}
+		if f, ok := plat[name]; ok {
+			*f(&m) = v
+			platOps += v
+			continue
+		}
+		return m, fmt.Errorf("optimize: unknown mix operation %q for platform %s (known: %v)",
+			name, sp.Platform, MixNames(sp.Platform))
+	}
+	if platOps < 1 {
+		return m, fmt.Errorf("optimize: mix exercises no %s operations", sp.Platform)
+	}
+	return m, nil
+}

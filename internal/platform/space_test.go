@@ -1,0 +1,141 @@
+package platform_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/platform/c11"
+	"repro/internal/platform/jvm"
+	"repro/internal/platform/kernel"
+)
+
+// TestStrategySpaceRoundTrip is the property test over the enumerable
+// strategy spaces: every enumerated strategy must survive the
+// Strategy → Spec → JSON → Spec → Strategy round trip exactly, including
+// its canonical name.
+func TestStrategySpaceRoundTrip(t *testing.T) {
+	for _, st := range jvm.Enumerate() {
+		sp := st.Spec()
+		data, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatalf("jvm %s: marshal: %v", st.Name, err)
+		}
+		var sp2 jvm.Spec
+		if err := json.Unmarshal(data, &sp2); err != nil {
+			t.Fatalf("jvm %s: unmarshal: %v", st.Name, err)
+		}
+		got, err := jvm.FromSpec(sp2)
+		if err != nil {
+			t.Fatalf("jvm %s: FromSpec: %v", st.Name, err)
+		}
+		if got != st {
+			t.Errorf("jvm round trip: got %+v, want %+v", got, st)
+		}
+	}
+	for _, st := range kernel.Enumerate() {
+		sp := st.Spec()
+		data, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatalf("kernel %s: marshal: %v", st.Name, err)
+		}
+		var sp2 kernel.Spec
+		if err := json.Unmarshal(data, &sp2); err != nil {
+			t.Fatalf("kernel %s: unmarshal: %v", st.Name, err)
+		}
+		got, err := kernel.FromSpec(sp2)
+		if err != nil {
+			t.Fatalf("kernel %s: FromSpec: %v", st.Name, err)
+		}
+		if got != st {
+			t.Errorf("kernel round trip: got %+v, want %+v", got, st)
+		}
+	}
+	for _, st := range c11.Enumerate() {
+		sp := st.Spec()
+		data, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatalf("c11 %s: marshal: %v", st.Name, err)
+		}
+		var sp2 c11.Spec
+		if err := json.Unmarshal(data, &sp2); err != nil {
+			t.Fatalf("c11 %s: unmarshal: %v", st.Name, err)
+		}
+		got, err := c11.FromSpec(sp2)
+		if err != nil {
+			t.Fatalf("c11 %s: FromSpec: %v", st.Name, err)
+		}
+		if got != st {
+			t.Errorf("c11 round trip: got %+v, want %+v", got, st)
+		}
+	}
+}
+
+// TestStrategySpaceNamedCorners pins that the two named JDK strategies
+// appear verbatim in the enumerated JVM space.
+func TestStrategySpaceNamedCorners(t *testing.T) {
+	want := map[string]jvm.Strategy{
+		"jdk8-barriers": jvm.JDK8(),
+		"jdk9-acqrel":   jvm.JDK9(),
+	}
+	found := map[string]bool{}
+	for _, st := range jvm.Enumerate() {
+		if w, ok := want[st.Name]; ok {
+			if st != w {
+				t.Errorf("enumerated %s = %+v, want verbatim %+v", st.Name, st, w)
+			}
+			found[st.Name] = true
+		}
+	}
+	for name := range want {
+		if !found[name] {
+			t.Errorf("named strategy %s missing from enumerated space", name)
+		}
+	}
+}
+
+// TestStrategySpaceDistinctNames guards the determinism argument: strategy
+// names feed the measurement-noise decorrelation hash, so every candidate
+// in a space must carry a distinct canonical name.
+func TestStrategySpaceDistinctNames(t *testing.T) {
+	check := func(platform string, names []string) {
+		seen := map[string]bool{}
+		for _, n := range names {
+			if n == "" {
+				t.Errorf("%s: empty strategy name", platform)
+			}
+			if seen[n] {
+				t.Errorf("%s: duplicate strategy name %q", platform, n)
+			}
+			seen[n] = true
+		}
+	}
+	var jn, kn, cn []string
+	for _, st := range jvm.Enumerate() {
+		jn = append(jn, st.Name)
+	}
+	for _, st := range kernel.Enumerate() {
+		kn = append(kn, st.Name)
+	}
+	for _, st := range c11.Enumerate() {
+		cn = append(cn, st.Name)
+	}
+	check("jvm", jn)
+	check("kernel", kn)
+	check("c11", cn)
+}
+
+// TestSpecValidation pins the decode errors for malformed specs.
+func TestSpecValidation(t *testing.T) {
+	if _, err := jvm.FromSpec(jvm.Spec{Loads: "ldar", Stores: "barriers"}); err == nil {
+		t.Error("jvm: bad lowering accepted")
+	}
+	if _, err := jvm.FromSpec(jvm.Spec{Loads: "acqrel", Stores: "acqrel", DropStoreLoad: true}); err == nil {
+		t.Error("jvm: drop_storeload with acqrel stores accepted")
+	}
+	if _, err := kernel.FromSpec(kernel.Spec{RBD: "dmb st"}); err == nil {
+		t.Error("kernel: bad rbd accepted")
+	}
+	if _, err := c11.FromSpec(c11.Spec{Lowering: "fences"}); err == nil {
+		t.Error("c11: bad lowering accepted")
+	}
+}

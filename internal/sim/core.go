@@ -839,10 +839,20 @@ func (c *core) issueLoad(id int64, e *wentry, now int64, loadBarrier, olderStore
 	e.addrOK = true
 
 	if e.in.Op == arch.LoadAcq {
-		// stlr→ldar: an acquire load may not satisfy while a release
-		// store from this core is still buffered.
+		// stlr→ldar (RCsc): an acquire load may not satisfy while a
+		// release store from this core is still buffered, nor while an
+		// older release store is still in the window awaiting retirement
+		// (it will enter the buffer later; satisfying the load now would
+		// order it before the release, which ARMv8 forbids — this is
+		// what makes the ldar/stlr volatile mapping sequentially
+		// consistent).
 		for i := range c.sb {
 			if c.sb[i].release {
+				return blockSoft
+			}
+		}
+		for i := c.retireID; i < id; i++ {
+			if c.slot(i).in.Op == arch.StoreRel {
 				return blockSoft
 			}
 		}

@@ -1,7 +1,7 @@
 // Package worker is the execution side of the sharded backend: a loop
-// that leases batches of jobs — experiments, or shards of generated
-// litmus campaigns — from a wmmd coordinator over the v1 API, executes
-// them on a local engine, and uploads the results.
+// that leases batches of jobs — experiments, shards of generated litmus
+// campaigns, or fence-optimizer cells — from a wmmd coordinator over
+// the v1 API, executes them on a local engine, and uploads the results.
 //
 // The loop is deliberately stateless between batches.  All durability
 // lives on the coordinator: if a worker dies mid-batch its lease
@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/optimize"
 	"repro/wmm/client"
 )
 
@@ -161,6 +162,16 @@ func runBatch(ctx context.Context, cl *client.Client, id string, eng *engine.Eng
 				Lo:         job.Litmus.Lo,
 				Hi:         job.Litmus.Hi,
 			})
+		} else if len(job.Optimize) > 0 {
+			// Optimizer cell: the client carries the descriptor opaquely;
+			// decode it here, where the engine's types are available, and
+			// re-derive the gate or measurement from the spec.
+			var cell optimize.Cell
+			if derr := json.Unmarshal(job.Optimize, &cell); derr != nil {
+				err = fmt.Errorf("undecodable optimize cell: %w", derr)
+			} else {
+				res, err = engine.RunOptimizeCell(batchCtx, cell)
+			}
 		} else {
 			opts := engine.RunOptions{
 				Samples: job.Samples,

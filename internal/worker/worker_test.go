@@ -212,6 +212,70 @@ func TestDistributedLitmusIdentity(t *testing.T) {
 	}
 }
 
+// TestDistributedOptimizeIdentity is the optimizer-service acceptance
+// test: a fence-strategy search whose cells (soundness gates, candidate
+// measurements, sensitivity fits) are leased out to two worker
+// processes — which re-derive each cell from its descriptor alone —
+// assembles a canonical report byte-identical to the same spec run
+// in-process on a plain local server.
+func TestDistributedOptimizeIdentity(t *testing.T) {
+	spec := client.OptimizeSpec{
+		Platform:   "jvm",
+		Arch:       "armv8",
+		Strategies: []string{"jdk8-barriers", "jdk9-acqrel"},
+		Samples:    3,
+		FitCosts:   []int64{8, 32},
+		Workload:   client.OptimizeWorkload{MaxCycles: 60_000},
+		Seed:       7,
+		Parallel:   2,
+	}
+	optimizeToDone := func(ts *httptest.Server) string {
+		t.Helper()
+		cl := client.New(ts.URL)
+		sub, err := cl.SubmitOptimize(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("submit optimize: %v", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		st, err := cl.WaitOptimize(ctx, sub.ID, 50*time.Millisecond)
+		if err != nil {
+			t.Fatalf("wait %s: %v", sub.ID, err)
+		}
+		if st.State != client.StateDone {
+			t.Fatalf("job %s ended %s (err %q)", sub.ID, st.State, st.Error)
+		}
+		if st.Best != "jdk9-acqrel" {
+			t.Fatalf("job %s picked %q, want jdk9-acqrel", sub.ID, st.Best)
+		}
+		return sub.ID
+	}
+	canonicalOptimize := func(ts *httptest.Server, id string) []byte {
+		t.Helper()
+		raw, err := client.New(ts.URL).CanonicalOptimize(context.Background(), id)
+		if err != nil {
+			t.Fatalf("canonical optimize %s: %v", id, err)
+		}
+		return raw
+	}
+
+	tsLocal := newCoordinator(t, nil)
+	want := canonicalOptimize(tsLocal, optimizeToDone(tsLocal))
+
+	tsDist := newCoordinator(t, &engine.DispatchOptions{LocalSlots: -1, MaxBatch: 2})
+	startWorker(t, tsDist, "w1")
+	startWorker(t, tsDist, "w2")
+	got := canonicalOptimize(tsDist, optimizeToDone(tsDist))
+
+	if !bytes.Equal(got, want) {
+		t.Errorf("distributed optimize job diverged from local:\n--- local ---\n%s\n--- distributed ---\n%s", want, got)
+	}
+	// 2 gates + 2 measures + 2 fits, every one leased out.
+	if remote := metricValue(t, tsDist, `wmm_dispatch_jobs_completed_total{mode="remote"}`); remote != 6 {
+		t.Errorf("remote job completions = %v, want 6 (every cell leased out)", remote)
+	}
+}
+
 // TestLeaseExpiryRequeue kills a worker mid-batch (a zombie that leases
 // jobs and never heartbeats or uploads) and verifies the coordinator
 // re-queues the lost work, a healthy worker completes the run, and the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/arch"
+	"repro/internal/platform/c11"
 	"repro/internal/platform/jvm"
 )
 
@@ -149,12 +150,19 @@ type Mix struct {
 	SeqWrites   int
 	MBs         int // raw smp_mb invocations
 	MandatoryMB int // mb()/rmb()/wmb() triple (driver-style, rare)
+
+	// C11 operations (used when Platform is C11).
+	SCLoads     int // memory_order_seq_cst atomic loads of the shared region
+	SCStores    int // memory_order_seq_cst atomic stores to the shared region
+	RelAcqPairs int // release-store publication followed by an acquire load
+	RelaxedOps  int // relaxed atomic load+store pair
+	FetchAdds   int // seq_cst fetch_add on a lock stripe
 }
 
 // EmitIteration emits one loop iteration of the mix into b, using the
 // platform generator from ctx.  It ends with a Work(1) marker.
 func (mix Mix) EmitIteration(ctx *BuildCtx, b *arch.Builder) {
-	j, k := ctx.JVM, ctx.Kernel
+	j, k, c := ctx.JVM, ctx.Kernel, ctx.C11
 
 	for i := 0; i < mix.Compute; i++ {
 		emitXorshift(b)
@@ -278,6 +286,35 @@ func (mix Mix) EmitIteration(ctx *BuildCtx, b *arch.Builder) {
 			k.MB(b)
 			k.RMB(b)
 			k.WMB(b)
+		}
+	}
+
+	if c != nil {
+		for i := 0; i < mix.SCLoads; i++ {
+			emitSharedAddr(b)
+			c.Load(b, c11.SeqCst, regVal, regTmp2, 0)
+		}
+		for i := 0; i < mix.SCStores; i++ {
+			emitSharedAddr(b)
+			c.Store(b, c11.SeqCst, regRand, regTmp2, 0)
+		}
+		for i := 0; i < mix.RelAcqPairs; i++ {
+			// Initialise a private object, publish it with a release
+			// store, then re-acquire it.
+			emitPrivAddr(b)
+			b.Store(regRand, regTmp2, 0)
+			emitSharedAddr(b)
+			c.Store(b, c11.Release, regRand, regTmp2, 0)
+			c.Load(b, c11.Acquire, regVal, regTmp2, 0)
+		}
+		for i := 0; i < mix.RelaxedOps; i++ {
+			emitSharedAddr(b)
+			c.Load(b, c11.Relaxed, regVal, regTmp2, 0)
+			c.Store(b, c11.Relaxed, regRand, regTmp2, 0)
+		}
+		for i := 0; i < mix.FetchAdds; i++ {
+			emitLockAddr(b)
+			c.FetchAdd(b, c11.SeqCst, regVal, regTmp3, 8, 1)
 		}
 	}
 

@@ -303,6 +303,15 @@ func envHash(env Env) uint64 {
 	if env.JVMStrategy.LockPatch {
 		mix(17)
 	}
+	if env.JVMStrategy.AcqRelLoad {
+		mix(19)
+	}
+	if env.JVMStrategy.AcqRelStore {
+		mix(23)
+	}
+	if env.JVMStrategy.DropStoreLoad {
+		mix(29)
+	}
 	// Map iteration order is random; fold entries commutatively so the
 	// hash stays deterministic.
 	var acc uint64

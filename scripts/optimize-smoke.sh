@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# optimize-smoke.sh — run the same fence-strategy optimizer job on a
+# plain local wmmd and on a coordinator-only wmmd served by two real
+# wmmworker processes, and assert the canonical optimization report is
+# byte-identical.  Then resubmit the job to the coordinator and assert
+# the rerun is served entirely from the content-addressed result cache.
+#
+# This is the out-of-process counterpart of
+# TestDistributedOptimizeIdentity: real binaries, real HTTP, real
+# process boundaries.  An optimizer job ships self-contained cells —
+# each carries the full spec, and seeds derive positionally from the
+# cell name — so where a cell executes cannot affect its bytes.
+set -euo pipefail
+
+ADDR_LOCAL="127.0.0.1:8357"
+ADDR_DIST="127.0.0.1:8358"
+DATA="$(mktemp -d)"
+LOG="$DATA/smoke.log"
+PIDS=()
+trap 'kill -9 "${PIDS[@]}" 2>/dev/null || true; rm -rf "$DATA"' EXIT
+
+go build -o "$DATA/wmmd" ./cmd/wmmd
+go build -o "$DATA/wmmworker" ./cmd/wmmworker
+go build -o "$DATA/wmmctl" ./cmd/wmmctl
+
+# Two JVM strategies on ARMv8 with two fence-cost fits: 6 cells
+# (2 soundness gates + 2 measurements + 2 cost-model fits) — enough to
+# split across both workers, fast enough for CI.  The expected outcome
+# is the paper's headline result: jdk9-acqrel sound and faster than the
+# jdk8 barrier placement.
+SPEC='{"platform":"jvm","arch":"armv8","strategies":["jdk8-barriers","jdk9-acqrel"],"samples":3,"fit_costs":[8,32],"workload":{"max_cycles":60000},"seed":7,"parallel":2}'
+
+# --- Baseline: one ordinary wmmd doing the work itself. --------------
+"$DATA/wmmd" -addr "$ADDR_LOCAL" >>"$LOG" 2>&1 &
+PIDS+=($!)
+"$DATA/wmmctl" -server "http://$ADDR_LOCAL" -timeout 30s ready \
+  || { echo "optimize-smoke: local wmmd never became ready" >&2; cat "$LOG" >&2; exit 1; }
+
+JOB_LOCAL=$("$DATA/wmmctl" -server "http://$ADDR_LOCAL" optimize-submit "$SPEC")
+"$DATA/wmmctl" -server "http://$ADDR_LOCAL" -timeout 10m optimize-wait "$JOB_LOCAL" \
+  || { echo "optimize-smoke: local optimizer job failed" >&2; cat "$LOG" >&2; exit 1; }
+"$DATA/wmmctl" -server "http://$ADDR_LOCAL" optimize-report "$JOB_LOCAL" > "$DATA/local.json"
+
+# --- Distributed: a pure coordinator plus two worker processes. ------
+"$DATA/wmmd" -addr "$ADDR_DIST" -local-slots -1 -lease-ttl 5s >>"$LOG" 2>&1 &
+PIDS+=($!)
+"$DATA/wmmctl" -server "http://$ADDR_DIST" -timeout 30s ready \
+  || { echo "optimize-smoke: coordinator never became ready" >&2; cat "$LOG" >&2; exit 1; }
+
+"$DATA/wmmworker" -coordinator "http://$ADDR_DIST" -id smoke-w1 -poll 100ms >>"$LOG" 2>&1 &
+PIDS+=($!)
+"$DATA/wmmworker" -coordinator "http://$ADDR_DIST" -id smoke-w2 -poll 100ms >>"$LOG" 2>&1 &
+PIDS+=($!)
+
+JOB_DIST=$("$DATA/wmmctl" -server "http://$ADDR_DIST" optimize-submit "$SPEC")
+"$DATA/wmmctl" -server "http://$ADDR_DIST" -timeout 10m optimize-wait "$JOB_DIST" \
+  || { echo "optimize-smoke: distributed optimizer job failed" >&2; cat "$LOG" >&2; exit 1; }
+"$DATA/wmmctl" -server "http://$ADDR_DIST" optimize-report "$JOB_DIST" > "$DATA/dist.json"
+
+# --- The acceptance criterion: byte-identical canonical reports. -----
+if ! diff -q "$DATA/local.json" "$DATA/dist.json" >/dev/null; then
+  echo "optimize-smoke: canonical report diverged between local and sharded execution" >&2
+  diff "$DATA/local.json" "$DATA/dist.json" >&2 || true
+  exit 1
+fi
+
+# The report must reproduce the paper's result: the JDK9 acquire/release
+# placement survives the soundness gate and wins on performance.
+if ! grep -q '"best": "jdk9-acqrel"' "$DATA/dist.json"; then
+  echo "optimize-smoke: report does not pick jdk9-acqrel as best" >&2
+  cat "$DATA/dist.json" >&2
+  exit 1
+fi
+
+# And the work really went to the workers: the coordinator has no local
+# slots, so all 6 cells must have completed in "remote" mode.
+REMOTE=$(curl -fsS "http://$ADDR_DIST/metrics" \
+  | sed -n 's/^wmm_dispatch_jobs_completed_total{mode="remote"} \([0-9.]*\)$/\1/p')
+if [ "${REMOTE:-0}" != "6" ]; then
+  echo "optimize-smoke: expected 6 remote cell completions, got '${REMOTE:-none}'" >&2
+  exit 1
+fi
+
+# --- Content-addressed reuse: the rerun never touches a worker. ------
+JOB_AGAIN=$("$DATA/wmmctl" -server "http://$ADDR_DIST" optimize-submit "$SPEC")
+"$DATA/wmmctl" -server "http://$ADDR_DIST" -timeout 10m optimize-wait "$JOB_AGAIN" \
+  || { echo "optimize-smoke: cached rerun failed" >&2; cat "$LOG" >&2; exit 1; }
+"$DATA/wmmctl" -server "http://$ADDR_DIST" optimize-report "$JOB_AGAIN" > "$DATA/again.json"
+
+if ! diff -q "$DATA/dist.json" "$DATA/again.json" >/dev/null; then
+  echo "optimize-smoke: cached rerun's report diverged from the executed one" >&2
+  diff "$DATA/dist.json" "$DATA/again.json" >&2 || true
+  exit 1
+fi
+CACHED=$(curl -fsS "http://$ADDR_DIST/metrics" \
+  | sed -n 's/^wmm_dispatch_jobs_completed_total{mode="cache"} \([0-9.]*\)$/\1/p')
+if [ "${CACHED:-0}" != "6" ]; then
+  echo "optimize-smoke: expected 6 cache-served cells on the rerun, got '${CACHED:-none}'" >&2
+  exit 1
+fi
+REMOTE2=$(curl -fsS "http://$ADDR_DIST/metrics" \
+  | sed -n 's/^wmm_dispatch_jobs_completed_total{mode="remote"} \([0-9.]*\)$/\1/p')
+if [ "${REMOTE2:-0}" != "6" ]; then
+  echo "optimize-smoke: rerun re-executed cells remotely (remote count ${REMOTE2:-none}, want still 6)" >&2
+  exit 1
+fi
+
+echo "optimize-smoke: ok ($JOB_DIST: 6 cells across 2 workers, report identical to local; rerun $JOB_AGAIN fully cache-served)"

@@ -1,7 +1,8 @@
 // Package client is the typed Go client for the wmmd v1 API: the
 // versioned HTTP surface of the weak-memory-model benchmarking service
 // (run submission, status, streaming progress, cancellation, the
-// paginated catalogues, generated litmus campaigns) plus the worker
+// paginated catalogues, generated litmus campaigns, fence-strategy
+// optimizer jobs) plus the worker
 // lease protocol the sharded execution backend speaks (cmd/wmmworker
 // is built on it).
 //
@@ -453,6 +454,94 @@ func (c *Client) CanonicalLitmus(ctx context.Context, id string) ([]byte, error)
 func (c *Client) CancelLitmus(ctx context.Context, id string) (CancelResponse, error) {
 	var out CancelResponse
 	err := c.do(ctx, http.MethodDelete, "/api/v1/litmus/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// LitmusList returns one page of litmus campaign statuses, in
+// submission order.
+func (c *Client) LitmusList(ctx context.Context, p Page) (LitmusPage, error) {
+	var out LitmusPage
+	err := c.do(ctx, http.MethodGet, "/api/v1/litmus"+pageQuery(p), nil, &out)
+	return out, err
+}
+
+// SubmitOptimize submits a fence-strategy optimizer job, retrying on
+// admission-control 429s per the client's retry budget.
+func (c *Client) SubmitOptimize(ctx context.Context, spec OptimizeSpec) (Submitted, error) {
+	var out Submitted
+	err := c.do(ctx, http.MethodPost, "/api/v1/optimize", spec, &out)
+	return out, err
+}
+
+// Optimize returns an optimizer job's status (the ranked report rides
+// along as raw JSON once the job is done).
+func (c *Client) Optimize(ctx context.Context, id string) (OptimizeStatus, error) {
+	var out OptimizeStatus
+	err := c.do(ctx, http.MethodGet, "/api/v1/optimize/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// OptimizeList returns one page of optimizer job statuses, in
+// submission order.
+func (c *Client) OptimizeList(ctx context.Context, p Page) (OptimizePage, error) {
+	var out OptimizePage
+	err := c.do(ctx, http.MethodGet, "/api/v1/optimize"+pageQuery(p), nil, &out)
+	return out, err
+}
+
+// WaitOptimize polls an optimizer job until it leaves the running state
+// (or ctx ends), returning the final status.
+func (c *Client) WaitOptimize(ctx context.Context, id string, poll time.Duration) (OptimizeStatus, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		st, err := c.Optimize(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State != StateRunning {
+			return st, nil
+		}
+		t := time.NewTimer(poll)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return st, ctx.Err()
+		}
+	}
+}
+
+// CanonicalOptimize returns a finished optimizer job's canonical report
+// JSON — byte-identical for the same spec and seed wherever the job's
+// cells executed (local, sharded, or served from the result cache).
+func (c *Client) CanonicalOptimize(ctx context.Context, id string) ([]byte, error) {
+	req, err := c.newRequest(ctx, http.MethodGet,
+		c.base+"/api/v1/optimize/"+url.PathEscape(id)+"?canonical=1", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiErr(resp, raw)
+	}
+	return raw, nil
+}
+
+// CancelOptimize cancels a running optimizer job, or removes a finished
+// one from the catalogue.
+func (c *Client) CancelOptimize(ctx context.Context, id string) (CancelResponse, error) {
+	var out CancelResponse
+	err := c.do(ctx, http.MethodDelete, "/api/v1/optimize/"+url.PathEscape(id), nil, &out)
 	return out, err
 }
 

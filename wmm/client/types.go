@@ -84,21 +84,26 @@ const (
 	StatePartial   = "partial"
 )
 
-// RunStatus is the snapshot served by GET /api/v1/runs/{id}.
+// RunStatus is the snapshot served by GET /api/v1/runs/{id}.  The id /
+// kind / state / tenant / started_at / finished_at header is the
+// envelope shared by every v1 job resource (runs, litmus, optimize).
 type RunStatus struct {
-	ID           string    `json:"id"`
-	State        string    `json:"state"`
-	Spec         RunSpec   `json:"spec"`
-	Total        int       `json:"total"`
-	Completed    int       `json:"completed"`
-	Running      []string  `json:"running,omitempty"`
-	Resumed      bool      `json:"resumed,omitempty"`
-	Measurements int       `json:"measurements"`
-	Samples      int       `json:"samples"`
-	Error        string    `json:"error,omitempty"`
-	StartedAt    time.Time `json:"started_at"`
-	WallMs       int64     `json:"wall_ms"`
-	Results      []Result  `json:"results,omitempty"`
+	ID           string     `json:"id"`
+	Kind         string     `json:"kind"`
+	State        string     `json:"state"`
+	Tenant       string     `json:"tenant,omitempty"`
+	FinishedAt   *time.Time `json:"finished_at,omitempty"`
+	Spec         RunSpec    `json:"spec"`
+	Total        int        `json:"total"`
+	Completed    int        `json:"completed"`
+	Running      []string   `json:"running,omitempty"`
+	Resumed      bool       `json:"resumed,omitempty"`
+	Measurements int        `json:"measurements"`
+	Samples      int        `json:"samples"`
+	Error        string     `json:"error,omitempty"`
+	StartedAt    time.Time  `json:"started_at"`
+	WallMs       int64      `json:"wall_ms"`
+	Results      []Result   `json:"results,omitempty"`
 }
 
 // Event is one NDJSON progress record from a streamed run.
@@ -150,15 +155,18 @@ type CancelResponse struct {
 // Job is one leased job: everything a worker needs to reproduce the
 // exact bytes a local execution would produce.  When Litmus is non-nil
 // the job is a litmus shard (Experiment carries the shard name and the
-// samples/seed/short fields are unused).
+// samples/seed/short fields are unused); when Optimize is non-empty it
+// is a fence-optimizer cell, carried opaquely — the worker decodes it
+// with the engine's cell type, which the client does not redeclare.
 type Job struct {
-	RunID      string        `json:"run_id"`
-	Experiment string        `json:"experiment"`
-	Samples    int           `json:"samples,omitempty"`
-	Seed       int64         `json:"seed,omitempty"`
-	Short      bool          `json:"short"`
-	Adaptive   *AdaptiveSpec `json:"adaptive,omitempty"`
-	Litmus     *LitmusJob    `json:"litmus,omitempty"`
+	RunID      string          `json:"run_id"`
+	Experiment string          `json:"experiment"`
+	Samples    int             `json:"samples,omitempty"`
+	Seed       int64           `json:"seed,omitempty"`
+	Short      bool            `json:"short"`
+	Adaptive   *AdaptiveSpec   `json:"adaptive,omitempty"`
+	Litmus     *LitmusJob      `json:"litmus,omitempty"`
+	Optimize   json.RawMessage `json:"optimize,omitempty"`
 }
 
 // LitmusSpec is the body of POST /api/v1/litmus: a campaign of
@@ -206,17 +214,119 @@ type LitmusJob struct {
 // Each Result is one shard: Output carries a canonical JSON array of
 // per-test outcome rows {"name", "trials", "hits", "relaxed"}.
 type LitmusStatus struct {
-	ID        string     `json:"id"`
-	State     string     `json:"state"`
-	Spec      LitmusSpec `json:"spec"`
-	Total     int        `json:"total"`     // shards
-	Completed int        `json:"completed"` // shards finished
-	Tests     int        `json:"tests"`
-	Trials    int        `json:"trials"`
-	Error     string     `json:"error,omitempty"`
-	StartedAt time.Time  `json:"started_at"`
-	WallMs    int64      `json:"wall_ms"`
-	Results   []Result   `json:"results,omitempty"`
+	ID         string     `json:"id"`
+	Kind       string     `json:"kind"`
+	State      string     `json:"state"`
+	Tenant     string     `json:"tenant,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	Spec       LitmusSpec `json:"spec"`
+	Total      int        `json:"total"`     // shards
+	Completed  int        `json:"completed"` // shards finished
+	Tests      int        `json:"tests"`
+	Trials     int        `json:"trials"`
+	Error      string     `json:"error,omitempty"`
+	StartedAt  time.Time  `json:"started_at"`
+	WallMs     int64      `json:"wall_ms"`
+	Results    []Result   `json:"results,omitempty"`
+}
+
+// OptimizeSpec is the body of POST /api/v1/optimize: a fence-strategy
+// optimizer job.  The search enumerates per-barrier lowering strategies
+// for one platform (Strategies, or the platform's full catalogue),
+// proves each candidate sound by exhaustive litmus exploration, then
+// ranks the sound survivors by measured throughput on the workload mix.
+type OptimizeSpec struct {
+	// Platform selects the strategy catalogue: "jvm", "kernel" or "c11"
+	// (empty = "jvm").
+	Platform string `json:"platform,omitempty"`
+	// Arch is the simulated machine: "armv8" or "power7" (empty =
+	// "armv8").
+	Arch string `json:"arch,omitempty"`
+	// Strategies restricts the search space by name; empty = the
+	// platform's full catalogue.  Must include the baseline.
+	Strategies []string `json:"strategies,omitempty"`
+	// Baseline names the strategy ratios are computed against (empty =
+	// the platform's conventional default).
+	Baseline string `json:"baseline,omitempty"`
+	// Gate configures the soundness check.
+	Gate OptimizeGate `json:"gate"`
+	// Workload configures the scoring measurement.
+	Workload OptimizeWorkload `json:"workload"`
+	// Samples per measurement cell (0 = 5).
+	Samples int `json:"samples,omitempty"`
+	// FitCosts are the synthetic barrier costs (ns) swept for the
+	// sensitivity fit; at least two, strictly increasing (empty =
+	// defaults).
+	FitCosts []int64 `json:"fit_costs,omitempty"`
+	// Seed drives every measurement (0 = 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Parallel cells in flight at once (0 = server default).
+	Parallel int `json:"parallel,omitempty"`
+	// TimeoutMs bounds the whole job; 0 = no deadline.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the cluster result cache: every cell executes
+	// even when a prior job already measured the identical cell.
+	NoCache bool `json:"nocache,omitempty"`
+	// Tenant names the fair-share queue and quota bucket the job is
+	// accounted to (the X-WMM-Tenant header wins; empty = "default").
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// OptimizeGate configures the soundness gate of an optimizer job.
+type OptimizeGate struct {
+	// Shapes are the litmus shapes every candidate must pass (empty =
+	// the platform's defaults).
+	Shapes []string `json:"shapes,omitempty"`
+	// MaxDelay bounds the exhaustive exploration's reorder-delay search
+	// (0 = 32).
+	MaxDelay int64 `json:"max_delay,omitempty"`
+}
+
+// OptimizeWorkload configures the scoring workload of an optimizer job.
+type OptimizeWorkload struct {
+	// Mix weights operations by name (empty = the platform's default
+	// mix).
+	Mix map[string]int `json:"mix,omitempty"`
+	// Cores simulated (0 = 4).
+	Cores int `json:"cores,omitempty"`
+	// MaxCycles bounds one measurement (0 = server default).
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+}
+
+// OptimizeStatus is the snapshot served by GET /api/v1/optimize/{id}.
+// Report carries the final ranked report as raw JSON once the job is
+// done; fetch ?canonical=1 (CanonicalOptimize) for the byte-comparable
+// form.
+type OptimizeStatus struct {
+	ID              string          `json:"id"`
+	Kind            string          `json:"kind"`
+	State           string          `json:"state"`
+	Tenant          string          `json:"tenant,omitempty"`
+	Phase           string          `json:"phase"` // "gate" | "measure" | "done"
+	Spec            OptimizeSpec    `json:"spec"`
+	Candidates      int             `json:"candidates"`
+	Tried           int             `json:"tried"`
+	RejectedUnsound int             `json:"rejected_unsound"`
+	Scored          int             `json:"scored"`
+	Best            string          `json:"best,omitempty"`
+	CellsDone       int             `json:"cells_done"`
+	Error           string          `json:"error,omitempty"`
+	StartedAt       time.Time       `json:"started_at"`
+	FinishedAt      *time.Time      `json:"finished_at,omitempty"`
+	WallMs          int64           `json:"wall_ms"`
+	Report          json.RawMessage `json:"report,omitempty"`
+}
+
+// OptimizePage is one page of optimizer job statuses.
+type OptimizePage struct {
+	Items     []OptimizeStatus `json:"items"`
+	NextAfter string           `json:"next_after,omitempty"`
+}
+
+// LitmusPage is one page of litmus campaign statuses.
+type LitmusPage struct {
+	Items     []LitmusStatus `json:"items"`
+	NextAfter string         `json:"next_after,omitempty"`
 }
 
 // LeaseGrant is a batch of jobs under a TTL'd lease.  An empty LeaseID
